@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: cost-model capacity. The paper notes (§6.2) that the
+ * cost model "does not need to perfectly reflect the empirical
+ * performance" — a good-enough ranker suffices because the top
+ * predicted schedules are measured anyway. This harness quantifies
+ * that: cost models from linear to TenSet-sized MLPs are trained on
+ * the same dataset, then compared on (a) ranking quality and (b) the
+ * latency Felix reaches with each as its surrogate.
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+#include "costmodel/dataset.h"
+#include "optim/search.h"
+#include "sim/gpu_model.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+using namespace felix;
+using namespace felix::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseArgs(argc, argv);
+    printHeader("Ablation: cost-model capacity", options);
+    const auto &device = sim::deviceConfig(sim::DeviceKind::A5000);
+    const int numSeeds = options.full ? 5 : 3;
+    const int rounds = options.full ? 6 : 3;
+
+    costmodel::DatasetOptions datasetOptions;
+    datasetOptions.numSubgraphs = options.full ? 64 : 24;
+    datasetOptions.schedulesPerSketch = options.full ? 96 : 48;
+    datasetOptions.seed = options.seed + 1000;
+    auto samples = costmodel::synthesizeDataset(device, datasetOptions);
+    // Hold out 10% for validation.
+    size_t split = samples.size() * 9 / 10;
+    std::vector<costmodel::Sample> train(samples.begin(),
+                                         samples.begin() + split);
+    std::vector<costmodel::Sample> held(samples.begin() + split,
+                                        samples.end());
+
+    auto subgraph = tir::dense(512, 1024, 1024, true);
+
+    struct Variant
+    {
+        const char *name;
+        std::vector<int> layers;
+    };
+    const Variant variants[] = {
+        {"linear", {82, 1}},
+        {"tiny MLP", {82, 16, 1}},
+        {"default MLP", {82, 128, 128, 64, 1}},
+        {"TenSet-sized MLP", {82, 256, 256, 256, 1}},
+    };
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Cost model", "params", "rank corr",
+                    "search best latency"});
+    for (const Variant &variant : variants) {
+        costmodel::MlpConfig config;
+        config.layerSizes = variant.layers;
+        costmodel::CostModel model(config, options.seed);
+        model.fit(train, options.full ? 16 : 8, 128, 1.5e-3);
+        auto metrics = model.validate(held);
+
+        std::vector<double> bests;
+        for (int s = 0; s < numSeeds; ++s) {
+            optim::GradSearchOptions grad;
+            grad.nSeeds = 8;
+            grad.nSteps = 100;
+            optim::GradientSearch search(subgraph, grad);
+            Rng rng(options.seed + s);
+            double best = 1e18;
+            for (int round = 0; round < rounds; ++round) {
+                auto result = search.round(model, rng);
+                for (const auto &candidate : result.toMeasure) {
+                    best = std::min(
+                        best, sim::kernelLatency(
+                                  candidate.rawFeatures, device));
+                }
+            }
+            bests.push_back(best);
+        }
+
+        Rng paramRng(1);
+        costmodel::Mlp sizer(config, paramRng);
+        rows.push_back({variant.name,
+                        strformat("%zu", sizer.parameterCount()),
+                        strformat("%.3f", metrics.rankCorrelation),
+                        fmtMs(mean(bests))});
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", renderTable(rows).c_str());
+    std::printf("expected: ranking quality saturates quickly with "
+                "capacity, and even an imperfect ranker yields\n"
+                "near-identical search results — the measured top-k "
+                "filters the errors (paper §6.2).\n");
+    return 0;
+}

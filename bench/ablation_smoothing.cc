@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation: smoothing kernel choice (paper §3.3). Compares gradient
+ * search driven by feature formulas smoothed with the algebraic
+ * kernel 1/sqrt(1+t^2) (the paper's choice), a Gaussian(-logistic)
+ * kernel, a Cauchy/bump kernel, and with NO smoothing (raw
+ * select/min/max; the tape then only provides subgradients).
+ *
+ * Two metrics isolate the gradient quality from the
+ * measure-and-finetune loop:
+ *  - trajectory gain: mean predicted-score improvement from the
+ *    first to the last step of each gradient-descent trajectory;
+ *  - best simulated latency among the top-4 predicted candidates of
+ *    one search round (a tight measurement budget).
+ *
+ * The paper motivates the algebraic kernel by its numerically
+ * stabler, heavy-tailed gradients; the Gaussian's saturating tails
+ * give (near-)zero gradients away from the kinks.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "optim/search.h"
+#include "sim/gpu_model.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+using namespace felix;
+using namespace felix::bench;
+
+namespace {
+
+struct AblationResult
+{
+    double trajectoryGain = 0.0;
+    double bestLatency = 0.0;
+};
+
+AblationResult
+evaluate(const tir::SubgraphDef &subgraph,
+         const optim::GradSearchOptions &grad,
+         const costmodel::CostModel &model,
+         const sim::DeviceConfig &device, uint64_t seed, int num_seeds)
+{
+    AblationResult result;
+    for (int s = 0; s < num_seeds; ++s) {
+        optim::GradientSearch search(subgraph, grad);
+        Rng rng(seed + s);
+        auto round = search.round(model, rng);
+        const auto &scores = round.trace.visitedScores;
+        double first = 0.0, last = 0.0;
+        for (int i = 0; i < grad.nSeeds; ++i) {
+            first += scores[static_cast<size_t>(i) * grad.nSteps];
+            last += scores[static_cast<size_t>(i + 1) * grad.nSteps -
+                           1];
+        }
+        result.trajectoryGain += (last - first) / grad.nSeeds;
+        double best = 1e18;
+        for (const auto &candidate : round.toMeasure) {
+            best = std::min(best,
+                            sim::kernelLatency(candidate.rawFeatures,
+                                               device));
+        }
+        result.bestLatency += best;
+    }
+    result.trajectoryGain /= num_seeds;
+    result.bestLatency /= num_seeds;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseArgs(argc, argv);
+    printHeader("Ablation: smoothing kernels vs no smoothing",
+                options);
+    const auto &device = sim::deviceConfig(sim::DeviceKind::A5000);
+    auto model = modelFor(sim::DeviceKind::A5000, options);
+    const int numSeeds = options.full ? 10 : 6;
+    auto subgraph = tir::dense(512, 1024, 1024, true);
+
+    struct Variant
+    {
+        const char *name;
+        rewrite::Kernel kernel;
+        bool smooth;
+    };
+    const Variant variants[] = {
+        {"algebraic (paper)", rewrite::Kernel::Algebraic, true},
+        {"gaussian", rewrite::Kernel::Gaussian, true},
+        {"bump (cauchy)", rewrite::Kernel::Bump, true},
+        {"no smoothing", rewrite::Kernel::Algebraic, false},
+    };
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Variant", "trajectory gain", "best latency",
+                    "(top-4 measured)"});
+    for (const Variant &variant : variants) {
+        optim::GradSearchOptions grad;
+        grad.nSeeds = 8;
+        grad.nSteps = 100;
+        grad.nMeasure = 4;
+        grad.kernel = variant.kernel;
+        grad.applySmoothing = variant.smooth;
+        auto result = evaluate(subgraph, grad, model, device,
+                               options.seed + 100, numSeeds);
+        rows.push_back({variant.name,
+                        strformat("%+.3f", result.trajectoryGain),
+                        fmtMs(result.bestLatency), ""});
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", renderTable(rows).c_str());
+    std::printf(
+        "expected: the algebraic kernel gives the largest trajectory "
+        "gain and the best tight-budget quality;\nthe Gaussian's "
+        "thin tails stall the descent away from the kinks (the "
+        "paper's numerical-stability\nargument for phi(t) = "
+        "1/sqrt(1+t^2)); no-smoothing loses the gradient signal at "
+        "the discontinuities.\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace bench {
+
+BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            FELIX_CHECK(i + 1 < argc, "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--full") {
+            options.full = true;
+        } else if (arg == "--budget") {
+            options.budgetSec = std::atof(next().c_str());
+        } else if (arg == "--seed") {
+            options.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--device") {
+            options.device = next();
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "options: [--full] [--budget SECONDS] [--seed N]\n"
+                "         [--device a10g|a5000|xavier-nx]\n"
+                "         [--cache-dir DIR]\n"
+                "--full uses paper-scale search settings; defaults\n"
+                "are scaled down for a single CPU core.\n");
+            std::exit(0);
+        } else {
+            fatal("unknown argument: " + arg);
+        }
+    }
+    return options;
+}
+
+tuner::TunerOptions
+felixOptions(const BenchOptions &options)
+{
+    tuner::TunerOptions tuner;
+    tuner.strategy = tuner::StrategyKind::FelixGradient;
+    tuner.seed = options.seed;
+    // Paper defaults (§5): nSeeds 8, nSteps 200, nMeasure 16 — cheap
+    // enough to keep even in the scaled-down runs.
+    tuner.grad.nSeeds = 8;
+    tuner.grad.nSteps = options.full ? 200 : 120;
+    tuner.grad.nMeasure = 16;
+    return tuner;
+}
+
+tuner::TunerOptions
+ansorOptions(const BenchOptions &options)
+{
+    tuner::TunerOptions tuner;
+    tuner.strategy = tuner::StrategyKind::AnsorTenSet;
+    tuner.seed = options.seed;
+    // Paper (§5): population 2048, 4 generations, 64 measurements.
+    // The scaled-down default keeps the prediction ratio to Felix
+    // (~5x) while fitting the CPU budget.
+    tuner.evo.population = options.full ? 2048 : 512;
+    tuner.evo.generations = 4;
+    tuner.evo.nMeasure = 64;
+    return tuner;
+}
+
+double
+defaultBudget(const BenchOptions &options)
+{
+    if (options.budgetSec > 0.0)
+        return options.budgetSec;
+    return options.full ? 8000.0 : 1800.0;
+}
+
+std::vector<sim::DeviceKind>
+selectedDevices(const BenchOptions &options)
+{
+    if (!options.device.empty())
+        return {sim::parseDevice(options.device)};
+    return sim::allDevices();
+}
+
+costmodel::CostModel
+modelFor(sim::DeviceKind device, const BenchOptions &options)
+{
+    return costmodel::pretrainedCostModel(device, options.cacheDir);
+}
+
+std::unique_ptr<tuner::GraphTuner>
+tuneNetwork(const models::NetworkSpec &spec, int batch,
+            sim::DeviceKind device, tuner::TunerOptions tuner_options,
+            double budget_sec, const BenchOptions &options)
+{
+    auto tasks = extractSubgraphs(spec.build(batch));
+    auto tuner = std::make_unique<tuner::GraphTuner>(
+        std::move(tasks), modelFor(device, options), device,
+        std::move(tuner_options));
+    tuner->tuneUntil(budget_sec);
+    return tuner;
+}
+
+double
+timeToLatency(const std::vector<tuner::TimelinePoint> &timeline,
+              double target_sec)
+{
+    for (const tuner::TimelinePoint &point : timeline) {
+        if (point.networkLatencySec <= target_sec)
+            return point.timeSec;
+    }
+    return -1.0;
+}
+
+void
+printHeader(const std::string &title, const BenchOptions &options)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("settings: %s, budget %.0f virtual seconds, seed %llu\n",
+                options.full ? "paper-scale (--full)"
+                             : "scaled-down default",
+                defaultBudget(options),
+                static_cast<unsigned long long>(options.seed));
+    std::printf("(tuning time is the deterministic virtual clock; "
+                "see DESIGN.md)\n\n");
+    std::fflush(stdout);
+}
+
+std::string
+fmtMs(double seconds)
+{
+    return strformat("%.3f ms", seconds * 1e3);
+}
+
+std::string
+fmtSpeedup(double ratio)
+{
+    if (ratio <= 0.0)
+        return "-";
+    return strformat("%.1fx", ratio);
+}
+
+} // namespace bench
+} // namespace felix

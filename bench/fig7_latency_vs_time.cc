@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 7: best network latency vs tuning time for Felix and
+ * Ansor-TenSet on the three devices (batch 1). Prints each curve as
+ * a downsampled (time, latency) series — the same data the paper
+ * plots. Felix's curve must drop much earlier; both converge to
+ * similar levels (same search space, §6.2).
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+#include "support/string_util.h"
+
+using namespace felix;
+using namespace felix::bench;
+
+namespace {
+
+void
+printCurve(const char *label,
+           const std::vector<tuner::TimelinePoint> &timeline,
+           double budget)
+{
+    std::printf("  %s:\n", label);
+    // Downsample to ~16 points, log-ish spacing early.
+    double step = budget / 16.0;
+    double nextTime = 0.0;
+    double best = timeline.empty()
+                      ? 0.0
+                      : timeline.front().networkLatencySec;
+    std::string line = "    ";
+    int printed = 0;
+    size_t idx = 0;
+    for (double t = 0.0; t <= budget + 1e-9; t += step) {
+        nextTime = t;
+        while (idx < timeline.size() &&
+               timeline[idx].timeSec <= nextTime) {
+            best = timeline[idx].networkLatencySec;
+            ++idx;
+        }
+        line += strformat("(%5.0fs, %8.3fms) ", nextTime, best * 1e3);
+        if (++printed % 4 == 0) {
+            std::printf("%s\n", line.c_str());
+            line = "    ";
+        }
+    }
+    if (line.size() > 4)
+        std::printf("%s\n", line.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseArgs(argc, argv);
+    printHeader("Figure 7: latency vs tuning time, Felix vs "
+                "Ansor-TenSet (batch 1)",
+                options);
+    const double budget = defaultBudget(options);
+    const int batch = 1;
+
+    for (sim::DeviceKind device : selectedDevices(options)) {
+        std::printf("--- %s ---\n",
+                    sim::deviceConfig(device).name.c_str());
+        for (const models::NetworkSpec &spec :
+             models::evaluationNetworks()) {
+            if (device == sim::DeviceKind::XavierNX &&
+                !spec.runsOnXavier)
+                continue;
+            std::printf("%s:\n", spec.name.c_str());
+            auto felixTuner =
+                tuneNetwork(spec, batch, device,
+                            felixOptions(options), budget, options);
+            printCurve("Felix", felixTuner->timeline(), budget);
+            auto ansorTuner =
+                tuneNetwork(spec, batch, device,
+                            ansorOptions(options), budget, options);
+            printCurve("Ansor-TenSet", ansorTuner->timeline(), budget);
+            std::printf(
+                "  final: Felix %s vs Ansor-TenSet %s\n\n",
+                fmtMs(felixTuner->networkLatency()).c_str(),
+                fmtMs(ansorTuner->networkLatency()).c_str());
+            std::fflush(stdout);
+        }
+    }
+    std::printf("paper reference: Felix's curve drops significantly "
+                "earlier; both tools converge to similar latency\n"
+                "because they share the same schedule search space "
+                "(§6.2, Fig. 7).\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Figure 8: predicted performance of the candidate-schedule
+ * population as the search progresses, Felix (gradient) vs Ansor
+ * (evolutionary), on three subgraphs taken from the evaluated DNNs:
+ * Conv2d, Conv3d and Dense. For each tool it prints the best and
+ * k-th-best predicted score after n schedules searched — the paper's
+ * headline: Felix's population concentrates near its best (a barely
+ * visible band) while Ansor's spread stays wide.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "evolutionary/evolutionary.h"
+#include "optim/search.h"
+#include "support/string_util.h"
+
+using namespace felix;
+using namespace felix::bench;
+
+namespace {
+
+struct SeriesPoint
+{
+    int searched;
+    double best;
+    double kth;
+};
+
+std::vector<SeriesPoint>
+populationSeries(const std::vector<double> &visited, int k, int points)
+{
+    std::vector<SeriesPoint> series;
+    std::vector<double> sorted;
+    const int stride =
+        std::max<int>(1, static_cast<int>(visited.size()) / points);
+    for (int n = stride; n <= static_cast<int>(visited.size());
+         n += stride) {
+        sorted.assign(visited.begin(), visited.begin() + n);
+        std::sort(sorted.begin(), sorted.end(), std::greater<>());
+        sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                     sorted.end());
+        SeriesPoint point;
+        point.searched = n;
+        point.best = sorted[0];
+        point.kth =
+            sorted[std::min<size_t>(sorted.size() - 1, k)];
+        series.push_back(point);
+    }
+    return series;
+}
+
+void
+printSeries(const char *label, const std::vector<SeriesPoint> &series)
+{
+    std::printf("  %-20s", label);
+    for (const SeriesPoint &point : series) {
+        std::printf(" [n=%4d best=%6.2f k-th=%6.2f]", point.searched,
+                    point.best, point.kth);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseArgs(argc, argv);
+    printHeader("Figure 8: predicted performance of the searched "
+                "population, Felix vs Ansor",
+                options);
+
+    struct Case { const char *name; tir::SubgraphDef subgraph; };
+    tir::Conv2dConfig conv2dConfig;
+    conv2dConfig.c = 128;
+    conv2dConfig.h = conv2dConfig.w = 28;
+    conv2dConfig.k = 128;
+    conv2dConfig.bias = true;
+    conv2dConfig.epilogue = tir::Epilogue::Relu;
+    tir::Conv3dConfig conv3dConfig;
+    conv3dConfig.c = 64;
+    conv3dConfig.d = 8;
+    conv3dConfig.h = conv3dConfig.w = 28;
+    conv3dConfig.k = 64;
+    std::vector<Case> cases;
+    cases.push_back({"Conv2d", tir::conv2d(conv2dConfig)});
+    cases.push_back({"Conv3d", tir::conv3d(conv3dConfig)});
+    cases.push_back({"Dense", tir::dense(512, 1024, 1024, true)});
+
+    auto model = modelFor(sim::DeviceKind::A5000, options);
+    // Equal numbers of schedules searched for both tools; the k-th
+    // rank mirrors the paper's 64-of-8192 proportion.
+    const int searchBudget = options.full ? 8192 : 2048;
+    const int kth = options.full ? 64 : 16;
+
+    for (Case &c : cases) {
+        std::printf("%s:\n", c.name);
+        Rng rngA(options.seed), rngB(options.seed);
+
+        optim::GradSearchOptions gradOptions;
+        gradOptions.nSeeds = 8;
+        gradOptions.nSteps = searchBudget / gradOptions.nSeeds;
+        optim::GradientSearch grad(c.subgraph, gradOptions);
+        auto gradRound = grad.round(model, rngA);
+        printSeries("Felix (gradient)",
+                    populationSeries(gradRound.trace.visitedScores,
+                                     kth, 4));
+
+        evolutionary::EvoSearchOptions evoOptions;
+        evoOptions.population = searchBudget / 4;
+        evoOptions.generations = 4;
+        evolutionary::EvolutionarySearch evo(c.subgraph, evoOptions);
+        auto evoRound = evo.round(model, rngB);
+        printSeries("Ansor (evolutionary)",
+                    populationSeries(evoRound.trace.visitedScores,
+                                     kth, 4));
+
+        // The paper's takeaway, quantified: the best-to-kth spread.
+        auto finalSpread = [&](const std::vector<double> &scores) {
+            auto series = populationSeries(scores, kth, 1);
+            return series.back().best - series.back().kth;
+        };
+        std::printf("  final best-to-%dth spread: Felix %.3f vs "
+                    "Ansor %.3f\n\n",
+                    kth,
+                    finalSpread(gradRound.trace.visitedScores),
+                    finalSpread(evoRound.trace.visitedScores));
+        std::fflush(stdout);
+    }
+    std::printf("paper reference: Felix's population converges "
+                "uniformly (narrow band), Ansor's spread stays much\n"
+                "wider — the randomness of evolutionary search "
+                "follows the cost model less effectively (§6.2).\n");
+    return 0;
+}

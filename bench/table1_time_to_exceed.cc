@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Table 1: tuning time (virtual seconds) Felix takes to exceed the
+ * performance of the best-performing vendor library on each network
+ * and device (paper §6.1: between 144 s and 527 s, 413 s average;
+ * asterisks where Felix only passes the second-best library).
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+#include "support/string_util.h"
+
+using namespace felix;
+using namespace felix::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseArgs(argc, argv);
+    printHeader(
+        "Table 1: tuning time for Felix to exceed the best library",
+        options);
+    const double budget = defaultBudget(options);
+    const int batch = 1;
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"Network", "RTX A5000", "A10G", "Xavier NX"});
+
+    std::vector<double> allTimes;
+    for (const models::NetworkSpec &spec :
+         models::evaluationNetworks()) {
+        if (spec.name == "R3d-18")
+            continue;   // libraries stay ahead on 3d conv (Table 1
+                        // omits it in the paper as well)
+        std::vector<std::string> row = {spec.name};
+        for (sim::DeviceKind device : sim::allDevices()) {
+            if (!options.device.empty() &&
+                sim::parseDevice(options.device) != device) {
+                row.push_back("(skipped)");
+                continue;
+            }
+            const sim::DeviceConfig &config = sim::deviceConfig(device);
+            if (device == sim::DeviceKind::XavierNX &&
+                !spec.runsOnXavier) {
+                row.push_back("-");
+                continue;
+            }
+            auto tasks = extractSubgraphs(spec.build(batch));
+            double bestLib = frameworks::bestLibraryLatency(
+                tasks, spec.name, config, batch);
+            if (bestLib <= 0.0) {
+                row.push_back("-");
+                continue;
+            }
+            auto tuner = std::make_unique<tuner::GraphTuner>(
+                tasks, modelFor(device, options), device,
+                felixOptions(options));
+            double reached = -1.0;
+            while (tuner->clockNow() < budget) {
+                tuner->tuneRounds(1);
+                if (tuner->networkLatency() < bestLib) {
+                    reached = tuner->clockNow();
+                    break;
+                }
+            }
+            if (reached < 0.0) {
+                // Compare against the *second best* library, as the
+                // paper does where Felix trails the leader slightly
+                // (the asterisked Xavier NX entries).
+                std::vector<double> lats;
+                for (frameworks::Framework framework :
+                     frameworks::allFrameworks()) {
+                    if (frameworks::frameworkSupports(
+                            framework, spec.name, device, batch)) {
+                        lats.push_back(frameworks::networkLatency(
+                            tasks, config, framework));
+                    }
+                }
+                std::sort(lats.begin(), lats.end());
+                if (lats.size() >= 2) {
+                    double target = lats[1];
+                    double t = timeToLatency(tuner->timeline(),
+                                             target);
+                    if (t >= 0.0) {
+                        row.push_back(strformat("%.0f s*", t));
+                        allTimes.push_back(t);
+                        continue;
+                    }
+                }
+                row.push_back("> budget");
+            } else {
+                row.push_back(strformat("%.0f s", reached));
+                allTimes.push_back(reached);
+            }
+            std::fflush(stdout);
+        }
+        rows.push_back(std::move(row));
+    }
+    std::printf("%s", renderTable(rows).c_str());
+    double sum = 0.0;
+    for (double t : allTimes)
+        sum += t;
+    if (!allTimes.empty()) {
+        std::printf("\naverage time to surpass a library: %.0f s "
+                    "(paper: 144 s min, ~413 s average)\n",
+                    sum / allTimes.size());
+    }
+    std::printf("* = second-best library passed (paper's asterisk "
+                "convention)\n");
+    return 0;
+}

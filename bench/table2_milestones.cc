@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 2a: tuning speedup of Felix over Ansor-TenSet, measured as
+ * the ratio of the time each takes to reach 90% / 95% / 99% of the
+ * best Ansor performance (batch 1). The paper reports geomean
+ * speedups of 5.0x/3.2x/2.0x (A5000), 2.5x/1.7x/1.4x (A10G) and
+ * 3.2x/4.1x/2.3x (Xavier NX).
+ */
+#include <cstdio>
+
+#include "bench/common.h"
+#include "support/math_util.h"
+#include "support/string_util.h"
+
+using namespace felix;
+using namespace felix::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseArgs(argc, argv);
+    printHeader("Table 2a: time-to-milestone speedup of Felix vs "
+                "Ansor-TenSet (batch 1)",
+                options);
+    const double budget = defaultBudget(options);
+    const int batch = 1;
+    const double milestones[3] = {0.90, 0.95, 0.99};
+
+    for (sim::DeviceKind device : selectedDevices(options)) {
+        std::printf("--- %s ---\n",
+                    sim::deviceConfig(device).name.c_str());
+        std::vector<std::vector<std::string>> rows;
+        rows.push_back({"Network", "90%", "95%", "99%"});
+        std::vector<double> geo[3];
+
+        for (const models::NetworkSpec &spec :
+             models::evaluationNetworks()) {
+            if (device == sim::DeviceKind::XavierNX &&
+                !spec.runsOnXavier)
+                continue;
+            auto felixTuner =
+                tuneNetwork(spec, batch, device,
+                            felixOptions(options), budget, options);
+            auto ansorTuner =
+                tuneNetwork(spec, batch, device,
+                            ansorOptions(options), budget, options);
+            // Milestones are relative to the best Ansor performance
+            // achieved in the whole search (paper Table 2 caption).
+            const double bestAnsor = ansorTuner->networkLatency();
+            std::vector<std::string> row = {spec.name};
+            for (int m = 0; m < 3; ++m) {
+                double target = bestAnsor / milestones[m];
+                double tFelix =
+                    timeToLatency(felixTuner->timeline(), target);
+                double tAnsor =
+                    timeToLatency(ansorTuner->timeline(), target);
+                if (tFelix > 0.0 && tAnsor > 0.0) {
+                    double speedup = tAnsor / std::max(tFelix, 1.0);
+                    row.push_back(fmtSpeedup(speedup));
+                    geo[m].push_back(speedup);
+                } else {
+                    row.push_back("-");
+                }
+            }
+            rows.push_back(std::move(row));
+            std::fflush(stdout);
+        }
+        std::vector<std::string> geoRow = {"Geomean"};
+        for (int m = 0; m < 3; ++m) {
+            geoRow.push_back(
+                geo[m].empty() ? "-" : fmtSpeedup(geomean(geo[m])));
+        }
+        rows.push_back(std::move(geoRow));
+        std::printf("%s\n", renderTable(rows).c_str());
+        std::fflush(stdout);
+    }
+    std::printf("paper reference (geomean): A5000 5.0x/3.2x/2.0x, "
+                "A10G 2.5x/1.7x/1.4x, Xavier NX 3.2x/4.1x/2.3x.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Extending Felix with a custom operator.
+ *
+ * Builds a tensor operator Felix has never seen — a fused
+ * "attention score" kernel S[b,i,j] = sum_d Q[b,i,d]*K[b,j,d],
+ * scaled and passed through a tanh gate — directly through the tir
+ * compute-definition API, then tunes it with gradient descent and
+ * compares against a library-style roofline estimate. Shows the
+ * extension path of paper §4: any compute definition with iteration
+ * axes and buffer accesses slots into sketch generation, feature
+ * extraction and the differentiable pipeline unchanged.
+ *
+ *   ./examples/custom_operator [rounds]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/felix.h"
+#include "sim/gpu_model.h"
+
+using namespace felix;
+
+namespace {
+
+tir::SubgraphDef
+fusedAttentionScore(int64_t batch, int64_t seq, int64_t dim)
+{
+    tir::ComputeOp op;
+    op.name = "attn_score";
+    op.axes = {
+        {"b", batch, false},
+        {"i", seq, false},
+        {"j", seq, false},
+        {"d", dim, true},
+    };
+    // One FMA per point plus the scale-and-tanh epilogue amortized
+    // over the reduction.
+    op.arith.fma = 1;
+    op.arith.mul = 1.0 / static_cast<double>(dim);
+    op.arith.special = 1.0 / static_cast<double>(dim);
+
+    tir::BufferAccess q;
+    q.tensor = "Q";
+    q.dims = {{{{"b", 1}}, batch}, {{{"i", 1}}, seq},
+              {{{"d", 1}}, dim}};
+    op.inputs.push_back(std::move(q));
+    tir::BufferAccess k;
+    k.tensor = "K";
+    k.dims = {{{{"b", 1}}, batch}, {{{"j", 1}}, seq},
+              {{{"d", 1}}, dim}};
+    op.inputs.push_back(std::move(k));
+
+    tir::SubgraphDef subgraph;
+    subgraph.name = "attn_score";
+    subgraph.ops.push_back(std::move(op));
+    return subgraph;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int rounds = argc > 1 ? std::atoi(argv[1]) : 16;
+    auto device = Device::cuda("a5000");
+    const auto &config = device.config();
+
+    auto subgraph = fusedAttentionScore(/*batch=*/16, /*seq=*/128,
+                                        /*dim=*/64);
+    std::printf("custom operator: %s, %.2f GFLOPs\n",
+                subgraph.name.c_str(), subgraph.totalFlops() / 1e9);
+
+    // Inspect what Felix generated for it.
+    auto sketches = sketch::generateSketches(subgraph);
+    for (const auto &sched : sketches) {
+        std::printf("  sketch %-28s %2zu vars, %2zu constraints\n",
+                    sched.desc.c_str(), sched.vars.size(),
+                    sched.constraints.size());
+    }
+
+    graph::Task task;
+    task.subgraph = subgraph;
+    task.anchorType = graph::OpType::BatchMatmul;
+    task.exampleLabel = "attn_score";
+
+    auto model = pretrainedCostModel(device);
+    tuner::GraphTuner tuner({task}, model, device.kind, {});
+    double naive = tuner.taskRecords()[0].bestLatencySec;
+    tuner.tuneRounds(rounds);
+    double tuned = tuner.taskRecords()[0].bestLatencySec;
+    double roofline = subgraph.totalFlops() / config.peakFlops();
+
+    std::printf("naive schedule : %9.1f us\n", naive * 1e6);
+    std::printf("Felix-tuned    : %9.1f us  (%.0fx faster, %.0f%% of "
+                "the compute roofline)\n",
+                tuned * 1e6, naive / tuned,
+                100.0 * roofline / tuned);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: the C++ analogue of the paper's Figure 5 — optimize
+ * ResNet-50 for the Xavier NX edge GPU with a few lines of code.
+ *
+ *   ./examples/quickstart [rounds]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/felix.h"
+#include "models/models.h"
+
+int
+main(int argc, char **argv)
+{
+    const int rounds = argc > 1 ? std::atoi(argv[1]) : 80;
+
+    // Define the hardware target to optimize for.
+    auto device = felix::Device::cuda("xavier-nx");
+
+    // Define the DNN to optimize (ResNet-50 at batch size 1).
+    auto dnn = felix::models::resnet50(/*batch=*/1);
+
+    // Extract subgraphs to tune from the DNN.
+    auto graphs = felix::extractSubgraphs(dnn);
+    std::printf("extracted %zu fused-subgraph tasks from %s\n",
+                graphs.size(), dnn.name().c_str());
+
+    // Get the pretrained cost model for the target device (trained
+    // and cached on first use).
+    auto cost_model = felix::pretrainedCostModel(device);
+
+    // The Optimizer sets up the search space and the differentiable
+    // objective for each subgraph.
+    felix::Optimizer opt(graphs, cost_model, device);
+
+    // Run the gradient-descent search.
+    std::printf("tuning for %d rounds...\n", rounds);
+    opt.optimizeAll(rounds, /*measure_per_round=*/16,
+                    /*save_res=*/"resnet50.cfg");
+
+    // Apply the best schedules found and "compile".
+    auto lib = opt.compileWithBestConfigs();
+    std::printf("tuned ResNet-50 latency on %s: %.3f ms "
+                "(%.0f virtual tuning seconds)\n",
+                device.config().name.c_str(), lib.run() * 1e3,
+                opt.tuner().clockNow());
+
+    // The module can be saved and loaded later.
+    lib.save("resnet50_xavier_nx.cfg");
+    auto loaded = felix::CompiledModule::load("resnet50_xavier_nx.cfg");
+    std::printf("reloaded module latency: %.3f ms\n",
+                loaded->run() * 1e3);
+    return 0;
+}

@@ -1,0 +1,125 @@
+#include "autodiff/symbolic.h"
+
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace autodiff {
+
+using expr::Expr;
+using expr::ExprNode;
+using expr::OpCode;
+
+namespace {
+
+Expr
+diffNode(const Expr &e, const std::string &var,
+         std::unordered_map<const ExprNode *, Expr> &memo)
+{
+    auto it = memo.find(e.get());
+    if (it != memo.end())
+        return it->second;
+
+    const Expr zero = Expr::constant(0.0);
+    const Expr one = Expr::constant(1.0);
+    Expr result;
+
+    auto d = [&](const Expr &sub) { return diffNode(sub, var, memo); };
+    const auto &args = e->args();
+
+    switch (e->op()) {
+      case OpCode::ConstOp:
+        result = zero;
+        break;
+      case OpCode::VarOp:
+        result = (e.varName() == var) ? one : zero;
+        break;
+      case OpCode::Add:
+        result = d(args[0]) + d(args[1]);
+        break;
+      case OpCode::Sub:
+        result = d(args[0]) - d(args[1]);
+        break;
+      case OpCode::Mul:
+        result = d(args[0]) * args[1] + args[0] * d(args[1]);
+        break;
+      case OpCode::Div:
+        result = d(args[0]) / args[1] -
+                 args[0] * d(args[1]) / (args[1] * args[1]);
+        break;
+      case OpCode::Pow: {
+        // d(a^b) = a^b * (b' ln a + b a'/a)
+        const Expr &a = args[0];
+        const Expr &b = args[1];
+        result = expr::pow(a, b) *
+                 (d(b) * expr::log(a) + b * d(a) / a);
+        break;
+      }
+      case OpCode::Min:
+        result = expr::select(expr::le(args[0], args[1]),
+                              d(args[0]), d(args[1]));
+        break;
+      case OpCode::Max:
+        result = expr::select(expr::ge(args[0], args[1]),
+                              d(args[0]), d(args[1]));
+        break;
+      case OpCode::Neg:
+        result = -d(args[0]);
+        break;
+      case OpCode::Log:
+        result = d(args[0]) / args[0];
+        break;
+      case OpCode::Exp:
+        result = e * d(args[0]);
+        break;
+      case OpCode::Sqrt:
+        result = d(args[0]) / (Expr::constant(2.0) * e);
+        break;
+      case OpCode::Abs:
+        result = expr::select(expr::ge(args[0], zero), one,
+                              Expr::constant(-1.0)) *
+                 d(args[0]);
+        break;
+      case OpCode::Floor:
+        result = zero;
+        break;
+      case OpCode::Atan:
+        result = d(args[0]) / (one + args[0] * args[0]);
+        break;
+      case OpCode::Sigmoid: {
+        // S'(x) = 1 / (2 (1+x^2)^(3/2))
+        Expr t = one + args[0] * args[0];
+        result = d(args[0]) /
+                 (Expr::constant(2.0) * t * expr::sqrt(t));
+        break;
+      }
+      case OpCode::Lt:
+      case OpCode::Le:
+      case OpCode::Gt:
+      case OpCode::Ge:
+      case OpCode::Eq:
+      case OpCode::Ne:
+        result = zero;
+        break;
+      case OpCode::Select:
+        result = expr::select(args[0], d(args[1]), d(args[2]));
+        break;
+    }
+    FELIX_CHECK(result.defined());
+    memo.emplace(e.get(), result);
+    return result;
+}
+
+} // namespace
+
+Expr
+derivative(const Expr &root, const std::string &var)
+{
+    FELIX_CHECK(root.defined(), "derivative of undefined expression");
+    std::unordered_map<const ExprNode *, Expr> memo;
+    return diffNode(root, var, memo);
+}
+
+} // namespace autodiff
+} // namespace felix

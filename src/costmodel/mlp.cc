@@ -1,0 +1,281 @@
+#include "costmodel/mlp.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace costmodel {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config))
+{
+    FELIX_CHECK(config_.layerSizes.size() >= 2,
+                "MLP needs at least input and output layers");
+    FELIX_CHECK(config_.layerSizes.back() == 1,
+                "cost model MLP has a scalar output");
+    for (size_t i = 0; i + 1 < config_.layerSizes.size(); ++i) {
+        Layer layer;
+        layer.in = config_.layerSizes[i];
+        layer.out = config_.layerSizes[i + 1];
+        layer.weight.assign(
+            static_cast<size_t>(layer.in) * layer.out, 0.0);
+        layer.bias.assign(layer.out, 0.0);
+        layer.mWeight.assign(layer.weight.size(), 0.0);
+        layer.vWeight.assign(layer.weight.size(), 0.0);
+        layer.mBias.assign(layer.bias.size(), 0.0);
+        layer.vBias.assign(layer.bias.size(), 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+Mlp::Mlp(MlpConfig config, Rng &rng) : Mlp(std::move(config))
+{
+    // He initialization for the ReLU hidden layers.
+    for (Layer &layer : layers_) {
+        double scale = std::sqrt(2.0 / layer.in);
+        for (double &w : layer.weight)
+            w = rng.normal(0.0, scale);
+    }
+}
+
+size_t
+Mlp::parameterCount() const
+{
+    size_t count = 0;
+    for (const Layer &layer : layers_)
+        count += layer.weight.size() + layer.bias.size();
+    return count;
+}
+
+double
+Mlp::forward(const std::vector<double> &x) const
+{
+    FELIX_CHECK(static_cast<int>(x.size()) == inputSize(),
+                "MLP forward: wrong input size");
+    std::vector<double> cur = x, next;
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        const Layer &layer = layers_[li];
+        next.assign(layer.out, 0.0);
+        for (int o = 0; o < layer.out; ++o) {
+            double acc = layer.bias[o];
+            const double *row =
+                layer.weight.data() +
+                static_cast<size_t>(o) * layer.in;
+            for (int i = 0; i < layer.in; ++i)
+                acc += row[i] * cur[i];
+            // ReLU on hidden layers, identity on the head.
+            if (li + 1 < layers_.size() && acc < 0.0)
+                acc = 0.0;
+            next[o] = acc;
+        }
+        cur.swap(next);
+    }
+    return cur[0];
+}
+
+double
+Mlp::forwardInputGrad(const std::vector<double> &x,
+                      std::vector<double> &dx) const
+{
+    FELIX_CHECK(static_cast<int>(x.size()) == inputSize(),
+                "MLP forwardInputGrad: wrong input size");
+    // Forward, storing activations per layer.
+    std::vector<std::vector<double>> acts;
+    acts.push_back(x);
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        const Layer &layer = layers_[li];
+        std::vector<double> out(layer.out, 0.0);
+        const std::vector<double> &cur = acts.back();
+        for (int o = 0; o < layer.out; ++o) {
+            double acc = layer.bias[o];
+            const double *row =
+                layer.weight.data() +
+                static_cast<size_t>(o) * layer.in;
+            for (int i = 0; i < layer.in; ++i)
+                acc += row[i] * cur[i];
+            if (li + 1 < layers_.size() && acc < 0.0)
+                acc = 0.0;
+            out[o] = acc;
+        }
+        acts.push_back(std::move(out));
+    }
+    const double result = acts.back()[0];
+
+    // Backward: adjoint of the scalar output wrt activations.
+    std::vector<double> adj = {1.0};
+    for (size_t li = layers_.size(); li-- > 0;) {
+        const Layer &layer = layers_[li];
+        const std::vector<double> &out = acts[li + 1];
+        std::vector<double> prev(layer.in, 0.0);
+        for (int o = 0; o < layer.out; ++o) {
+            double a = adj[o];
+            // ReLU gate (hidden layers only).
+            if (li + 1 < layers_.size() && out[o] <= 0.0)
+                continue;
+            const double *row =
+                layer.weight.data() +
+                static_cast<size_t>(o) * layer.in;
+            for (int i = 0; i < layer.in; ++i)
+                prev[i] += a * row[i];
+        }
+        adj.swap(prev);
+    }
+    dx = std::move(adj);
+    return result;
+}
+
+double
+Mlp::trainBatch(const std::vector<std::vector<double>> &xs,
+                const std::vector<double> &ys, double lr)
+{
+    FELIX_CHECK(!xs.empty() && xs.size() == ys.size(),
+                "trainBatch: bad batch");
+    const double invBatch = 1.0 / static_cast<double>(xs.size());
+
+    // Accumulated parameter gradients.
+    std::vector<std::vector<double>> gWeight(layers_.size());
+    std::vector<std::vector<double>> gBias(layers_.size());
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        gWeight[li].assign(layers_[li].weight.size(), 0.0);
+        gBias[li].assign(layers_[li].bias.size(), 0.0);
+    }
+
+    double loss = 0.0;
+    std::vector<std::vector<double>> acts;
+    for (size_t si = 0; si < xs.size(); ++si) {
+        // Forward with stored activations.
+        acts.clear();
+        acts.push_back(xs[si]);
+        for (size_t li = 0; li < layers_.size(); ++li) {
+            const Layer &layer = layers_[li];
+            std::vector<double> out(layer.out, 0.0);
+            const std::vector<double> &cur = acts.back();
+            for (int o = 0; o < layer.out; ++o) {
+                double acc = layer.bias[o];
+                const double *row =
+                    layer.weight.data() +
+                    static_cast<size_t>(o) * layer.in;
+                for (int i = 0; i < layer.in; ++i)
+                    acc += row[i] * cur[i];
+                if (li + 1 < layers_.size() && acc < 0.0)
+                    acc = 0.0;
+                out[o] = acc;
+            }
+            acts.push_back(std::move(out));
+        }
+        const double pred = acts.back()[0];
+        const double err = pred - ys[si];
+        loss += err * err;
+
+        // Backward.
+        std::vector<double> adj = {2.0 * err * invBatch};
+        for (size_t li = layers_.size(); li-- > 0;) {
+            const Layer &layer = layers_[li];
+            const std::vector<double> &out = acts[li + 1];
+            const std::vector<double> &in = acts[li];
+            std::vector<double> prev(layer.in, 0.0);
+            for (int o = 0; o < layer.out; ++o) {
+                if (li + 1 < layers_.size() && out[o] <= 0.0)
+                    continue;
+                const double a = adj[o];
+                double *gw = gWeight[li].data() +
+                             static_cast<size_t>(o) * layer.in;
+                const double *row =
+                    layer.weight.data() +
+                    static_cast<size_t>(o) * layer.in;
+                for (int i = 0; i < layer.in; ++i) {
+                    gw[i] += a * in[i];
+                    prev[i] += a * row[i];
+                }
+                gBias[li][o] += a;
+            }
+            adj.swap(prev);
+        }
+    }
+
+    // Adam update.
+    ++adamStep_;
+    const double b1 = config_.adamBeta1, b2 = config_.adamBeta2;
+    const double corr1 = 1.0 - std::pow(b1, adamStep_);
+    const double corr2 = 1.0 - std::pow(b2, adamStep_);
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        Layer &layer = layers_[li];
+        auto update = [&](std::vector<double> &param,
+                          std::vector<double> &m, std::vector<double> &v,
+                          const std::vector<double> &g) {
+            for (size_t i = 0; i < param.size(); ++i) {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                double mHat = m[i] / corr1;
+                double vHat = v[i] / corr2;
+                param[i] -=
+                    lr * mHat / (std::sqrt(vHat) + config_.adamEps);
+            }
+        };
+        update(layer.weight, layer.mWeight, layer.vWeight,
+               gWeight[li]);
+        update(layer.bias, layer.mBias, layer.vBias, gBias[li]);
+    }
+    return loss / static_cast<double>(xs.size());
+}
+
+double
+Mlp::evaluate(const std::vector<std::vector<double>> &xs,
+              const std::vector<double> &ys) const
+{
+    FELIX_CHECK(xs.size() == ys.size());
+    if (xs.empty())
+        return 0.0;
+    double loss = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double err = forward(xs[i]) - ys[i];
+        loss += err * err;
+    }
+    return loss / static_cast<double>(xs.size());
+}
+
+void
+Mlp::save(std::ostream &os) const
+{
+    os << "mlp " << config_.layerSizes.size() << "\n";
+    for (int size : config_.layerSizes)
+        os << size << " ";
+    os << "\n";
+    os.precision(17);
+    for (const Layer &layer : layers_) {
+        for (double w : layer.weight)
+            os << w << " ";
+        os << "\n";
+        for (double b : layer.bias)
+            os << b << " ";
+        os << "\n";
+    }
+}
+
+Mlp
+Mlp::load(std::istream &is)
+{
+    std::string tag;
+    size_t numSizes = 0;
+    is >> tag >> numSizes;
+    FELIX_CHECK(tag == "mlp" && numSizes >= 2 && numSizes < 64,
+                "bad MLP file header");
+    MlpConfig config;
+    config.layerSizes.resize(numSizes);
+    for (size_t i = 0; i < numSizes; ++i)
+        is >> config.layerSizes[i];
+    Mlp mlp(config);
+    for (Layer &layer : mlp.layers_) {
+        for (double &w : layer.weight)
+            is >> w;
+        for (double &b : layer.bias)
+            is >> b;
+    }
+    FELIX_CHECK(static_cast<bool>(is), "truncated MLP file");
+    return mlp;
+}
+
+} // namespace costmodel
+} // namespace felix

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Multi-layer perceptron with Adam training.
+ *
+ * The paper uses TenSet's MLP cost model (4 linear layers) trained
+ * with PyTorch; this is a from-scratch C++ equivalent. Beyond the
+ * usual parameter gradients it exposes the *input* gradient — the
+ * quantity Felix back-propagates into the differentiable feature
+ * formulas during schedule search.
+ *
+ * The default layer sizes are smaller than TenSet's ~250K-parameter
+ * network because training here runs on one CPU core; DESIGN.md
+ * documents the substitution.
+ */
+#ifndef FELIX_COSTMODEL_MLP_H_
+#define FELIX_COSTMODEL_MLP_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace felix {
+namespace costmodel {
+
+/** MLP shape: sizes of every layer including input and output. */
+struct MlpConfig
+{
+    std::vector<int> layerSizes = {82, 128, 128, 64, 1};
+    double adamBeta1 = 0.9;
+    double adamBeta2 = 0.999;
+    double adamEps = 1e-8;
+};
+
+/**
+ * Fully connected ReLU network with a linear head.
+ * Not thread-safe (training state is internal).
+ */
+class Mlp
+{
+  public:
+    Mlp(MlpConfig config, Rng &rng);
+
+    int inputSize() const { return config_.layerSizes.front(); }
+    size_t parameterCount() const;
+
+    /** Forward pass; input size must equal inputSize(). */
+    double forward(const std::vector<double> &x) const;
+
+    /**
+     * Forward pass plus the gradient of the output with respect to
+     * the input vector (the path Felix's gradient descent uses).
+     */
+    double forwardInputGrad(const std::vector<double> &x,
+                            std::vector<double> &dx) const;
+
+    /**
+     * One Adam step on a mini-batch with MSE loss.
+     * @return the batch mean squared error before the update.
+     */
+    double trainBatch(const std::vector<std::vector<double>> &xs,
+                      const std::vector<double> &ys, double lr);
+
+    /** Mean squared error over a dataset (no update). */
+    double evaluate(const std::vector<std::vector<double>> &xs,
+                    const std::vector<double> &ys) const;
+
+    void save(std::ostream &os) const;
+    static Mlp load(std::istream &is);
+
+  private:
+    explicit Mlp(MlpConfig config);
+
+    struct Layer
+    {
+        int in = 0, out = 0;
+        std::vector<double> weight;   ///< out x in, row-major
+        std::vector<double> bias;     ///< out
+        // Adam state
+        std::vector<double> mWeight, vWeight, mBias, vBias;
+    };
+
+    MlpConfig config_;
+    std::vector<Layer> layers_;
+    int64_t adamStep_ = 0;
+};
+
+} // namespace costmodel
+} // namespace felix
+
+#endif // FELIX_COSTMODEL_MLP_H_

@@ -1,0 +1,268 @@
+#include "evolutionary/evolutionary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "features/features.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace felix {
+namespace evolutionary {
+
+using optim::Candidate;
+using optim::RoundResult;
+
+EvolutionarySearch::EvolutionarySearch(const tir::SubgraphDef &subgraph,
+                                       EvoSearchOptions options)
+    : options_(std::move(options)),
+      sketches_(sketch::generateSketches(subgraph,
+                                         options_.sketchOptions))
+{
+    for (const sketch::SymbolicSchedule &sched : sketches_) {
+        SketchContext context;
+        context.sched = &sched;
+        for (const auto &domain : sched.vars)
+            context.varNames.push_back(domain.name);
+        context.rawFeatures = std::make_unique<expr::CompiledExprs>(
+            features::extractFeatures(sched.program),
+            context.varNames);
+        context.checker =
+            std::make_unique<sketch::ConstraintChecker>(sched);
+        contexts_.push_back(std::move(context));
+    }
+}
+
+EvolutionarySearch::Individual
+EvolutionarySearch::randomIndividual(Rng &rng)
+{
+    Individual individual;
+    individual.sketchIndex =
+        static_cast<int>(rng.index(contexts_.size()));
+    individual.x = sketch::sampleValid(
+        *contexts_[individual.sketchIndex].sched, rng);
+    return individual;
+}
+
+EvolutionarySearch::Individual
+EvolutionarySearch::mutate(const Individual &parent, Rng &rng)
+{
+    Individual child = parent;
+    const sketch::SymbolicSchedule &sched =
+        *contexts_[child.sketchIndex].sched;
+
+    if (!sched.groups.empty() && rng.bernoulli(0.8)) {
+        // Resample one split group: redistribute the tile factors of
+        // one loop (Ansor's tile-size mutation).
+        const sketch::SplitGroup &group =
+            sched.groups[rng.index(sched.groups.size())];
+        int64_t remaining = group.extent;
+        for (int vi : group.varIndices) {
+            const sketch::VarDomain &domain = sched.vars[vi];
+            auto divisors = divisorsOf(remaining);
+            std::vector<int64_t> valid;
+            for (int64_t d : divisors) {
+                if (d >= domain.lo && d <= std::min(remaining,
+                                                    domain.hi))
+                    valid.push_back(d);
+            }
+            if (valid.empty())
+                valid.push_back(1);
+            int64_t pick = valid[rng.index(valid.size())];
+            child.x[vi] = static_cast<double>(pick);
+            remaining /= pick;
+        }
+    } else {
+        // Mutate a free variable (unroll step, ...): jump to a
+        // neighbouring power of two.
+        std::vector<int> freeVars;
+        std::vector<bool> inGroup(sched.vars.size(), false);
+        for (const auto &group : sched.groups) {
+            for (int vi : group.varIndices)
+                inGroup[vi] = true;
+        }
+        for (size_t vi = 0; vi < sched.vars.size(); ++vi) {
+            if (!inGroup[vi])
+                freeVars.push_back(static_cast<int>(vi));
+        }
+        if (!freeVars.empty()) {
+            int vi = freeVars[rng.index(freeVars.size())];
+            const sketch::VarDomain &domain = sched.vars[vi];
+            double factor = rng.bernoulli(0.5) ? 2.0 : 0.5;
+            double value = child.x[vi] * factor;
+            value = std::max(static_cast<double>(domain.lo),
+                             std::min(static_cast<double>(domain.hi),
+                                      value));
+            child.x[vi] = std::nearbyint(value);
+        }
+    }
+    return child;
+}
+
+EvolutionarySearch::Individual
+EvolutionarySearch::crossover(const Individual &a, const Individual &b,
+                              Rng &rng)
+{
+    // Only individuals from the same sketch can recombine; mix whole
+    // split groups so divisibility is preserved.
+    if (a.sketchIndex != b.sketchIndex)
+        return mutate(a, rng);
+    Individual child = a;
+    const sketch::SymbolicSchedule &sched =
+        *contexts_[a.sketchIndex].sched;
+    for (const auto &group : sched.groups) {
+        if (rng.bernoulli(0.5)) {
+            for (int vi : group.varIndices)
+                child.x[vi] = b.x[vi];
+        }
+    }
+    std::vector<bool> inGroup(sched.vars.size(), false);
+    for (const auto &group : sched.groups) {
+        for (int vi : group.varIndices)
+            inGroup[vi] = true;
+    }
+    for (size_t vi = 0; vi < sched.vars.size(); ++vi) {
+        if (!inGroup[vi] && rng.bernoulli(0.5))
+            child.x[vi] = b.x[vi];
+    }
+    return child;
+}
+
+bool
+EvolutionarySearch::valid(const Individual &individual)
+{
+    SketchContext &context = contexts_[individual.sketchIndex];
+    return context.checker->feasible(individual.x);
+}
+
+double
+EvolutionarySearch::evaluate(Individual &individual,
+                             const costmodel::CostModel &model)
+{
+    SketchContext &context = contexts_[individual.sketchIndex];
+    auto raw = context.rawFeatures->eval(individual.x);
+    individual.score = model.predict(raw);
+    return individual.score;
+}
+
+RoundResult
+EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
+{
+    RoundResult result;
+
+    // Initialize: elites from previous rounds + fresh random
+    // schedules up to the population size.
+    std::vector<Individual> population = elites_;
+    while (static_cast<int>(population.size()) < options_.population)
+        population.push_back(randomIndividual(rng));
+
+    std::map<std::pair<int, std::vector<double>>, Individual> best;
+    auto scoreAndRecord = [&](std::vector<Individual> &pop) {
+        for (Individual &individual : pop) {
+            evaluate(individual, model);
+            ++result.trace.numPredictions;
+            result.trace.visitedScores.push_back(individual.score);
+            auto key = std::make_pair(individual.sketchIndex,
+                                      individual.x);
+            auto it = best.find(key);
+            if (it == best.end())
+                best.emplace(key, individual);
+        }
+    };
+    scoreAndRecord(population);
+
+    for (int gen = 1; gen < options_.generations; ++gen) {
+        // Softmax selection weights over the current population.
+        double maxScore = -1e300;
+        for (const Individual &individual : population)
+            maxScore = std::max(maxScore, individual.score);
+        std::vector<double> weights;
+        weights.reserve(population.size());
+        for (const Individual &individual : population) {
+            weights.push_back(
+                std::exp(individual.score - maxScore));
+        }
+
+        std::vector<Individual> next;
+        next.reserve(population.size());
+        int guard = 0;
+        while (static_cast<int>(next.size()) < options_.population &&
+               guard < options_.population * 8) {
+            ++guard;
+            const Individual &parentA =
+                population[rng.weightedIndex(weights)];
+            Individual child;
+            if (rng.bernoulli(options_.crossoverProb)) {
+                const Individual &parentB =
+                    population[rng.weightedIndex(weights)];
+                child = crossover(parentA, parentB, rng);
+            } else if (rng.bernoulli(options_.mutationProb)) {
+                child = mutate(parentA, rng);
+            } else {
+                child = parentA;
+            }
+            if (valid(child))
+                next.push_back(std::move(child));
+        }
+        while (static_cast<int>(next.size()) < options_.population)
+            next.push_back(randomIndividual(rng));
+        population = std::move(next);
+        scoreAndRecord(population);
+    }
+
+    // Keep the global best as next round's elites.
+    std::vector<Individual> ranked;
+    ranked.reserve(best.size());
+    for (auto &entry : best)
+        ranked.push_back(entry.second);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Individual &a, const Individual &b) {
+                  return a.score > b.score;
+              });
+    elites_.assign(
+        ranked.begin(),
+        ranked.begin() + std::min<size_t>(ranked.size(),
+                                          options_.eliteKeep));
+
+    // Stratified selection mirroring Ansor's epsilon-greedy
+    // measurement: top of the ranking plus a floor per sketch.
+    const int perSketchFloor = 2;
+    std::vector<const Individual *> picked;
+    std::vector<bool> taken(ranked.size(), false);
+    for (size_t sk = 0; sk < contexts_.size(); ++sk) {
+        int got = 0;
+        for (size_t i = 0; i < ranked.size() && got < perSketchFloor;
+             ++i) {
+            if (!taken[i] &&
+                ranked[i].sketchIndex == static_cast<int>(sk)) {
+                taken[i] = true;
+                picked.push_back(&ranked[i]);
+                ++got;
+            }
+        }
+    }
+    for (size_t i = 0; i < ranked.size() &&
+                       static_cast<int>(picked.size()) <
+                           options_.nMeasure;
+         ++i) {
+        if (!taken[i])
+            picked.push_back(&ranked[i]);
+    }
+    if (static_cast<int>(picked.size()) > options_.nMeasure)
+        picked.resize(options_.nMeasure);
+    for (const Individual *individual : picked) {
+        Candidate candidate;
+        candidate.sketchIndex = individual->sketchIndex;
+        candidate.x = individual->x;
+        candidate.rawFeatures =
+            contexts_[candidate.sketchIndex].rawFeatures->eval(
+                candidate.x);
+        candidate.predictedScore = individual->score;
+        result.toMeasure.push_back(std::move(candidate));
+    }
+    return result;
+}
+
+} // namespace evolutionary
+} // namespace felix

@@ -1,0 +1,257 @@
+#include "expr/compiled.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace expr {
+
+CompiledExprs::CompiledExprs(std::vector<Expr> roots,
+                             std::vector<std::string> var_order)
+{
+    if (var_order.empty())
+        varNames_ = collectVars(roots);
+    else
+        varNames_ = std::move(var_order);
+
+    std::unordered_map<std::string, int32_t> varSlot;
+    for (size_t i = 0; i < varNames_.size(); ++i)
+        varSlot.emplace(varNames_[i], static_cast<int32_t>(i));
+
+    // Topologically order the distinct nodes via iterative DFS and
+    // assign each a tape slot.
+    std::unordered_map<const ExprNode *, int32_t> slotOf;
+    std::vector<std::pair<Expr, size_t>> stack;
+    for (const Expr &root : roots) {
+        FELIX_CHECK(root.defined(), "compiling undefined expression");
+        if (slotOf.count(root.get()))
+            continue;
+        stack.emplace_back(root, 0);
+        while (!stack.empty()) {
+            auto &[node, child] = stack.back();
+            if (slotOf.count(node.get())) {
+                stack.pop_back();
+                continue;
+            }
+            if (child < node->args().size()) {
+                Expr next = node->args()[child++];
+                if (!slotOf.count(next.get()))
+                    stack.emplace_back(next, 0);
+                continue;
+            }
+            Instr instr;
+            instr.op = node->op();
+            if (node.isConst()) {
+                instr.payload = node.constValue();
+            } else if (node.isVar()) {
+                auto it = varSlot.find(node.varName());
+                FELIX_CHECK(it != varSlot.end(),
+                            "variable not in slot order: ",
+                            node.varName());
+                instr.payload = static_cast<double>(it->second);
+            } else {
+                const auto &args = node->args();
+                instr.a0 = slotOf.at(args[0].get());
+                if (args.size() > 1)
+                    instr.a1 = slotOf.at(args[1].get());
+                if (args.size() > 2)
+                    instr.a2 = slotOf.at(args[2].get());
+            }
+            slotOf.emplace(node.get(), static_cast<int32_t>(tape_.size()));
+            tape_.push_back(instr);
+            stack.pop_back();
+        }
+    }
+    for (const Expr &root : roots)
+        outputSlots_.push_back(slotOf.at(root.get()));
+    values_.resize(tape_.size(), 0.0);
+    adjoints_.resize(tape_.size(), 0.0);
+}
+
+void
+CompiledExprs::forward(const std::vector<double> &inputs,
+                       std::vector<double> &outputs)
+{
+    FELIX_CHECK(inputs.size() == varNames_.size(),
+                "expected ", varNames_.size(), " inputs, got ",
+                inputs.size());
+    for (size_t i = 0; i < tape_.size(); ++i) {
+        const Instr &instr = tape_[i];
+        switch (instr.op) {
+          case OpCode::ConstOp:
+            values_[i] = instr.payload;
+            break;
+          case OpCode::VarOp:
+            values_[i] = inputs[static_cast<size_t>(instr.payload)];
+            break;
+          default: {
+            double args[3] = {0, 0, 0};
+            args[0] = values_[instr.a0];
+            if (instr.a1 >= 0)
+                args[1] = values_[instr.a1];
+            if (instr.a2 >= 0)
+                args[2] = values_[instr.a2];
+            values_[i] = evalOp(instr.op, args);
+            break;
+          }
+        }
+    }
+    outputs.resize(outputSlots_.size());
+    for (size_t k = 0; k < outputSlots_.size(); ++k)
+        outputs[k] = values_[outputSlots_[k]];
+    forwardDone_ = true;
+}
+
+void
+CompiledExprs::backward(const std::vector<double> &output_grads,
+                        std::vector<double> &input_grads)
+{
+    FELIX_CHECK(forwardDone_, "backward() before forward()");
+    FELIX_CHECK(output_grads.size() == outputSlots_.size(),
+                "expected ", outputSlots_.size(), " output grads");
+
+    std::fill(adjoints_.begin(), adjoints_.end(), 0.0);
+    for (size_t k = 0; k < outputSlots_.size(); ++k)
+        adjoints_[outputSlots_[k]] += output_grads[k];
+
+    input_grads.assign(varNames_.size(), 0.0);
+
+    for (size_t idx = tape_.size(); idx-- > 0;) {
+        const Instr &instr = tape_[idx];
+        double adj = adjoints_[idx];
+        if (adj == 0.0)
+            continue;
+        switch (instr.op) {
+          case OpCode::ConstOp:
+            break;
+          case OpCode::VarOp:
+            input_grads[static_cast<size_t>(instr.payload)] += adj;
+            break;
+          case OpCode::Add:
+            adjoints_[instr.a0] += adj;
+            adjoints_[instr.a1] += adj;
+            break;
+          case OpCode::Sub:
+            adjoints_[instr.a0] += adj;
+            adjoints_[instr.a1] -= adj;
+            break;
+          case OpCode::Mul:
+            adjoints_[instr.a0] += adj * values_[instr.a1];
+            adjoints_[instr.a1] += adj * values_[instr.a0];
+            break;
+          case OpCode::Div: {
+            double b = values_[instr.a1];
+            if (b != 0.0) {
+                adjoints_[instr.a0] += adj / b;
+                adjoints_[instr.a1] -=
+                    adj * values_[instr.a0] / (b * b);
+            }
+            // At b == 0 the totalized forward value is a huge
+            // surrogate; propagating its "gradient" would only
+            // destabilize the search, so we drop it (the penalty
+            // terms steer the optimizer back into the feasible box).
+            break;
+          }
+          case OpCode::Pow: {
+            double a = values_[instr.a0];
+            double b = values_[instr.a1];
+            double v = values_[idx];
+            if (a > 0.0) {
+                adjoints_[instr.a0] += adj * b * std::pow(a, b - 1.0);
+                adjoints_[instr.a1] += adj * v * std::log(a);
+            } else if (a < 0.0) {
+                adjoints_[instr.a0] += adj * b * std::pow(a, b - 1.0);
+            }
+            break;
+          }
+          case OpCode::Min:
+            if (values_[instr.a0] <= values_[instr.a1])
+                adjoints_[instr.a0] += adj;
+            else
+                adjoints_[instr.a1] += adj;
+            break;
+          case OpCode::Max:
+            if (values_[instr.a0] >= values_[instr.a1])
+                adjoints_[instr.a0] += adj;
+            else
+                adjoints_[instr.a1] += adj;
+            break;
+          case OpCode::Neg:
+            adjoints_[instr.a0] -= adj;
+            break;
+          case OpCode::Log:
+            adjoints_[instr.a0] +=
+                adj / std::max(values_[instr.a0], 1e-300);
+            break;
+          case OpCode::Exp:
+            adjoints_[instr.a0] += adj * values_[idx];
+            break;
+          case OpCode::Sqrt: {
+            double a = values_[instr.a0];
+            if (a > 0.0)
+                adjoints_[instr.a0] += adj * 0.5 / std::sqrt(a);
+            break;
+          }
+          case OpCode::Abs:
+            adjoints_[instr.a0] +=
+                values_[instr.a0] >= 0.0 ? adj : -adj;
+            break;
+          case OpCode::Floor:
+            break;    // piecewise-constant: zero derivative
+          case OpCode::Atan: {
+            double x = values_[instr.a0];
+            adjoints_[instr.a0] += adj / (1.0 + x * x);
+            break;
+          }
+          case OpCode::Sigmoid: {
+            // d/dx [ (1 + x/sqrt(1+x^2)) / 2 ] = (1+x^2)^(-3/2) / 2
+            double x = values_[instr.a0];
+            double t = 1.0 + x * x;
+            adjoints_[instr.a0] += adj * 0.5 / (t * std::sqrt(t));
+            break;
+          }
+          case OpCode::Lt:
+          case OpCode::Le:
+          case OpCode::Gt:
+          case OpCode::Ge:
+          case OpCode::Eq:
+          case OpCode::Ne:
+            break;    // step functions: zero derivative a.e.
+          case OpCode::Select:
+            if (values_[instr.a0] != 0.0)
+                adjoints_[instr.a1] += adj;
+            else
+                adjoints_[instr.a2] += adj;
+            break;
+        }
+    }
+}
+
+std::vector<double>
+CompiledExprs::eval(const std::vector<double> &inputs)
+{
+    std::vector<double> outputs;
+    forward(inputs, outputs);
+    return outputs;
+}
+
+double
+evalExpr(const Expr &e,
+         const std::unordered_map<std::string, double> &env)
+{
+    CompiledExprs compiled({e});
+    std::vector<double> inputs;
+    inputs.reserve(compiled.numVars());
+    for (const std::string &name : compiled.varNames()) {
+        auto it = env.find(name);
+        FELIX_CHECK(it != env.end(), "missing value for variable ", name);
+        inputs.push_back(it->second);
+    }
+    return compiled.eval(inputs)[0];
+}
+
+} // namespace expr
+} // namespace felix

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tape compilation of expression DAGs.
+ *
+ * Gradient descent evaluates the same feature formulas thousands of
+ * times at different variable values. CompiledExprs lowers a set of
+ * expression roots into a linear instruction tape (one instruction
+ * per distinct DAG node, topologically ordered) so that
+ *  - forward evaluation is a tight loop over flat arrays, and
+ *  - reverse-mode differentiation replays the tape backwards,
+ *    accumulating adjoints (the same trick PyTorch's autograd tape
+ *    uses, which the paper relies on for back-propagation).
+ */
+#ifndef FELIX_EXPR_COMPILED_H_
+#define FELIX_EXPR_COMPILED_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace felix {
+namespace expr {
+
+/**
+ * A set of expressions compiled to a shared evaluation tape.
+ *
+ * The instance owns mutable forward/adjoint buffers, so it is not
+ * const-callable nor thread-safe; create one per search context.
+ */
+class CompiledExprs
+{
+  public:
+    /**
+     * Compile the given roots.
+     *
+     * @param roots Output expressions (e.g. 82 features + penalties).
+     * @param var_order Variable slot order; when empty, the distinct
+     *        variables are collected and sorted by name.
+     */
+    explicit CompiledExprs(std::vector<Expr> roots,
+                           std::vector<std::string> var_order = {});
+
+    /** Variable slot order expected by forward(). */
+    const std::vector<std::string> &varNames() const { return varNames_; }
+
+    size_t numVars() const { return varNames_.size(); }
+    size_t numOutputs() const { return outputSlots_.size(); }
+
+    /** Number of tape instructions (== distinct DAG nodes). */
+    size_t tapeSize() const { return tape_.size(); }
+
+    /**
+     * Evaluate all roots at the given variable values.
+     *
+     * @param inputs One value per variable, in varNames() order.
+     * @param outputs Receives numOutputs() values.
+     */
+    void forward(const std::vector<double> &inputs,
+                 std::vector<double> &outputs);
+
+    /**
+     * Reverse-mode sweep using the values of the last forward().
+     *
+     * Computes d(sum_k output_grads[k] * output_k)/d(input_j).
+     * Non-differentiable ops (min/max/select/abs) use the standard
+     * one-sided subgradient convention; comparisons and floor have
+     * zero derivative.
+     *
+     * @param output_grads Adjoint seed per output.
+     * @param input_grads Receives numVars() gradients.
+     */
+    void backward(const std::vector<double> &output_grads,
+                  std::vector<double> &input_grads);
+
+    /** Convenience: forward then return a copy of the outputs. */
+    std::vector<double> eval(const std::vector<double> &inputs);
+
+  private:
+    struct Instr
+    {
+        OpCode op;
+        int32_t a0 = -1;    ///< operand slots into the value buffer
+        int32_t a1 = -1;
+        int32_t a2 = -1;
+        double payload = 0; ///< constant value / variable input slot
+    };
+
+    std::vector<std::string> varNames_;
+    std::vector<Instr> tape_;
+    std::vector<int32_t> outputSlots_;
+    std::vector<double> values_;    ///< forward value per tape slot
+    std::vector<double> adjoints_;  ///< adjoint per tape slot
+    bool forwardDone_ = false;
+};
+
+/**
+ * Evaluate a single expression at a variable assignment. Convenience
+ * wrapper for tests and one-off evaluations (compiles a throwaway
+ * tape; use CompiledExprs directly in hot loops).
+ */
+double evalExpr(const Expr &e,
+                const std::unordered_map<std::string, double> &env);
+
+} // namespace expr
+} // namespace felix
+
+#endif // FELIX_EXPR_COMPILED_H_

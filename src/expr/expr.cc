@@ -1,0 +1,641 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace felix {
+namespace expr {
+
+const char *
+opName(OpCode op)
+{
+    switch (op) {
+      case OpCode::ConstOp: return "const";
+      case OpCode::VarOp: return "var";
+      case OpCode::Add: return "+";
+      case OpCode::Sub: return "-";
+      case OpCode::Mul: return "*";
+      case OpCode::Div: return "/";
+      case OpCode::Pow: return "pow";
+      case OpCode::Min: return "min";
+      case OpCode::Max: return "max";
+      case OpCode::Neg: return "neg";
+      case OpCode::Log: return "log";
+      case OpCode::Exp: return "exp";
+      case OpCode::Sqrt: return "sqrt";
+      case OpCode::Abs: return "abs";
+      case OpCode::Floor: return "floor";
+      case OpCode::Atan: return "atan";
+      case OpCode::Sigmoid: return "sigmoid";
+      case OpCode::Lt: return "<";
+      case OpCode::Le: return "<=";
+      case OpCode::Gt: return ">";
+      case OpCode::Ge: return ">=";
+      case OpCode::Eq: return "==";
+      case OpCode::Ne: return "!=";
+      case OpCode::Select: return "select";
+    }
+    return "?";
+}
+
+int
+opArity(OpCode op)
+{
+    switch (op) {
+      case OpCode::ConstOp:
+      case OpCode::VarOp:
+        return 0;
+      case OpCode::Neg:
+      case OpCode::Log:
+      case OpCode::Exp:
+      case OpCode::Sqrt:
+      case OpCode::Abs:
+      case OpCode::Floor:
+      case OpCode::Atan:
+      case OpCode::Sigmoid:
+        return 1;
+      case OpCode::Select:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+ExprNode::ExprNode(OpCode op, double value, std::string var_name,
+                   std::vector<Expr> args, uint64_t hash, uint64_t id)
+    : op_(op), value_(value), varName_(std::move(var_name)),
+      args_(std::move(args)), hash_(hash), id_(id)
+{
+}
+
+namespace {
+
+/**
+ * Global hash-consing table. Felix is single-threaded by design
+ * (one search process per device); no locking is performed.
+ */
+class Interner
+{
+  public:
+    static Interner &
+    instance()
+    {
+        static Interner interner;
+        return interner;
+    }
+
+    Expr
+    intern(OpCode op, double value, const std::string &var_name,
+           std::vector<Expr> args)
+    {
+        uint64_t h = hashKey(op, value, var_name, args);
+        auto range = table_.equal_range(h);
+        for (auto it = range.first; it != range.second; ++it) {
+            const ExprNode &node = *it->second;
+            if (equalKey(node, op, value, var_name, args))
+                return Expr(it->second);
+        }
+        auto node = std::make_shared<const ExprNode>(
+            op, value, var_name, std::move(args), h, nextId_++);
+        table_.emplace(h, node);
+        return Expr(node);
+    }
+
+    size_t size() const { return table_.size(); }
+
+  private:
+    static uint64_t
+    hashKey(OpCode op, double value, const std::string &var_name,
+            const std::vector<Expr> &args)
+    {
+        uint64_t h = hashCombine(0x5f3759df, static_cast<uint64_t>(op));
+        if (op == OpCode::ConstOp) {
+            uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(value));
+            std::memcpy(&bits, &value, sizeof(bits));
+            h = hashCombine(h, bits);
+        } else if (op == OpCode::VarOp) {
+            h = hashCombine(h, std::hash<std::string>{}(var_name));
+        }
+        for (const Expr &arg : args)
+            h = hashCombine(h, arg->id());
+        return h;
+    }
+
+    static bool
+    equalKey(const ExprNode &node, OpCode op, double value,
+             const std::string &var_name, const std::vector<Expr> &args)
+    {
+        if (node.op() != op || node.args().size() != args.size())
+            return false;
+        if (op == OpCode::ConstOp) {
+            // Bitwise comparison so -0.0 and 0.0 stay distinct and
+            // NaN constants intern consistently.
+            uint64_t a, b;
+            double nv = node.value();
+            std::memcpy(&a, &nv, sizeof(a));
+            std::memcpy(&b, &value, sizeof(b));
+            if (a != b)
+                return false;
+        }
+        if (op == OpCode::VarOp && node.varName() != var_name)
+            return false;
+        for (size_t i = 0; i < args.size(); ++i) {
+            if (node.args()[i].get() != args[i].get())
+                return false;
+        }
+        return true;
+    }
+
+    std::unordered_multimap<uint64_t, ExprNodePtr> table_;
+    uint64_t nextId_ = 0;
+};
+
+bool
+isCommutative(OpCode op)
+{
+    switch (op) {
+      case OpCode::Add:
+      case OpCode::Mul:
+      case OpCode::Min:
+      case OpCode::Max:
+      case OpCode::Eq:
+      case OpCode::Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Expr
+makeNode(OpCode op, std::vector<Expr> args)
+{
+    for (const Expr &arg : args)
+        FELIX_CHECK(arg.defined(), "undefined operand to ", opName(op));
+    // Canonicalize commutative operand order for better sharing.
+    if (isCommutative(op) && args.size() == 2 &&
+        args[0]->id() > args[1]->id()) {
+        std::swap(args[0], args[1]);
+    }
+    return Interner::instance().intern(op, 0.0, {}, std::move(args));
+}
+
+bool
+allConst(const std::vector<Expr> &args)
+{
+    return std::all_of(args.begin(), args.end(),
+                       [](const Expr &e) { return e.isConst(); });
+}
+
+Expr
+foldOrMake(OpCode op, std::vector<Expr> args)
+{
+    if (allConst(args)) {
+        double vals[3] = {0, 0, 0};
+        for (size_t i = 0; i < args.size(); ++i)
+            vals[i] = args[i].constValue();
+        return Expr::constant(evalOp(op, vals));
+    }
+    return makeNode(op, std::move(args));
+}
+
+} // namespace
+
+Expr
+Expr::constant(double value)
+{
+    return Interner::instance().intern(OpCode::ConstOp, value, {}, {});
+}
+
+Expr
+Expr::intConst(int64_t value)
+{
+    return constant(static_cast<double>(value));
+}
+
+Expr
+Expr::var(const std::string &name)
+{
+    FELIX_CHECK(!name.empty(), "variable needs a name");
+    return Interner::instance().intern(OpCode::VarOp, 0.0, name, {});
+}
+
+bool
+Expr::isConst() const
+{
+    return defined() && node_->op() == OpCode::ConstOp;
+}
+
+bool
+Expr::isConst(double value) const
+{
+    return isConst() && node_->value() == value;
+}
+
+double
+Expr::constValue() const
+{
+    FELIX_CHECK(isConst(), "constValue on non-constant expression");
+    return node_->value();
+}
+
+bool
+Expr::isVar() const
+{
+    return defined() && node_->op() == OpCode::VarOp;
+}
+
+const std::string &
+Expr::varName() const
+{
+    FELIX_CHECK(isVar(), "varName on non-variable expression");
+    return node_->varName();
+}
+
+double
+evalOp(OpCode op, const double *a)
+{
+    switch (op) {
+      case OpCode::Add: return a[0] + a[1];
+      case OpCode::Sub: return a[0] - a[1];
+      case OpCode::Mul: return a[0] * a[1];
+      case OpCode::Div:
+        // Totalized division: sizes are >= 1 in valid schedules; an
+        // optimizer probing near 0 must still get a finite value.
+        if (a[1] == 0.0)
+            return a[0] >= 0.0 ? a[0] * 1e18 : a[0] * -1e18;
+        return a[0] / a[1];
+      case OpCode::Pow: return std::pow(a[0], a[1]);
+      case OpCode::Min: return std::min(a[0], a[1]);
+      case OpCode::Max: return std::max(a[0], a[1]);
+      case OpCode::Neg: return -a[0];
+      case OpCode::Log:
+        // Safe log keeps the surrogate finite when the optimizer
+        // probes infeasible points; the penalty terms pull it back.
+        return std::log(std::max(a[0], 1e-300));
+      case OpCode::Exp: return std::exp(std::min(a[0], 700.0));
+      case OpCode::Sqrt: return std::sqrt(std::max(a[0], 0.0));
+      case OpCode::Abs: return std::abs(a[0]);
+      case OpCode::Floor: return std::floor(a[0]);
+      case OpCode::Atan: return std::atan(a[0]);
+      case OpCode::Sigmoid:
+        // Smooth step from the algebraic kernel 1/sqrt(1+t^2):
+        // S(x) = (1 + x/sqrt(1+x^2)) / 2, heavy-tailed vs. logistic.
+        return 0.5 * (1.0 + a[0] / std::sqrt(1.0 + a[0] * a[0]));
+      case OpCode::Lt: return a[0] < a[1] ? 1.0 : 0.0;
+      case OpCode::Le: return a[0] <= a[1] ? 1.0 : 0.0;
+      case OpCode::Gt: return a[0] > a[1] ? 1.0 : 0.0;
+      case OpCode::Ge: return a[0] >= a[1] ? 1.0 : 0.0;
+      case OpCode::Eq: return a[0] == a[1] ? 1.0 : 0.0;
+      case OpCode::Ne: return a[0] != a[1] ? 1.0 : 0.0;
+      case OpCode::Select: return a[0] != 0.0 ? a[1] : a[2];
+      case OpCode::ConstOp:
+      case OpCode::VarOp:
+        break;
+    }
+    panic("evalOp on leaf opcode");
+}
+
+Expr
+add(Expr a, Expr b)
+{
+    if (a.isConst(0.0))
+        return b;
+    if (b.isConst(0.0))
+        return a;
+    return foldOrMake(OpCode::Add, {a, b});
+}
+
+Expr
+sub(Expr a, Expr b)
+{
+    if (b.isConst(0.0))
+        return a;
+    if (a.same(b))
+        return Expr::constant(0.0);
+    return foldOrMake(OpCode::Sub, {a, b});
+}
+
+Expr
+mul(Expr a, Expr b)
+{
+    if (a.isConst(1.0))
+        return b;
+    if (b.isConst(1.0))
+        return a;
+    if (a.isConst(0.0) || b.isConst(0.0))
+        return Expr::constant(0.0);
+    return foldOrMake(OpCode::Mul, {a, b});
+}
+
+Expr
+div(Expr a, Expr b)
+{
+    if (b.isConst(1.0))
+        return a;
+    if (a.isConst(0.0))
+        return Expr::constant(0.0);
+    if (a.same(b)) {
+        // Size expressions are >= 1 in any valid schedule, so x/x = 1.
+        return Expr::constant(1.0);
+    }
+    return foldOrMake(OpCode::Div, {a, b});
+}
+
+Expr
+pow(Expr base, Expr exponent)
+{
+    if (exponent.isConst(1.0))
+        return base;
+    if (exponent.isConst(0.0))
+        return Expr::constant(1.0);
+    if (base.isConst(1.0))
+        return Expr::constant(1.0);
+    return foldOrMake(OpCode::Pow, {base, exponent});
+}
+
+Expr
+min(Expr a, Expr b)
+{
+    if (a.same(b))
+        return a;
+    return foldOrMake(OpCode::Min, {a, b});
+}
+
+Expr
+max(Expr a, Expr b)
+{
+    if (a.same(b))
+        return a;
+    return foldOrMake(OpCode::Max, {a, b});
+}
+
+Expr
+neg(Expr a)
+{
+    if (a.defined() && a->op() == OpCode::Neg)
+        return a->args()[0];
+    return foldOrMake(OpCode::Neg, {a});
+}
+
+Expr
+log(Expr a)
+{
+    if (a.defined() && a->op() == OpCode::Exp)
+        return a->args()[0];
+    return foldOrMake(OpCode::Log, {a});
+}
+
+Expr
+exp(Expr a)
+{
+    if (a.defined() && a->op() == OpCode::Log)
+        return a->args()[0];
+    return foldOrMake(OpCode::Exp, {a});
+}
+
+Expr
+sqrt(Expr a)
+{
+    return foldOrMake(OpCode::Sqrt, {a});
+}
+
+Expr
+abs(Expr a)
+{
+    if (a.defined() && a->op() == OpCode::Abs)
+        return a;
+    return foldOrMake(OpCode::Abs, {a});
+}
+
+Expr
+floor(Expr a)
+{
+    if (a.defined() && a->op() == OpCode::Floor)
+        return a;
+    return foldOrMake(OpCode::Floor, {a});
+}
+
+Expr
+atan(Expr a)
+{
+    return foldOrMake(OpCode::Atan, {a});
+}
+
+Expr
+sigmoid(Expr a)
+{
+    return foldOrMake(OpCode::Sigmoid, {a});
+}
+
+Expr
+lt(Expr a, Expr b)
+{
+    if (a.same(b))
+        return Expr::constant(0.0);
+    return foldOrMake(OpCode::Lt, {a, b});
+}
+
+Expr
+le(Expr a, Expr b)
+{
+    if (a.same(b))
+        return Expr::constant(1.0);
+    return foldOrMake(OpCode::Le, {a, b});
+}
+
+Expr
+gt(Expr a, Expr b)
+{
+    if (a.same(b))
+        return Expr::constant(0.0);
+    return foldOrMake(OpCode::Gt, {a, b});
+}
+
+Expr
+ge(Expr a, Expr b)
+{
+    if (a.same(b))
+        return Expr::constant(1.0);
+    return foldOrMake(OpCode::Ge, {a, b});
+}
+
+Expr
+eq(Expr a, Expr b)
+{
+    if (a.same(b))
+        return Expr::constant(1.0);
+    return foldOrMake(OpCode::Eq, {a, b});
+}
+
+Expr
+ne(Expr a, Expr b)
+{
+    if (a.same(b))
+        return Expr::constant(0.0);
+    return foldOrMake(OpCode::Ne, {a, b});
+}
+
+Expr
+select(Expr cond, Expr then_val, Expr else_val)
+{
+    if (cond.isConst())
+        return cond.constValue() != 0.0 ? then_val : else_val;
+    if (then_val.same(else_val))
+        return then_val;
+    return foldOrMake(OpCode::Select, {cond, then_val, else_val});
+}
+
+namespace {
+
+void
+visitPostorder(const Expr &root, std::unordered_set<const ExprNode *> &seen,
+               const std::function<void(const Expr &)> &fn)
+{
+    if (!root.defined() || seen.count(root.get()))
+        return;
+    // Iterative DFS: feature formulas can be deep.
+    std::vector<std::pair<Expr, size_t>> stack;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (seen.count(node.get())) {
+            stack.pop_back();
+            continue;
+        }
+        if (child < node->args().size()) {
+            Expr next = node->args()[child++];
+            if (!seen.count(next.get()))
+                stack.emplace_back(next, 0);
+        } else {
+            seen.insert(node.get());
+            fn(node);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+collectVars(const std::vector<Expr> &roots)
+{
+    std::unordered_set<const ExprNode *> seen;
+    std::vector<std::string> names;
+    std::unordered_set<std::string> nameSet;
+    for (const Expr &root : roots) {
+        visitPostorder(root, seen, [&](const Expr &node) {
+            if (node.isVar() && nameSet.insert(node.varName()).second)
+                names.push_back(node.varName());
+        });
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+Expr
+substitute(const Expr &root,
+           const std::vector<std::pair<std::string, Expr>> &map)
+{
+    std::unordered_map<std::string, Expr> lookup(map.begin(), map.end());
+    std::unordered_map<const ExprNode *, Expr> memo;
+    std::unordered_set<const ExprNode *> seen;
+    Expr result;
+    visitPostorder(root, seen, [&](const Expr &node) {
+        Expr replaced;
+        if (node.isVar()) {
+            auto it = lookup.find(node.varName());
+            replaced = (it != lookup.end()) ? it->second : node;
+        } else if (node->args().empty()) {
+            replaced = node;
+        } else {
+            std::vector<Expr> newArgs;
+            newArgs.reserve(node->args().size());
+            bool changed = false;
+            for (const Expr &arg : node->args()) {
+                const Expr &sub = memo.at(arg.get());
+                changed |= !sub.same(arg);
+                newArgs.push_back(sub);
+            }
+            if (!changed) {
+                replaced = node;
+            } else {
+                // Rebuild through the public constructors so folding
+                // and simplification re-apply.
+                switch (node->op()) {
+                  case OpCode::Add:
+                    replaced = add(newArgs[0], newArgs[1]); break;
+                  case OpCode::Sub:
+                    replaced = sub(newArgs[0], newArgs[1]); break;
+                  case OpCode::Mul:
+                    replaced = mul(newArgs[0], newArgs[1]); break;
+                  case OpCode::Div:
+                    replaced = div(newArgs[0], newArgs[1]); break;
+                  case OpCode::Pow:
+                    replaced = pow(newArgs[0], newArgs[1]); break;
+                  case OpCode::Min:
+                    replaced = min(newArgs[0], newArgs[1]); break;
+                  case OpCode::Max:
+                    replaced = max(newArgs[0], newArgs[1]); break;
+                  case OpCode::Neg: replaced = neg(newArgs[0]); break;
+                  case OpCode::Log: replaced = log(newArgs[0]); break;
+                  case OpCode::Exp: replaced = exp(newArgs[0]); break;
+                  case OpCode::Sqrt: replaced = sqrt(newArgs[0]); break;
+                  case OpCode::Abs: replaced = abs(newArgs[0]); break;
+                  case OpCode::Floor: replaced = floor(newArgs[0]); break;
+                  case OpCode::Atan: replaced = atan(newArgs[0]); break;
+                  case OpCode::Sigmoid:
+                    replaced = sigmoid(newArgs[0]); break;
+                  case OpCode::Lt:
+                    replaced = lt(newArgs[0], newArgs[1]); break;
+                  case OpCode::Le:
+                    replaced = le(newArgs[0], newArgs[1]); break;
+                  case OpCode::Gt:
+                    replaced = gt(newArgs[0], newArgs[1]); break;
+                  case OpCode::Ge:
+                    replaced = ge(newArgs[0], newArgs[1]); break;
+                  case OpCode::Eq:
+                    replaced = eq(newArgs[0], newArgs[1]); break;
+                  case OpCode::Ne:
+                    replaced = ne(newArgs[0], newArgs[1]); break;
+                  case OpCode::Select:
+                    replaced = select(newArgs[0], newArgs[1], newArgs[2]);
+                    break;
+                  case OpCode::ConstOp:
+                  case OpCode::VarOp:
+                    panic("leaf with arguments");
+                }
+            }
+        }
+        memo.emplace(node.get(), replaced);
+        result = replaced;
+    });
+    if (!root.defined())
+        return root;
+    return memo.at(root.get());
+}
+
+size_t
+countNodes(const std::vector<Expr> &roots)
+{
+    std::unordered_set<const ExprNode *> seen;
+    for (const Expr &root : roots)
+        visitPostorder(root, seen, [](const Expr &) {});
+    return seen.size();
+}
+
+size_t
+internTableSize()
+{
+    return Interner::instance().size();
+}
+
+} // namespace expr
+} // namespace felix

@@ -1,0 +1,80 @@
+#include <sstream>
+#include <unordered_map>
+
+#include "expr/expr.h"
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace expr {
+
+namespace {
+
+bool
+isInfix(OpCode op)
+{
+    switch (op) {
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::Mul:
+      case OpCode::Div:
+      case OpCode::Lt:
+      case OpCode::Le:
+      case OpCode::Gt:
+      case OpCode::Ge:
+      case OpCode::Eq:
+      case OpCode::Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+renderConst(double v)
+{
+    // Print integral constants without a trailing ".000000".
+    if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15)
+        return std::to_string(static_cast<int64_t>(v));
+    return strformat("%g", v);
+}
+
+std::string
+render(const Expr &e,
+       std::unordered_map<const ExprNode *, std::string> &memo)
+{
+    auto it = memo.find(e.get());
+    if (it != memo.end())
+        return it->second;
+
+    std::string out;
+    if (e.isConst()) {
+        out = renderConst(e.constValue());
+    } else if (e.isVar()) {
+        out = e.varName();
+    } else if (isInfix(e->op())) {
+        out = "(" + render(e->args()[0], memo) + " " +
+              opName(e->op()) + " " + render(e->args()[1], memo) + ")";
+    } else {
+        std::vector<std::string> parts;
+        for (const Expr &arg : e->args())
+            parts.push_back(render(arg, memo));
+        out = std::string(opName(e->op())) + "(" + join(parts, ", ") + ")";
+    }
+    memo.emplace(e.get(), out);
+    return out;
+}
+
+} // namespace
+
+std::string
+Expr::str() const
+{
+    if (!defined())
+        return "<undef>";
+    std::unordered_map<const ExprNode *, std::string> memo;
+    return render(*this, memo);
+}
+
+} // namespace expr
+} // namespace felix

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Program feature extraction (paper §3.3).
+ *
+ * An analysis pass over a (symbolic) Program producing 82 feature
+ * formulas — expressions of the schedule variables — covering the
+ * computation and memory-access characteristics the cost model
+ * needs: arithmetic op counts per category, kernel launch geometry,
+ * global/shared memory footprints and reuse, coalescing proxies,
+ * per-buffer detail for the three largest inputs, and structural
+ * occupancy proxies.
+ *
+ * The formulas intentionally contain select/min/max discontinuities
+ * (loop-triviality tests, footprint clamps) — these are exactly what
+ * the smoothing rewriter (rewrite/) later removes. Evaluating the
+ * raw formulas at integer variable values gives the *exact* concrete
+ * features used for hardware measurement and cost-model training.
+ */
+#ifndef FELIX_FEATURES_FEATURES_H_
+#define FELIX_FEATURES_FEATURES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "tir/program.h"
+
+namespace felix {
+namespace features {
+
+/** Number of distinct program features (paper §3.3: 82). */
+constexpr int kNumFeatures = 82;
+
+/** Stable feature names, index-aligned with extractFeatures(). */
+const std::array<std::string, kNumFeatures> &featureNames();
+
+/** Index of a named feature; panics when unknown. */
+int featureIndex(const std::string &name);
+
+/**
+ * Extract the 82 feature formulas from a scheduled program.
+ * The result expressions reference exactly the schedule variables
+ * present in the program's loop extents (x-space, unsmoothed).
+ */
+std::vector<expr::Expr> extractFeatures(const tir::Program &program);
+
+/**
+ * Concrete feature vector: evaluate the raw formulas at integer
+ * schedule-variable values (exact, no smoothing).
+ */
+std::vector<double> concreteFeatures(
+    const tir::Program &program,
+    const std::vector<std::string> &var_names,
+    const std::vector<double> &var_values);
+
+/**
+ * Shared-memory bytes per block required by all cache-read stages —
+ * used by the sketch generator's hardware-resource constraint.
+ */
+expr::Expr sharedBytesPerBlock(const tir::Program &program);
+
+} // namespace features
+} // namespace felix
+
+#endif // FELIX_FEATURES_FEATURES_H_

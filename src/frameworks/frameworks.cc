@@ -1,0 +1,257 @@
+#include "frameworks/frameworks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace frameworks {
+
+const char *
+frameworkName(Framework framework)
+{
+    switch (framework) {
+      case Framework::PyTorch: return "PyTorch";
+      case Framework::TensorFlow: return "TensorFlow";
+      case Framework::TensorRT: return "TensorRT";
+    }
+    return "?";
+}
+
+std::vector<Framework>
+allFrameworks()
+{
+    return {Framework::PyTorch, Framework::TensorFlow,
+            Framework::TensorRT};
+}
+
+bool
+frameworkSupports(Framework framework, const std::string &network_name,
+                  sim::DeviceKind device, int batch)
+{
+    const bool isLlama = network_name.find("LLaMA") != std::string::npos ||
+                         network_name.find("llama") != std::string::npos;
+    const bool isVit = network_name.find("ViT") != std::string::npos ||
+                       network_name.find("vit") != std::string::npos;
+    if (isLlama) {
+        // LLaMA's parameters do not fit in Xavier NX memory at all;
+        // TensorFlow lacks LLaMA support; TensorRT segfaults (§6.1).
+        if (device == sim::DeviceKind::XavierNX)
+            return false;
+        if (framework == Framework::TensorFlow ||
+            framework == Framework::TensorRT)
+            return false;
+        if (batch >= 16)
+            return false;   // out of GPU memory at batch 16 (§6.4)
+    }
+    if (isVit && framework == Framework::TensorFlow &&
+        device == sim::DeviceKind::XavierNX) {
+        return false;       // high-footprint ViT OOMs under TF (§6.1)
+    }
+    return true;
+}
+
+namespace {
+
+/** Operator-family classes with distinct library maturity. */
+enum class OpClass {
+    Conv2d,
+    DepthwiseConv2d,
+    Conv3d,
+    TConv2d,
+    Dense,
+    BatchMatmul,
+    MemoryBound,   ///< softmax / pooling / layernorm / elementwise
+};
+
+OpClass
+classify(const graph::Task &task)
+{
+    switch (task.anchorType) {
+      case graph::OpType::Conv2d: {
+        // Depthwise convolutions reduce over the filter taps only.
+        const tir::ComputeOp &dom = task.subgraph.dominantOp();
+        if (dom.reduceExtent() <= 25 && dom.spatialExtent() > 1024)
+            return OpClass::DepthwiseConv2d;
+        return OpClass::Conv2d;
+      }
+      case graph::OpType::Conv3d:
+        return OpClass::Conv3d;
+      case graph::OpType::TConv2d:
+        return OpClass::TConv2d;
+      case graph::OpType::Dense:
+        return OpClass::Dense;
+      case graph::OpType::BatchMatmul:
+        return OpClass::BatchMatmul;
+      default:
+        return OpClass::MemoryBound;
+    }
+}
+
+/** Fraction of the device roofline a library kernel achieves. */
+double
+baseEfficiency(Framework framework, OpClass opClass)
+{
+    switch (opClass) {
+      case OpClass::Conv2d:
+        switch (framework) {
+          case Framework::PyTorch: return 0.52;
+          case Framework::TensorFlow: return 0.45;
+          case Framework::TensorRT: return 0.62;
+        }
+        break;
+      case OpClass::DepthwiseConv2d:
+        switch (framework) {
+          case Framework::PyTorch: return 0.20;
+          case Framework::TensorFlow: return 0.16;
+          case Framework::TensorRT: return 0.30;
+        }
+        break;
+      case OpClass::Conv3d:
+        // Heavily hand-optimized: the one family where vendor
+        // libraries beat search-based compilers (§6.3).
+        switch (framework) {
+          case Framework::PyTorch: return 0.90;
+          case Framework::TensorFlow: return 0.88;
+          case Framework::TensorRT: return 0.92;
+        }
+        break;
+      case OpClass::TConv2d:
+        switch (framework) {
+          case Framework::PyTorch: return 0.30;
+          case Framework::TensorFlow: return 0.26;
+          case Framework::TensorRT: return 0.38;
+        }
+        break;
+      case OpClass::Dense:
+        // Network-mix dense shapes are skinny (activation rows of
+        // 50-600), well below cuBLAS's square-GEMM peak.
+        switch (framework) {
+          case Framework::PyTorch: return 0.50;
+          case Framework::TensorFlow: return 0.46;
+          case Framework::TensorRT: return 0.58;
+        }
+        break;
+      case OpClass::BatchMatmul:
+        switch (framework) {
+          case Framework::PyTorch: return 0.58;
+          case Framework::TensorFlow: return 0.52;
+          case Framework::TensorRT: return 0.66;
+        }
+        break;
+      case OpClass::MemoryBound:
+        switch (framework) {
+          case Framework::PyTorch: return 0.62;
+          case Framework::TensorFlow: return 0.55;
+          case Framework::TensorRT: return 0.72;
+        }
+        break;
+    }
+    panic("unreachable");
+}
+
+/** Per-kernel dispatch overhead on top of the raw launch. */
+double
+dispatchOverheadSec(Framework framework,
+                    const sim::DeviceConfig &device)
+{
+    double base = 0.0;
+    switch (framework) {
+      case Framework::PyTorch: base = 7e-6; break;
+      case Framework::TensorFlow: base = 11e-6; break;
+      case Framework::TensorRT: base = 2.5e-6; break;
+    }
+    // Slower host on the edge board inflates dispatch costs.
+    if (device.kind == sim::DeviceKind::XavierNX)
+        base *= 2.5;
+    return base + device.launchOverheadUs * 1e-6;
+}
+
+/** Per-network graph-executor overhead. */
+double
+graphOverheadSec(Framework framework, const sim::DeviceConfig &device)
+{
+    double base = 0.0;
+    switch (framework) {
+      case Framework::PyTorch: base = 30e-6; break;
+      case Framework::TensorFlow: base = 50e-6; break;
+      case Framework::TensorRT: base = 10e-6; break;
+    }
+    if (device.kind == sim::DeviceKind::XavierNX)
+        base *= 2.0;
+    return base;
+}
+
+/** Unique bytes moved by a task (activations + weights). */
+double
+taskBytes(const graph::Task &task)
+{
+    double bytes = 0.0;
+    for (const tir::ComputeOp &op : task.subgraph.ops) {
+        for (const tir::BufferAccess &access : op.inputs)
+            bytes += static_cast<double>(access.bufferElems());
+        bytes += static_cast<double>(op.spatialExtent());
+    }
+    return bytes * tir::kDtypeBytes;
+}
+
+} // namespace
+
+double
+libraryTaskLatency(const graph::Task &task,
+                   const sim::DeviceConfig &device, Framework framework)
+{
+    const OpClass opClass = classify(task);
+    const double flops = task.subgraph.totalFlops();
+    const double bytes = taskBytes(task);
+
+    const double computeSec = flops / device.peakFlops();
+    const double memorySec = bytes / device.dramBytesPerSec();
+    const double ideal = std::max(computeSec, memorySec);
+
+    // Fixed-configuration library kernels under-fill small devices
+    // and small layers; search-based compilers recover much of this
+    // (the MobileNet/DCGAN effect, §6.1).
+    const double parallelism =
+        static_cast<double>(task.subgraph.dominantOp().spatialExtent());
+    const double util = std::min(
+        1.0, parallelism / (device.smCount * 2048.0));
+    const double sizeFactor = 0.15 + 0.85 * std::pow(util, 0.7);
+
+    const double eff = baseEfficiency(framework, opClass) * sizeFactor;
+    return ideal / std::max(eff, 0.02) +
+           dispatchOverheadSec(framework, device);
+}
+
+double
+networkLatency(const std::vector<graph::Task> &tasks,
+               const sim::DeviceConfig &device, Framework framework)
+{
+    double total = graphOverheadSec(framework, device);
+    for (const graph::Task &task : tasks) {
+        total += task.weight *
+                 libraryTaskLatency(task, device, framework);
+    }
+    return total;
+}
+
+double
+bestLibraryLatency(const std::vector<graph::Task> &tasks,
+                   const std::string &network_name,
+                   const sim::DeviceConfig &device, int batch)
+{
+    double best = -1.0;
+    for (Framework framework : allFrameworks()) {
+        if (!frameworkSupports(framework, network_name, device.kind,
+                               batch))
+            continue;
+        double latency = networkLatency(tasks, device, framework);
+        if (best < 0.0 || latency < best)
+            best = latency;
+    }
+    return best;
+}
+
+} // namespace frameworks
+} // namespace felix

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulated off-the-shelf inference frameworks (paper §5 baselines:
+ * PyTorch 2.2 / TorchInductor, TensorFlow 2.15 / XLA, TensorRT 8.6).
+ *
+ * Each framework is modelled as a vendor kernel library: for every
+ * fused task it achieves a fraction of the device roofline that
+ * depends on the operator family (3d convolutions are heavily
+ * hand-optimized and run near peak — the one case where libraries
+ * beat search, §6.3 — while transposed and depthwise convolutions
+ * and small layers run far below it), plus a per-kernel dispatch
+ * overhead and a per-network graph-executor overhead. The paper's
+ * unsupported-configuration failures (TF cannot hold ViT on Xavier,
+ * LLaMA runs nowhere on Xavier and only on PyTorch elsewhere) are
+ * captured by frameworkSupports().
+ */
+#ifndef FELIX_FRAMEWORKS_FRAMEWORKS_H_
+#define FELIX_FRAMEWORKS_FRAMEWORKS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/device.h"
+
+namespace felix {
+namespace frameworks {
+
+enum class Framework { PyTorch, TensorFlow, TensorRT };
+
+const char *frameworkName(Framework framework);
+
+/** All three baseline frameworks. */
+std::vector<Framework> allFrameworks();
+
+/**
+ * Can this framework run the given network in the given setting?
+ * Mirrors the paper's reported failures (§6.1, §6.4).
+ */
+bool frameworkSupports(Framework framework,
+                       const std::string &network_name,
+                       sim::DeviceKind device, int batch);
+
+/** Library latency of one fused task (seconds). */
+double libraryTaskLatency(const graph::Task &task,
+                          const sim::DeviceConfig &device,
+                          Framework framework);
+
+/** End-to-end network latency under a framework (seconds). */
+double networkLatency(const std::vector<graph::Task> &tasks,
+                      const sim::DeviceConfig &device,
+                      Framework framework);
+
+/** Best latency across the frameworks that support the network. */
+double bestLibraryLatency(const std::vector<graph::Task> &tasks,
+                          const std::string &network_name,
+                          const sim::DeviceConfig &device, int batch);
+
+} // namespace frameworks
+} // namespace felix
+
+#endif // FELIX_FRAMEWORKS_FRAMEWORKS_H_

@@ -1,0 +1,467 @@
+#include "graph/graph.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace graph {
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Conv2d: return "conv2d";
+      case OpType::Conv3d: return "conv3d";
+      case OpType::TConv2d: return "tconv2d";
+      case OpType::Dense: return "dense";
+      case OpType::BatchMatmul: return "batch_matmul";
+      case OpType::Softmax: return "softmax";
+      case OpType::MaxPool2d: return "max_pool2d";
+      case OpType::GlobalAvgPool: return "global_avg_pool";
+      case OpType::LayerNorm: return "layer_norm";
+      case OpType::BiasAdd: return "bias_add";
+      case OpType::BatchNorm: return "batch_norm";
+      case OpType::Relu: return "relu";
+      case OpType::Sigmoid: return "sigmoid";
+      case OpType::Tanh: return "tanh";
+      case OpType::Gelu: return "gelu";
+      case OpType::Add: return "add";
+      case OpType::Elementwise: return "elementwise";
+    }
+    return "?";
+}
+
+bool
+isFusableEpilogue(OpType type)
+{
+    switch (type) {
+      case OpType::BiasAdd:
+      case OpType::BatchNorm:
+      case OpType::Relu:
+      case OpType::Sigmoid:
+      case OpType::Tanh:
+      case OpType::Gelu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+Graph::push(Node node)
+{
+    node.id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+int
+Graph::addConv2d(const tir::Conv2dConfig &config, int input,
+                 const std::string &label)
+{
+    Node node;
+    node.type = OpType::Conv2d;
+    node.params = config;
+    node.inputs = {input};
+    node.label = label;
+    node.outputElems =
+        config.n * config.k * config.outH() * config.outW();
+    return push(std::move(node));
+}
+
+int
+Graph::addConv3d(const tir::Conv3dConfig &config, int input,
+                 const std::string &label)
+{
+    Node node;
+    node.type = OpType::Conv3d;
+    node.params = config;
+    node.inputs = {input};
+    node.label = label;
+    node.outputElems = config.n * config.k * config.outD() *
+                       config.outH() * config.outW();
+    return push(std::move(node));
+}
+
+int
+Graph::addTConv2d(const tir::TConv2dConfig &config, int input,
+                  const std::string &label)
+{
+    Node node;
+    node.type = OpType::TConv2d;
+    node.params = config;
+    node.inputs = {input};
+    node.label = label;
+    node.outputElems =
+        config.n * config.k * config.outH() * config.outW();
+    return push(std::move(node));
+}
+
+int
+Graph::addDense(const DenseParams &params, int input,
+                const std::string &label)
+{
+    Node node;
+    node.type = OpType::Dense;
+    node.params = params;
+    node.inputs = {input};
+    node.label = label;
+    node.outputElems = params.n * params.m;
+    return push(std::move(node));
+}
+
+int
+Graph::addBatchMatmul(const BmmParams &params, int lhs, int rhs,
+                      const std::string &label)
+{
+    Node node;
+    node.type = OpType::BatchMatmul;
+    node.params = params;
+    node.inputs = {lhs, rhs};
+    node.label = label;
+    node.outputElems = params.b * params.n * params.m;
+    return push(std::move(node));
+}
+
+int
+Graph::addSoftmax(const RowsColsParams &params, int input,
+                  const std::string &label)
+{
+    Node node;
+    node.type = OpType::Softmax;
+    node.params = params;
+    node.inputs = {input};
+    node.label = label;
+    node.outputElems = params.rows * params.cols;
+    return push(std::move(node));
+}
+
+int
+Graph::addMaxPool2d(const PoolParams &params, int input,
+                    const std::string &label)
+{
+    Node node;
+    node.type = OpType::MaxPool2d;
+    node.params = params;
+    node.inputs = {input};
+    node.label = label;
+    int64_t oh = (params.h - params.kernel) / params.stride + 1;
+    int64_t ow = (params.w - params.kernel) / params.stride + 1;
+    node.outputElems = params.n * params.c * oh * ow;
+    return push(std::move(node));
+}
+
+int
+Graph::addGlobalAvgPool(int64_t n, int64_t c, int64_t h, int64_t w,
+                        int input, const std::string &label)
+{
+    Node node;
+    node.type = OpType::GlobalAvgPool;
+    PoolParams params;
+    params.n = n;
+    params.c = c;
+    params.h = h;
+    params.w = w;
+    node.params = params;
+    node.inputs = {input};
+    node.label = label;
+    node.outputElems = n * c;
+    return push(std::move(node));
+}
+
+int
+Graph::addLayerNorm(const RowsColsParams &params, int input,
+                    const std::string &label)
+{
+    Node node;
+    node.type = OpType::LayerNorm;
+    node.params = params;
+    node.inputs = {input};
+    node.label = label;
+    node.outputElems = params.rows * params.cols;
+    return push(std::move(node));
+}
+
+int
+Graph::addEpilogue(OpType type, int input, const std::string &label)
+{
+    FELIX_CHECK(isFusableEpilogue(type),
+                "addEpilogue: not an epilogue op");
+    FELIX_CHECK(input >= 0 &&
+                input < static_cast<int>(nodes_.size()),
+                "addEpilogue: bad input node");
+    Node node;
+    node.type = type;
+    node.inputs = {input};
+    node.label = label.empty() ? opTypeName(type) : label;
+    node.outputElems = nodes_[input].outputElems;
+    return push(std::move(node));
+}
+
+int
+Graph::addAdd(int lhs, int rhs, const std::string &label)
+{
+    FELIX_CHECK(lhs >= 0 && rhs >= 0, "addAdd: bad inputs");
+    Node node;
+    node.type = OpType::Add;
+    node.inputs = {lhs, rhs};
+    node.label = label;
+    node.outputElems = nodes_[lhs].outputElems;
+    return push(std::move(node));
+}
+
+namespace {
+
+double
+nodeFlops(const Node &node)
+{
+    switch (node.type) {
+      case OpType::Conv2d: {
+        const auto &config = std::get<tir::Conv2dConfig>(node.params);
+        return 2.0 * node.outputElems *
+               (config.c / config.groups) * config.r * config.s;
+      }
+      case OpType::Conv3d: {
+        const auto &config = std::get<tir::Conv3dConfig>(node.params);
+        return 2.0 * node.outputElems * config.c * config.kd *
+               config.r * config.s;
+      }
+      case OpType::TConv2d: {
+        const auto &config = std::get<tir::TConv2dConfig>(node.params);
+        return 2.0 * node.outputElems * config.c * config.r *
+               config.s;
+      }
+      case OpType::Dense: {
+        const auto &params = std::get<DenseParams>(node.params);
+        return 2.0 * params.n * params.m * params.k;
+      }
+      case OpType::BatchMatmul: {
+        const auto &params = std::get<BmmParams>(node.params);
+        return 2.0 * params.b * params.n * params.m * params.k;
+      }
+      default:
+        return static_cast<double>(node.outputElems);
+    }
+}
+
+bool
+isAnchor(OpType type)
+{
+    switch (type) {
+      case OpType::Conv2d:
+      case OpType::Conv3d:
+      case OpType::TConv2d:
+      case OpType::Dense:
+      case OpType::BatchMatmul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+tir::Epilogue
+toEpilogue(OpType type)
+{
+    switch (type) {
+      case OpType::Relu: return tir::Epilogue::Relu;
+      case OpType::Sigmoid: return tir::Epilogue::Sigmoid;
+      case OpType::Tanh: return tir::Epilogue::Tanh;
+      case OpType::Gelu: return tir::Epilogue::Gelu;
+      default: return tir::Epilogue::None;
+    }
+}
+
+} // namespace
+
+double
+Graph::totalFlops() const
+{
+    double flops = 0.0;
+    for (const Node &node : nodes_)
+        flops += nodeFlops(node);
+    return flops;
+}
+
+std::vector<Task>
+partition(const Graph &graph)
+{
+    const auto &nodes = graph.nodes();
+
+    // Consumer lists (a node fuses into its producer only when it is
+    // the sole consumer).
+    std::vector<std::vector<int>> consumers(nodes.size());
+    for (const Node &node : nodes) {
+        for (int input : node.inputs) {
+            if (input >= 0)
+                consumers[input].push_back(node.id);
+        }
+    }
+
+    std::vector<bool> absorbed(nodes.size(), false);
+    std::vector<Task> raw;
+
+    auto fuseChain = [&](int start, bool &bias,
+                         tir::Epilogue &epilogue) {
+        int cur = start;
+        while (consumers[cur].size() == 1) {
+            const Node &next = nodes[consumers[cur][0]];
+            if (!isFusableEpilogue(next.type))
+                break;
+            if (next.type == OpType::BiasAdd ||
+                next.type == OpType::BatchNorm) {
+                if (bias)
+                    break;   // one bias-like stage per anchor
+                bias = true;
+            } else {
+                if (epilogue != tir::Epilogue::None)
+                    break;
+                epilogue = toEpilogue(next.type);
+            }
+            absorbed[next.id] = true;
+            cur = next.id;
+        }
+    };
+
+    for (const Node &node : nodes) {
+        if (absorbed[node.id])
+            continue;
+        Task task;
+        task.anchorType = node.type;
+        task.exampleLabel = node.label;
+
+        if (isAnchor(node.type)) {
+            bool bias = false;
+            tir::Epilogue epilogue = tir::Epilogue::None;
+            fuseChain(node.id, bias, epilogue);
+            switch (node.type) {
+              case OpType::Conv2d: {
+                auto config = std::get<tir::Conv2dConfig>(node.params);
+                config.bias = config.bias || bias;
+                config.epilogue = epilogue;
+                task.subgraph = tir::conv2d(config, node.label);
+                break;
+              }
+              case OpType::Conv3d: {
+                auto config = std::get<tir::Conv3dConfig>(node.params);
+                config.bias = config.bias || bias;
+                config.epilogue = epilogue;
+                task.subgraph = tir::conv3d(config, node.label);
+                break;
+              }
+              case OpType::TConv2d: {
+                auto config =
+                    std::get<tir::TConv2dConfig>(node.params);
+                config.bias = config.bias || bias;
+                config.epilogue = epilogue;
+                task.subgraph = tir::tconv2d(config, node.label);
+                break;
+              }
+              case OpType::Dense: {
+                const auto &params = std::get<DenseParams>(node.params);
+                task.subgraph = tir::dense(params.n, params.m,
+                                           params.k, bias, epilogue,
+                                           node.label);
+                break;
+              }
+              case OpType::BatchMatmul: {
+                const auto &params = std::get<BmmParams>(node.params);
+                task.subgraph = tir::batchMatmul(
+                    params.b, params.n, params.m, params.k,
+                    node.label);
+                break;
+              }
+              default:
+                panic("unreachable anchor type");
+            }
+        } else {
+            switch (node.type) {
+              case OpType::Softmax: {
+                const auto &params =
+                    std::get<RowsColsParams>(node.params);
+                task.subgraph = tir::softmax(params.rows, params.cols,
+                                             node.label);
+                break;
+              }
+              case OpType::MaxPool2d: {
+                const auto &params = std::get<PoolParams>(node.params);
+                task.subgraph = tir::maxPool2d(
+                    params.n, params.c, params.h, params.w,
+                    params.kernel, params.stride, node.label);
+                break;
+              }
+              case OpType::GlobalAvgPool: {
+                const auto &params = std::get<PoolParams>(node.params);
+                task.subgraph = tir::globalAvgPool2d(
+                    params.n, params.c, params.h, params.w,
+                    node.label);
+                break;
+              }
+              case OpType::LayerNorm: {
+                const auto &params =
+                    std::get<RowsColsParams>(node.params);
+                task.subgraph = tir::layerNorm(
+                    params.rows, params.cols, node.label);
+                break;
+              }
+              case OpType::Add: {
+                // Residual add, with any directly following
+                // activation folded into the arithmetic.
+                tir::ArithCounts arith;
+                arith.add = 1;
+                int cur = node.id;
+                while (consumers[cur].size() == 1) {
+                    const Node &next = nodes[consumers[cur][0]];
+                    if (next.type == OpType::Relu) {
+                        arith.cmp += 1;
+                    } else if (isFusableEpilogue(next.type) &&
+                               next.type != OpType::BiasAdd &&
+                               next.type != OpType::BatchNorm) {
+                        arith.special += 1;
+                    } else {
+                        break;
+                    }
+                    absorbed[next.id] = true;
+                    cur = next.id;
+                }
+                task.subgraph = tir::elementwise(node.outputElems, 2,
+                                                 arith, node.label);
+                task.anchorType = OpType::Elementwise;
+                break;
+              }
+              default: {
+                // Standalone pointwise node (unfused activation,
+                // quantize stub, ...).
+                tir::ArithCounts arith;
+                arith.add = 1;
+                task.subgraph = tir::elementwise(
+                    std::max<int64_t>(1, node.outputElems), 1, arith,
+                    node.label);
+                task.anchorType = OpType::Elementwise;
+                break;
+              }
+            }
+        }
+        raw.push_back(std::move(task));
+    }
+
+    // Deduplicate structurally identical tasks, accumulating weights.
+    std::map<uint64_t, size_t> byHash;
+    std::vector<Task> tasks;
+    for (Task &task : raw) {
+        uint64_t h = task.subgraph.structuralHash();
+        auto it = byHash.find(h);
+        if (it == byHash.end()) {
+            byHash.emplace(h, tasks.size());
+            tasks.push_back(std::move(task));
+        } else {
+            tasks[it->second].weight += task.weight;
+        }
+    }
+    return tasks;
+}
+
+} // namespace graph
+} // namespace felix

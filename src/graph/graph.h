@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Computation graphs of tensor operators and their partitioning into
+ * fused-subgraph tuning tasks (paper §3.1).
+ *
+ * A Graph is a DAG whose nodes are tensor operators and whose edges
+ * are dataflow. partition() fuses operators in fixed patterns — a
+ * compute-intensive anchor (conv / dense / batched matmul / ...)
+ * absorbs its elementwise epilogue chain (bias add, batch norm,
+ * activations), exactly the greedy fusion Ansor applies — and
+ * deduplicates structurally identical subgraphs into weighted tasks
+ * (ResNet-50's repeated bottlenecks become one task with weight n).
+ */
+#ifndef FELIX_GRAPH_GRAPH_H_
+#define FELIX_GRAPH_GRAPH_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tir/compute.h"
+#include "tir/ops.h"
+
+namespace felix {
+namespace graph {
+
+/** Operator families appearing in the evaluated networks. */
+enum class OpType : uint8_t {
+    Conv2d,
+    Conv3d,
+    TConv2d,
+    Dense,
+    BatchMatmul,
+    Softmax,
+    MaxPool2d,
+    GlobalAvgPool,
+    LayerNorm,
+    BiasAdd,        ///< elementwise epilogue candidates below
+    BatchNorm,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Gelu,
+    Add,            ///< residual addition (two tensor inputs)
+    Elementwise,    ///< other pointwise op
+};
+
+const char *opTypeName(OpType type);
+
+/** True for single-input pointwise ops that fuse into an anchor. */
+bool isFusableEpilogue(OpType type);
+
+/** Parameters of a Dense node. */
+struct DenseParams
+{
+    int64_t n = 1, m = 1, k = 1;
+};
+
+/** Parameters of a BatchMatmul node. */
+struct BmmParams
+{
+    int64_t b = 1, n = 1, m = 1, k = 1;
+};
+
+/** Parameters of 2D pooling. */
+struct PoolParams
+{
+    int64_t n = 1, c = 1, h = 1, w = 1;
+    int64_t kernel = 2, stride = 2;
+};
+
+/** Parameters of softmax / layer norm over [rows, cols]. */
+struct RowsColsParams
+{
+    int64_t rows = 1, cols = 1;
+};
+
+/** Parameters of standalone elementwise nodes. */
+struct EltwiseParams
+{
+    int64_t elems = 1;
+    int numInputs = 1;
+    tir::ArithCounts arith;
+};
+
+using NodeParams =
+    std::variant<std::monostate, tir::Conv2dConfig, tir::Conv3dConfig,
+                 tir::TConv2dConfig, DenseParams, BmmParams, PoolParams,
+                 RowsColsParams, EltwiseParams>;
+
+/** One operator node. */
+struct Node
+{
+    int id = -1;
+    OpType type = OpType::Elementwise;
+    NodeParams params;
+    std::vector<int> inputs;   ///< producing node ids (-1 = graph input)
+    std::string label;         ///< e.g. "layer3.0.conv2"
+
+    /** Output element count (needed to fuse elementwise chains). */
+    int64_t outputElems = 0;
+};
+
+/** A computation graph under construction. */
+class Graph
+{
+  public:
+    explicit Graph(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    int addConv2d(const tir::Conv2dConfig &config, int input,
+                  const std::string &label = "conv2d");
+    int addConv3d(const tir::Conv3dConfig &config, int input,
+                  const std::string &label = "conv3d");
+    int addTConv2d(const tir::TConv2dConfig &config, int input,
+                   const std::string &label = "tconv2d");
+    int addDense(const DenseParams &params, int input,
+                 const std::string &label = "dense");
+    int addBatchMatmul(const BmmParams &params, int lhs, int rhs,
+                       const std::string &label = "batch_matmul");
+    int addSoftmax(const RowsColsParams &params, int input,
+                   const std::string &label = "softmax");
+    int addMaxPool2d(const PoolParams &params, int input,
+                     const std::string &label = "max_pool");
+    int addGlobalAvgPool(int64_t n, int64_t c, int64_t h, int64_t w,
+                         int input, const std::string &label = "gap");
+    int addLayerNorm(const RowsColsParams &params, int input,
+                     const std::string &label = "layer_norm");
+    /** Epilogue ops: bias/bn/activations (single tensor input). */
+    int addEpilogue(OpType type, int input,
+                    const std::string &label = "");
+    /** Residual addition of two tensors of equal shape. */
+    int addAdd(int lhs, int rhs, const std::string &label = "add");
+
+    /** Total FLOPs of all compute nodes (sanity checks/tests). */
+    double totalFlops() const;
+
+  private:
+    int push(Node node);
+
+    std::string name_;
+    std::vector<Node> nodes_;
+};
+
+/** One deduplicated tuning task. */
+struct Task
+{
+    tir::SubgraphDef subgraph;
+    OpType anchorType = OpType::Elementwise;
+    int weight = 1;            ///< occurrences in the network
+    std::string exampleLabel;  ///< one representative layer name
+};
+
+/** Partition a graph into weighted fused-subgraph tasks. */
+std::vector<Task> partition(const Graph &graph);
+
+} // namespace graph
+} // namespace felix
+
+#endif // FELIX_GRAPH_GRAPH_H_

@@ -1,0 +1,501 @@
+#include "models/models.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace models {
+
+using graph::BmmParams;
+using graph::DenseParams;
+using graph::Graph;
+using graph::OpType;
+using graph::PoolParams;
+using graph::RowsColsParams;
+using tir::Conv2dConfig;
+using tir::Conv3dConfig;
+using tir::TConv2dConfig;
+
+namespace {
+
+/** conv + batch norm + optional ReLU, the CNN workhorse. */
+int
+convBnRelu(Graph &g, int input, int64_t batch, int64_t in_ch,
+           int64_t out_ch, int64_t hw, int64_t kernel, int64_t stride,
+           bool relu, const std::string &label, int64_t groups = 1)
+{
+    Conv2dConfig config;
+    config.n = batch;
+    config.c = in_ch;
+    config.h = config.w = hw;
+    config.k = out_ch;
+    config.r = config.s = kernel;
+    config.stride = stride;
+    config.pad = kernel / 2;
+    config.groups = groups;
+    int conv = g.addConv2d(config, input, label);
+    int bn = g.addEpilogue(OpType::BatchNorm, conv, label + ".bn");
+    if (!relu)
+        return bn;
+    return g.addEpilogue(OpType::Relu, bn, label + ".relu");
+}
+
+/** ResNet-50 bottleneck block. Returns (output node, output hw). */
+int
+bottleneck(Graph &g, int input, int64_t batch, int64_t in_ch,
+           int64_t mid_ch, int64_t out_ch, int64_t hw, int64_t stride,
+           const std::string &label)
+{
+    int branch = convBnRelu(g, input, batch, in_ch, mid_ch, hw, 1, 1,
+                            true, label + ".conv1");
+    branch = convBnRelu(g, branch, batch, mid_ch, mid_ch, hw, 3,
+                        stride, true, label + ".conv2");
+    int64_t outHw = hw / stride;
+    branch = convBnRelu(g, branch, batch, mid_ch, out_ch, outHw, 1, 1,
+                        false, label + ".conv3");
+    int shortcut = input;
+    if (in_ch != out_ch || stride != 1) {
+        shortcut = convBnRelu(g, input, batch, in_ch, out_ch, hw, 1,
+                              stride, false, label + ".downsample");
+    }
+    int sum = g.addAdd(branch, shortcut, label + ".add");
+    return g.addEpilogue(OpType::Relu, sum, label + ".relu");
+}
+
+} // namespace
+
+graph::Graph
+resnet50(int batch)
+{
+    Graph g("resnet50");
+    const int64_t n = batch;
+
+    int x = convBnRelu(g, -1, n, 3, 64, 224, 7, 2, true, "conv1");
+    PoolParams pool;
+    pool.n = n;
+    pool.c = 64;
+    pool.h = pool.w = 112;
+    pool.kernel = 2;
+    pool.stride = 2;
+    x = g.addMaxPool2d(pool, x, "maxpool");
+
+    struct Stage { int blocks; int64_t mid, out, stride; };
+    const Stage stages[] = {
+        {3, 64, 256, 1}, {4, 128, 512, 2},
+        {6, 256, 1024, 2}, {3, 512, 2048, 2},
+    };
+    int64_t hw = 56;
+    int64_t inCh = 64;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < stages[s].blocks; ++b) {
+            int64_t stride = (b == 0) ? stages[s].stride : 1;
+            x = bottleneck(g, x, n, inCh, stages[s].mid,
+                           stages[s].out, hw, stride,
+                           strformat("layer%d.%d", s + 1, b));
+            if (stride == 2)
+                hw /= 2;
+            inCh = stages[s].out;
+        }
+    }
+    x = g.addGlobalAvgPool(n, 2048, hw, hw, x, "avgpool");
+    DenseParams fc;
+    fc.n = n;
+    fc.m = 1000;
+    fc.k = 2048;
+    g.addDense(fc, x, "fc");
+    return g;
+}
+
+graph::Graph
+mobilenetV2(int batch)
+{
+    Graph g("mobilenet_v2");
+    const int64_t n = batch;
+
+    int x = convBnRelu(g, -1, n, 3, 32, 224, 3, 2, true, "stem");
+
+    // Inverted residual settings (t, c, n, s) from the paper.
+    struct Block { int64_t expand, out, repeat, stride; };
+    const Block blocks[] = {
+        {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+        {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+        {6, 320, 1, 1},
+    };
+    int64_t hw = 112;
+    int64_t inCh = 32;
+    int blockIdx = 0;
+    for (const Block &spec : blocks) {
+        for (int r = 0; r < spec.repeat; ++r) {
+            int64_t stride = (r == 0) ? spec.stride : 1;
+            std::string label = strformat("block%d", blockIdx++);
+            int64_t expanded = inCh * spec.expand;
+            int y = x;
+            if (spec.expand != 1) {
+                y = convBnRelu(g, y, n, inCh, expanded, hw, 1, 1,
+                               true, label + ".expand");
+            }
+            y = convBnRelu(g, y, n, expanded, expanded, hw, 3, stride,
+                           true, label + ".depthwise", expanded);
+            int64_t outHw = hw / stride;
+            y = convBnRelu(g, y, n, expanded, spec.out, outHw, 1, 1,
+                           false, label + ".project");
+            if (stride == 1 && inCh == spec.out)
+                y = g.addAdd(y, x, label + ".add");
+            x = y;
+            hw = outHw;
+            inCh = spec.out;
+        }
+    }
+    x = convBnRelu(g, x, n, inCh, 1280, hw, 1, 1, true, "head_conv");
+    x = g.addGlobalAvgPool(n, 1280, hw, hw, x, "avgpool");
+    DenseParams fc;
+    fc.n = n;
+    fc.m = 1000;
+    fc.k = 1280;
+    g.addDense(fc, x, "classifier");
+    return g;
+}
+
+namespace {
+
+int
+conv3dBnRelu(Graph &g, int input, int64_t batch, int64_t in_ch,
+             int64_t out_ch, int64_t d, int64_t hw, int64_t stride,
+             bool relu, const std::string &label)
+{
+    Conv3dConfig config;
+    config.n = batch;
+    config.c = in_ch;
+    config.d = d;
+    config.h = config.w = hw;
+    config.k = out_ch;
+    config.kd = config.r = config.s = 3;
+    config.stride = stride;
+    config.pad = 1;
+    int conv = g.addConv3d(config, input, label);
+    int bn = g.addEpilogue(OpType::BatchNorm, conv, label + ".bn");
+    if (!relu)
+        return bn;
+    return g.addEpilogue(OpType::Relu, bn, label + ".relu");
+}
+
+int
+basicBlock3d(Graph &g, int input, int64_t batch, int64_t in_ch,
+             int64_t out_ch, int64_t d, int64_t hw, int64_t stride,
+             const std::string &label)
+{
+    int branch = conv3dBnRelu(g, input, batch, in_ch, out_ch, d, hw,
+                              stride, true, label + ".conv1");
+    int64_t outD = d / stride, outHw = hw / stride;
+    branch = conv3dBnRelu(g, branch, batch, out_ch, out_ch, outD,
+                          outHw, 1, false, label + ".conv2");
+    int shortcut = input;
+    if (in_ch != out_ch || stride != 1) {
+        // 1x1x1 downsample projection.
+        Conv3dConfig config;
+        config.n = batch;
+        config.c = in_ch;
+        config.d = d;
+        config.h = config.w = hw;
+        config.k = out_ch;
+        config.kd = config.r = config.s = 1;
+        config.stride = stride;
+        config.pad = 0;
+        shortcut = g.addConv3d(config, input, label + ".downsample");
+        shortcut = g.addEpilogue(OpType::BatchNorm, shortcut,
+                                 label + ".downsample.bn");
+    }
+    int sum = g.addAdd(branch, shortcut, label + ".add");
+    return g.addEpilogue(OpType::Relu, sum, label + ".relu");
+}
+
+} // namespace
+
+graph::Graph
+r3d18(int batch)
+{
+    Graph g("r3d_18");
+    const int64_t n = batch;
+
+    // Stem: 3x3x3 conv over a 16-frame 112x112 clip.
+    int x = conv3dBnRelu(g, -1, n, 3, 64, 16, 112, 1, true, "stem");
+
+    struct Stage { int blocks; int64_t out, stride; };
+    const Stage stages[] = {
+        {2, 64, 1}, {2, 128, 2}, {2, 256, 2}, {2, 512, 2},
+    };
+    int64_t d = 16, hw = 112, inCh = 64;
+    // The torchvision stem downsamples H,W by 2 via stride (1,2,2);
+    // our isotropic-stride conv3d approximates it with a pooled stem.
+    PoolParams pool;
+    pool.n = n;
+    pool.c = 64;
+    pool.h = 16 * 112;   // folded (d*h, w) view of the 3d tensor
+    pool.w = 112;
+    pool.kernel = 2;
+    pool.stride = 2;
+    x = g.addMaxPool2d(pool, x, "stem.pool");
+    d = 8;
+    hw = 56;
+    for (int s = 0; s < 4; ++s) {
+        for (int b = 0; b < stages[s].blocks; ++b) {
+            int64_t stride = (b == 0) ? stages[s].stride : 1;
+            x = basicBlock3d(g, x, n, inCh, stages[s].out, d, hw,
+                             stride,
+                             strformat("layer%d.%d", s + 1, b));
+            if (stride == 2) {
+                d /= 2;
+                hw /= 2;
+            }
+            inCh = stages[s].out;
+        }
+    }
+    x = g.addGlobalAvgPool(n, 512, d * hw, hw, x, "avgpool");
+    DenseParams fc;
+    fc.n = n;
+    fc.m = 400;   // Kinetics-400 head
+    fc.k = 512;
+    g.addDense(fc, x, "fc");
+    return g;
+}
+
+graph::Graph
+dcgan(int batch)
+{
+    Graph g("dcgan");
+    const int64_t n = batch;
+
+    auto tconvBn = [&](int input, int64_t in_ch, int64_t out_ch,
+                       int64_t hw, int64_t stride, int64_t pad,
+                       bool relu, const std::string &label) {
+        TConv2dConfig config;
+        config.n = n;
+        config.c = in_ch;
+        config.h = config.w = hw;
+        config.k = out_ch;
+        config.r = config.s = 4;
+        config.stride = stride;
+        config.pad = pad;
+        int node = g.addTConv2d(config, input, label);
+        node = g.addEpilogue(OpType::BatchNorm, node, label + ".bn");
+        if (relu)
+            node = g.addEpilogue(OpType::Relu, node, label + ".relu");
+        return node;
+    };
+
+    // Generator: z(100) -> 4x4x512 -> 8x8x256 -> 16x16x128 ->
+    // 32x32x64 -> 64x64x3.
+    int x = tconvBn(-1, 100, 512, 1, 1, 0, true, "g1");
+    x = tconvBn(x, 512, 256, 4, 2, 1, true, "g2");
+    x = tconvBn(x, 256, 128, 8, 2, 1, true, "g3");
+    x = tconvBn(x, 128, 64, 16, 2, 1, true, "g4");
+    TConv2dConfig out;
+    out.n = n;
+    out.c = 64;
+    out.h = out.w = 32;
+    out.k = 3;
+    out.r = out.s = 4;
+    out.stride = 2;
+    out.pad = 1;
+    int img = g.addTConv2d(out, x, "g5");
+    g.addEpilogue(OpType::Tanh, img, "g5.tanh");
+    return g;
+}
+
+graph::Graph
+vitB32(int batch)
+{
+    Graph g("vit_b32");
+    const int64_t n = batch;
+    const int64_t dim = 768, heads = 12, headDim = 64;
+    const int64_t seq = 50;   // 224/32 = 7x7 patches + [CLS]
+
+    // Patch embedding: 32x32 stride-32 convolution.
+    Conv2dConfig patch;
+    patch.n = n;
+    patch.c = 3;
+    patch.h = patch.w = 224;
+    patch.k = dim;
+    patch.r = patch.s = 32;
+    patch.stride = 32;
+    patch.pad = 0;
+    patch.bias = true;
+    int x = g.addConv2d(patch, -1, "patch_embed");
+
+    const int64_t tokens = n * seq;
+    for (int layer = 0; layer < 12; ++layer) {
+        std::string label = strformat("encoder%d", layer);
+        RowsColsParams ln;
+        ln.rows = tokens;
+        ln.cols = dim;
+        int norm1 = g.addLayerNorm(ln, x, label + ".ln1");
+
+        DenseParams qkv;
+        qkv.n = tokens;
+        qkv.m = 3 * dim;
+        qkv.k = dim;
+        int qkvNode = g.addDense(qkv, norm1, label + ".qkv");
+        qkvNode = g.addEpilogue(OpType::BiasAdd, qkvNode,
+                                label + ".qkv.bias");
+
+        BmmParams scores;
+        scores.b = n * heads;
+        scores.n = seq;
+        scores.m = seq;
+        scores.k = headDim;
+        int att = g.addBatchMatmul(scores, qkvNode, qkvNode,
+                                   label + ".qk");
+        RowsColsParams sm;
+        sm.rows = n * heads * seq;
+        sm.cols = seq;
+        att = g.addSoftmax(sm, att, label + ".softmax");
+        BmmParams mix;
+        mix.b = n * heads;
+        mix.n = seq;
+        mix.m = headDim;
+        mix.k = seq;
+        att = g.addBatchMatmul(mix, att, qkvNode, label + ".av");
+
+        DenseParams proj;
+        proj.n = tokens;
+        proj.m = dim;
+        proj.k = dim;
+        int projNode = g.addDense(proj, att, label + ".proj");
+        projNode = g.addEpilogue(OpType::BiasAdd, projNode,
+                                 label + ".proj.bias");
+        int res1 = g.addAdd(projNode, x, label + ".add1");
+
+        int norm2 = g.addLayerNorm(ln, res1, label + ".ln2");
+        DenseParams fc1;
+        fc1.n = tokens;
+        fc1.m = 4 * dim;
+        fc1.k = dim;
+        int mlp = g.addDense(fc1, norm2, label + ".mlp.fc1");
+        mlp = g.addEpilogue(OpType::BiasAdd, mlp,
+                            label + ".mlp.fc1.bias");
+        mlp = g.addEpilogue(OpType::Gelu, mlp, label + ".mlp.gelu");
+        DenseParams fc2;
+        fc2.n = tokens;
+        fc2.m = dim;
+        fc2.k = 4 * dim;
+        mlp = g.addDense(fc2, mlp, label + ".mlp.fc2");
+        mlp = g.addEpilogue(OpType::BiasAdd, mlp,
+                            label + ".mlp.fc2.bias");
+        x = g.addAdd(mlp, res1, label + ".add2");
+    }
+    RowsColsParams lnF;
+    lnF.rows = tokens;
+    lnF.cols = dim;
+    x = g.addLayerNorm(lnF, x, "ln_final");
+    DenseParams head;
+    head.n = n;
+    head.m = 1000;
+    head.k = dim;
+    g.addDense(head, x, "head");
+    return g;
+}
+
+graph::Graph
+llama(int batch, int seq_len)
+{
+    Graph g("llama");
+    const int64_t n = batch;
+    const int64_t dim = 4096, heads = 32, headDim = 128;
+    const int64_t ffn = 11008;   // LLaMA-7B SwiGLU hidden size
+    const int64_t layers = 32;
+    const int64_t tokens = n * seq_len;
+
+    // The token-embedding gather is folded into the first RMSNorm's
+    // memory stream (both read/write the same tokens x dim tensor).
+    int x = -1;
+    for (int64_t layer = 0; layer < layers; ++layer) {
+        std::string label = strformat("decoder%d", static_cast<int>(layer));
+        RowsColsParams rms;
+        rms.rows = tokens;
+        rms.cols = dim;
+        int norm1 = (x == -1)
+                        ? g.addLayerNorm(rms, -1, label + ".rms1")
+                        : g.addLayerNorm(rms, x, label + ".rms1");
+
+        DenseParams proj;
+        proj.n = tokens;
+        proj.m = dim;
+        proj.k = dim;
+        int q = g.addDense(proj, norm1, label + ".q_proj");
+        int k = g.addDense(proj, norm1, label + ".k_proj");
+        g.addDense(proj, norm1, label + ".v_proj");
+
+        BmmParams scores;
+        scores.b = n * heads;
+        scores.n = seq_len;
+        scores.m = seq_len;
+        scores.k = headDim;
+        int att = g.addBatchMatmul(scores, q, k, label + ".qk");
+        RowsColsParams sm;
+        sm.rows = n * heads * seq_len;
+        sm.cols = seq_len;
+        att = g.addSoftmax(sm, att, label + ".softmax");
+        BmmParams mix;
+        mix.b = n * heads;
+        mix.n = seq_len;
+        mix.m = headDim;
+        mix.k = seq_len;
+        att = g.addBatchMatmul(mix, att, att, label + ".av");
+        int o = g.addDense(proj, att, label + ".o_proj");
+        int res1 = (x == -1) ? o : g.addAdd(o, x, label + ".add1");
+
+        int norm2 = g.addLayerNorm(rms, res1, label + ".rms2");
+        DenseParams up;
+        up.n = tokens;
+        up.m = ffn;
+        up.k = dim;
+        int gate = g.addDense(up, norm2, label + ".gate_proj");
+        g.addDense(up, norm2, label + ".up_proj");
+        int silu = g.addEpilogue(OpType::Sigmoid, gate,
+                                 label + ".silu");
+        DenseParams down;
+        down.n = tokens;
+        down.m = dim;
+        down.k = ffn;
+        int mlp = g.addDense(down, silu, label + ".down_proj");
+        x = g.addAdd(mlp, res1, label + ".add2");
+    }
+    RowsColsParams rmsF;
+    rmsF.rows = tokens;
+    rmsF.cols = dim;
+    x = g.addLayerNorm(rmsF, x, "rms_final");
+    DenseParams head;
+    head.n = tokens;
+    head.m = 32000;
+    head.k = dim;
+    g.addDense(head, x, "lm_head");
+    return g;
+}
+
+std::vector<NetworkSpec>
+evaluationNetworks()
+{
+    std::vector<NetworkSpec> specs;
+    specs.push_back({"ResNet-50",
+                     [](int batch) { return resnet50(batch); }, true,
+                     true});
+    specs.push_back({"MobileNet-v2",
+                     [](int batch) { return mobilenetV2(batch); },
+                     true, true});
+    specs.push_back({"R3d-18", [](int batch) { return r3d18(batch); },
+                     true, true});
+    specs.push_back({"DCGAN", [](int batch) { return dcgan(batch); },
+                     true, true});
+    specs.push_back({"ViT-B/32",
+                     [](int batch) { return vitB32(batch); }, true,
+                     true});
+    // LLaMA does not fit in Xavier NX memory at all, nor on the
+    // A5000 at batch 16 (paper §6.1, §6.4).
+    specs.push_back({"LLaMA",
+                     [](int batch) { return llama(batch, 100); },
+                     false, false});
+    return specs;
+}
+
+} // namespace models
+} // namespace felix

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The six evaluated neural networks (paper §5), built as computation
+ * graphs with their published layer configurations:
+ *
+ *  - ResNet-50 (He et al.) — image classification
+ *  - MobileNet-v2 (Sandler et al.) — many small layers (§6.1)
+ *  - R3D-18 (Hara et al.) — 3d convolutions dominate (>99% FLOPs)
+ *  - DCGAN generator (Radford et al.) — transposed convolutions
+ *  - ViT-B/32 (Dosovitskiy et al.) — transformer encoder
+ *  - LLaMA-7B prefill (Touvron et al.) — 100-token input (§5)
+ *
+ * All builders are batch-size parametric (batch 16 drives Fig. 10 /
+ * Table 2b).
+ */
+#ifndef FELIX_MODELS_MODELS_H_
+#define FELIX_MODELS_MODELS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace felix {
+namespace models {
+
+graph::Graph resnet50(int batch = 1);
+graph::Graph mobilenetV2(int batch = 1);
+graph::Graph r3d18(int batch = 1);
+graph::Graph dcgan(int batch = 1);
+graph::Graph vitB32(int batch = 1);
+graph::Graph llama(int batch = 1, int seq_len = 100);
+
+/** A named network builder (for the experiment harnesses). */
+struct NetworkSpec
+{
+    std::string name;
+    std::function<graph::Graph(int)> build;
+    /** Fits on the Xavier NX / in A5000 memory at batch 16? */
+    bool runsOnXavier = true;
+    bool runsAtBatch16 = true;
+};
+
+/** The paper's evaluation set, in its Figure 6 order. */
+std::vector<NetworkSpec> evaluationNetworks();
+
+} // namespace models
+} // namespace felix
+
+#endif // FELIX_MODELS_MODELS_H_

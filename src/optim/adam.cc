@@ -1,0 +1,42 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace optim {
+
+Adam::Adam(size_t size, AdamConfig config)
+    : config_(config), m_(size, 0.0), v_(size, 0.0)
+{
+}
+
+void
+Adam::step(std::vector<double> &x, const std::vector<double> &grad)
+{
+    FELIX_CHECK(x.size() == m_.size() && grad.size() == m_.size(),
+                "Adam: size mismatch");
+    ++t_;
+    const double corr1 = 1.0 - std::pow(config_.beta1, t_);
+    const double corr2 = 1.0 - std::pow(config_.beta2, t_);
+    for (size_t i = 0; i < x.size(); ++i) {
+        m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * grad[i];
+        v_[i] = config_.beta2 * v_[i] +
+                (1.0 - config_.beta2) * grad[i] * grad[i];
+        const double mHat = m_[i] / corr1;
+        const double vHat = v_[i] / corr2;
+        x[i] -= config_.lr * mHat / (std::sqrt(vHat) + config_.eps);
+    }
+}
+
+void
+Adam::reset()
+{
+    std::fill(m_.begin(), m_.end(), 0.0);
+    std::fill(v_.begin(), v_.end(), 0.0);
+    t_ = 0;
+}
+
+} // namespace optim
+} // namespace felix

@@ -1,0 +1,229 @@
+#include "optim/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "features/features.h"
+#include "rewrite/smoothing.h"
+#include "rewrite/transforms.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace optim {
+
+using expr::Expr;
+
+std::vector<double>
+SearchStrategy::featuresOf(const Candidate &candidate)
+{
+    return candidate.rawFeatures;
+}
+
+void
+GradientSearch::observe(const Candidate &candidate,
+                        double measured_latency_sec)
+{
+    if (bestMeasuredLatency_ < 0.0 ||
+        measured_latency_sec < bestMeasuredLatency_) {
+        bestMeasuredLatency_ = measured_latency_sec;
+        bestMeasured_ = candidate;
+    }
+}
+
+GradientSearch::GradientSearch(const tir::SubgraphDef &subgraph,
+                               GradSearchOptions options)
+    : options_(std::move(options)),
+      sketches_(sketch::generateSketches(subgraph,
+                                         options_.sketchOptions))
+{
+    for (const sketch::SymbolicSchedule &sched : sketches_) {
+        SketchContext context;
+        context.sched = &sched;
+        for (const auto &domain : sched.vars)
+            context.varNames.push_back(domain.name);
+
+        // Exact x-space feature formulas (candidate evaluation and
+        // hardware measurement path).
+        auto raw = features::extractFeatures(sched.program);
+        context.rawFeatures = std::make_unique<expr::CompiledExprs>(
+            raw, context.varNames);
+
+        // Differentiable objective tape: smoothed model inputs
+        // log(max(f,1)) composed with the e^y substitution, plus the
+        // smoothed legality constraints g_ir(e^y). The ablation
+        // knobs can disable either rewrite stage.
+        std::vector<Expr> outputs;
+        outputs.reserve(raw.size() + sched.constraints.size());
+        for (const Expr &f : raw) {
+            Expr base = options_.applySmoothing
+                            ? rewrite::makeSmooth(f, options_.kernel)
+                            : f;
+            Expr logged = rewrite::logExpand(base);
+            if (options_.applyLogExp) {
+                logged = rewrite::expSubstituteVars(
+                    logged, context.varNames);
+            }
+            outputs.push_back(options_.applySmoothing
+                                  ? rewrite::smoothMax0(
+                                        logged, options_.kernel)
+                                  : expr::max(logged,
+                                              Expr::constant(0.0)));
+        }
+        for (const Expr &g : sched.constraints) {
+            Expr smooth = options_.applySmoothing
+                              ? rewrite::makeSmooth(g, options_.kernel)
+                              : g;
+            if (options_.applyLogExp) {
+                smooth = rewrite::expSubstituteVars(
+                    smooth, context.varNames);
+            }
+            outputs.push_back(smooth);
+        }
+        context.numPenalties = sched.constraints.size();
+        context.objective = std::make_unique<expr::CompiledExprs>(
+            outputs, context.varNames);
+        context.checker =
+            std::make_unique<sketch::ConstraintChecker>(sched);
+        contexts_.push_back(std::move(context));
+    }
+}
+
+RoundResult
+GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
+{
+    RoundResult result;
+    const int numFeatures = features::kNumFeatures;
+
+    // Deduplicated valid candidates across all seeds and steps.
+    std::map<std::pair<int, std::vector<double>>, Candidate> seen;
+
+    for (int seed = 0; seed < options_.nSeeds; ++seed) {
+        const int sketchIdx =
+            seed % static_cast<int>(contexts_.size());
+        SketchContext &context = contexts_[sketchIdx];
+        const size_t numVars = context.varNames.size();
+
+        // RandomInitSchedVars: rejection-sample a valid start; with
+        // the e^y substitution the iterate lives in log space. One
+        // seed warm-starts from the best measured schedule so late
+        // rounds refine around the incumbent (Ansor keeps elites the
+        // same way).
+        std::vector<double> x0;
+        if (seed == 0 && bestMeasuredLatency_ > 0.0 &&
+            bestMeasured_.sketchIndex == sketchIdx) {
+            x0 = bestMeasured_.x;
+        } else {
+            x0 = sketch::sampleValid(*context.sched, rng);
+        }
+        std::vector<double> y(numVars);
+        for (size_t i = 0; i < numVars; ++i) {
+            y[i] = options_.applyLogExp
+                       ? std::log(std::max(1.0, x0[i]))
+                       : x0[i];
+        }
+
+        Adam adam(numVars, options_.adam);
+        std::vector<double> outputs, outputGrads, inputGrads;
+        std::vector<double> modelInputs(numFeatures);
+        std::vector<double> modelGrad;
+
+        for (int step = 0; step < options_.nSteps; ++step) {
+            context.objective->forward(y, outputs);
+            for (int k = 0; k < numFeatures; ++k)
+                modelInputs[k] = outputs[k];
+            const double score = model.predictTransformedWithGrad(
+                modelInputs, modelGrad);
+            ++result.trace.numPredictions;
+            result.trace.visitedScores.push_back(score);
+
+            // d(O)/d(outputs): -dC/dz for the features, and
+            // lambda * 2 * max(g, 0) for each penalty term.
+            outputGrads.assign(outputs.size(), 0.0);
+            for (int k = 0; k < numFeatures; ++k)
+                outputGrads[k] = -modelGrad[k];
+            for (size_t p = 0; p < context.numPenalties; ++p) {
+                const double g = outputs[numFeatures + p];
+                if (g > 0.0) {
+                    outputGrads[numFeatures + p] =
+                        options_.lambda * 2.0 * g;
+                }
+            }
+            context.objective->backward(outputGrads, inputGrads);
+            adam.step(y, inputGrads);
+
+            // Round the newly visited point to a valid schedule and
+            // remember it (GetValidSchedules over the whole history).
+            std::vector<double> logPoint = y;
+            if (!options_.applyLogExp) {
+                for (double &v : logPoint)
+                    v = std::log(std::max(1e-9, v));
+            }
+            auto rounded = sketch::roundToValid(
+                *context.sched, logPoint, *context.checker);
+            if (rounded) {
+                seen.emplace(
+                    std::make_pair(sketchIdx, *rounded),
+                    Candidate{sketchIdx, *rounded, {}, 0.0});
+            }
+        }
+        // The starting point is a valid schedule too.
+        seen.emplace(std::make_pair(sketchIdx, x0),
+                     Candidate{sketchIdx, x0, {}, 0.0});
+    }
+
+    // Rank all valid rounded schedules by predicted performance
+    // (exact features, not the smoothed surrogate) and keep the top
+    // nMeasure.
+    std::vector<Candidate> candidates;
+    candidates.reserve(seen.size());
+    for (auto &entry : seen) {
+        Candidate candidate = std::move(entry.second);
+        SketchContext &context = contexts_[candidate.sketchIndex];
+        candidate.rawFeatures =
+            context.rawFeatures->eval(candidate.x);
+        candidate.predictedScore =
+            model.predict(candidate.rawFeatures);
+        ++result.trace.numPredictions;
+        candidates.push_back(std::move(candidate));
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.predictedScore > b.predictedScore;
+              });
+
+    // Stratified measurement selection: mostly the global top
+    // predictions, but guarantee every sketch a couple of slots so
+    // a cost model that misranks one schedule family still receives
+    // corrective measurements for it (the fine-tuning loop of
+    // Algorithm 1 line 24 then fixes the ranking).
+    const int perSketchFloor = 2;
+    std::vector<Candidate> selected;
+    std::vector<bool> taken(candidates.size(), false);
+    for (size_t sk = 0; sk < contexts_.size(); ++sk) {
+        int got = 0;
+        for (size_t i = 0;
+             i < candidates.size() && got < perSketchFloor; ++i) {
+            if (!taken[i] &&
+                candidates[i].sketchIndex == static_cast<int>(sk)) {
+                taken[i] = true;
+                selected.push_back(candidates[i]);
+                ++got;
+            }
+        }
+    }
+    for (size_t i = 0; i < candidates.size() &&
+                       static_cast<int>(selected.size()) <
+                           options_.nMeasure;
+         ++i) {
+        if (!taken[i])
+            selected.push_back(candidates[i]);
+    }
+    if (static_cast<int>(selected.size()) > options_.nMeasure)
+        selected.resize(options_.nMeasure);
+    result.toMeasure = std::move(selected);
+    return result;
+}
+
+} // namespace optim
+} // namespace felix

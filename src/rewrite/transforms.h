@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Gradient-stability rewrites (paper §3.3, "Gradient stability") and
+ * constraint-to-penalty lowering (§3.3, "Constraint penalty
+ * functions").
+ *
+ * Program features grow multiplicatively (float_add ~ N*M*K can hit
+ * 1e9), which makes gradients vanish. Felix (1) takes the logarithm
+ * of each smooth feature, structurally expanding log over products
+ * where positivity is provable, and (2) substitutes x = e^y for each
+ * schedule variable so the optimizer works in log space. Together
+ * the two rewrites turn multiplicative formulas into additive ones
+ * with linear growth.
+ */
+#ifndef FELIX_REWRITE_TRANSFORMS_H_
+#define FELIX_REWRITE_TRANSFORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace felix {
+namespace rewrite {
+
+/**
+ * Conservative positivity analysis.
+ *
+ * Variables are treated as positive: every Felix schedule variable
+ * is a size/factor with domain [1, N]. Constants, products,
+ * quotients, mins/maxes/sums of positives, exp, sqrt and sigmoid of
+ * anything positive, etc.
+ */
+bool provablyPositive(const expr::Expr &e);
+
+/**
+ * log(feature), expanded structurally where positivity allows:
+ *   log(a*b) -> log a + log b        log(a/b) -> log a - log b
+ *   log(a^b) -> b * log a            log(exp a) -> a
+ *   log(sqrt a) -> log(a) / 2
+ * Subterms that cannot be proven positive stay under a (safe) log.
+ */
+expr::Expr logExpand(const expr::Expr &feature);
+
+/**
+ * Exponential variable substitution x = e^y.
+ *
+ * Replaces every variable in @p vars by exp(var). Variable names are
+ * kept; after this rewrite the optimizer's values are interpreted in
+ * log space. When applied after logExpand, occurrences log(exp(v))
+ * collapse to v, so tile-size products become sums of log variables.
+ */
+expr::Expr expSubstituteVars(const expr::Expr &root,
+                             const std::vector<std::string> &vars);
+
+/**
+ * Penalty function for a constraint g <= 0: max(g, 0)^2.
+ *
+ * This is already C^1 (derivative 2*max(g,0)), so it is used as-is
+ * rather than smoothed — matching the paper's Eqn. 4.
+ */
+expr::Expr penalty(const expr::Expr &g);
+
+/**
+ * The full Felix feature pipeline for one formula:
+ * smooth -> log-expand -> e^y substitution.
+ */
+expr::Expr featurePipeline(const expr::Expr &raw_feature,
+                           const std::vector<std::string> &vars);
+
+} // namespace rewrite
+} // namespace felix
+
+#endif // FELIX_REWRITE_TRANSFORMS_H_

@@ -1,0 +1,114 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace sim {
+
+const char *
+deviceKindName(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::A10G: return "A10G";
+      case DeviceKind::A5000: return "RTX A5000";
+      case DeviceKind::XavierNX: return "Xavier NX";
+    }
+    return "?";
+}
+
+double
+DeviceConfig::peakFlops() const
+{
+    // 2 FLOPs per FMA lane per cycle.
+    return smCount * coresPerSm * 2.0 * clockGhz * 1e9;
+}
+
+double
+DeviceConfig::dramBytesPerSec() const
+{
+    return dramGBps * 1e9;
+}
+
+const DeviceConfig &
+deviceConfig(DeviceKind kind)
+{
+    // Published specifications of the three parts (see paper §5 and
+    // the NVIDIA datasheets cited there).
+    static const DeviceConfig a10g = [] {
+        DeviceConfig config;
+        config.name = "A10G";
+        config.kind = DeviceKind::A10G;
+        config.smCount = 80;            // GA102, 80 SM
+        config.coresPerSm = 128;
+        config.clockGhz = 1.71;
+        config.dramGBps = 600.0;
+        config.l2Bytes = 6.0 * 1024 * 1024;
+        config.maxThreadsPerSm = 1536;  // Ampere
+        config.sharedPerSmBytes = 100.0 * 1024;
+        config.launchOverheadUs = 3.5;
+        return config;
+    }();
+    static const DeviceConfig a5000 = [] {
+        DeviceConfig config;
+        config.name = "RTX A5000";
+        config.kind = DeviceKind::A5000;
+        config.smCount = 64;            // GA102, 64 SM (8192 cores)
+        config.coresPerSm = 128;
+        config.clockGhz = 1.695;
+        config.dramGBps = 768.0;
+        config.l2Bytes = 6.0 * 1024 * 1024;
+        config.maxThreadsPerSm = 1536;
+        config.sharedPerSmBytes = 100.0 * 1024;
+        config.launchOverheadUs = 3.5;
+        return config;
+    }();
+    static const DeviceConfig xavier = [] {
+        DeviceConfig config;
+        config.name = "Xavier NX";
+        config.kind = DeviceKind::XavierNX;
+        config.smCount = 6;             // 384-core Volta
+        config.coresPerSm = 64;
+        config.clockGhz = 1.1;
+        config.dramGBps = 51.2;         // shared LPDDR4x
+        config.sharedBwRatio = 30.0;    // small DRAM bw, Volta smem
+        config.l2Bytes = 512.0 * 1024;
+        config.maxThreadsPerSm = 2048;  // Volta
+        config.maxBlocksPerSm = 32;
+        config.sharedPerSmBytes = 96.0 * 1024;
+        config.launchOverheadUs = 10.0; // slower host + RPC path
+        return config;
+    }();
+    switch (kind) {
+      case DeviceKind::A10G: return a10g;
+      case DeviceKind::A5000: return a5000;
+      case DeviceKind::XavierNX: return xavier;
+    }
+    panic("unknown device kind");
+}
+
+std::vector<DeviceKind>
+allDevices()
+{
+    return {DeviceKind::A5000, DeviceKind::A10G, DeviceKind::XavierNX};
+}
+
+DeviceKind
+parseDevice(const std::string &name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "a10g")
+        return DeviceKind::A10G;
+    if (lower == "a5000" || lower == "rtx-a5000" || lower == "rtx_a5000")
+        return DeviceKind::A5000;
+    if (lower == "xavier-nx" || lower == "xavier" || lower == "xaviernx")
+        return DeviceKind::XavierNX;
+    fatal("unknown device: " + name +
+          " (expected a10g, a5000, or xavier-nx)");
+}
+
+} // namespace sim
+} // namespace felix

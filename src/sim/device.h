@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulated GPU devices.
+ *
+ * The paper evaluates on three NVIDIA GPUs (A10G server, RTX A5000
+ * desktop, Xavier NX edge). No GPU hardware is available to this
+ * reproduction, so `sim/` provides an analytical latency model with
+ * device configurations matching the published specifications of
+ * those parts. The model consumes the same 82 concrete program
+ * features the cost model sees, which makes the features a
+ * sufficient statistic of performance — mirroring the real-world
+ * property that program characteristics determine run time.
+ * See DESIGN.md §2 for the substitution rationale.
+ */
+#ifndef FELIX_SIM_DEVICE_H_
+#define FELIX_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace sim {
+
+/** Identifiers for the three evaluated GPUs. */
+enum class DeviceKind { A10G, A5000, XavierNX };
+
+const char *deviceKindName(DeviceKind kind);
+
+/** Analytical-model parameters of one GPU. */
+struct DeviceConfig
+{
+    std::string name;
+    DeviceKind kind = DeviceKind::A5000;
+
+    double smCount = 64;           ///< streaming multiprocessors
+    double coresPerSm = 128;       ///< FP32 lanes per SM
+    double clockGhz = 1.7;
+    double dramGBps = 600.0;       ///< DRAM bandwidth
+    double l2Bytes = 6.0 * 1024 * 1024;
+    double sharedBwRatio = 18.0;   ///< shared-mem BW vs DRAM
+    double maxThreadsPerSm = 1536;
+    double maxBlocksPerSm = 16;
+    double sharedPerSmBytes = 100.0 * 1024;
+    double launchOverheadUs = 4.0;
+    double specialOpCost = 4.0;    ///< exp/tanh vs FMA cost ratio
+
+    /** Peak FP32 throughput in FLOP/s. */
+    double peakFlops() const;
+    /** Peak DRAM bandwidth in bytes/s. */
+    double dramBytesPerSec() const;
+};
+
+/** Configuration of one of the three evaluated GPUs. */
+const DeviceConfig &deviceConfig(DeviceKind kind);
+
+/** All three evaluated devices. */
+std::vector<DeviceKind> allDevices();
+
+/** Parse "a10g" / "a5000" / "xavier-nx" (case-insensitive). */
+DeviceKind parseDevice(const std::string &name);
+
+} // namespace sim
+} // namespace felix
+
+#endif // FELIX_SIM_DEVICE_H_

@@ -1,0 +1,239 @@
+#include "sim/gpu_model.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "features/features.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace felix {
+namespace sim {
+
+namespace {
+
+/** Cached feature indices (featureIndex does a linear scan). */
+struct FeatureIdx
+{
+    int flopsTotal = features::featureIndex("flops_total");
+    int floatSpecial = features::featureIndex("float_special");
+    int floatDiv = features::featureIndex("float_div");
+    int intAdd = features::featureIndex("int_add");
+    int blockLen = features::featureIndex("block_len");
+    int threadLen = features::featureIndex("thread_len");
+    int vthreadLen = features::featureIndex("vthread_len");
+    int unrollStep = features::featureIndex("unroll_max_step");
+    int unrollApplied = features::featureIndex("unroll_applied");
+    int vecLen = features::featureIndex("vec_len");
+    int globalTraffic =
+        features::featureIndex("global_load_traffic_bytes");
+    int globalStores = features::featureIndex("global_store_bytes");
+    int globalUnique = features::featureIndex("global_unique_bytes");
+    int footprintBlock =
+        features::featureIndex("footprint_per_block_bytes");
+    int coalesce = features::featureIndex("coalesce_penalty");
+    int sharedBytes = features::featureIndex("shared_bytes_total");
+    int sharedTraffic = features::featureIndex("shared_traffic_bytes");
+    int syncCount = features::featureIndex("sync_count");
+    int serialWork = features::featureIndex("serial_work_per_thread");
+    int spatialInner = features::featureIndex("spatial_inner");
+    int regPressure = features::featureIndex("reg_pressure_proxy");
+    int bUnique[3] = {features::featureIndex("b0_unique_bytes"),
+                      features::featureIndex("b1_unique_bytes"),
+                      features::featureIndex("b2_unique_bytes")};
+    int bTraffic[3] = {features::featureIndex("b0_traffic_bytes"),
+                       features::featureIndex("b1_traffic_bytes"),
+                       features::featureIndex("b2_traffic_bytes")};
+};
+
+const FeatureIdx &
+idx()
+{
+    static const FeatureIdx indices;
+    return indices;
+}
+
+double
+clamp01(double x)
+{
+    return std::min(1.0, std::max(0.0, x));
+}
+
+} // namespace
+
+LatencyBreakdown
+kernelLatencyDetail(const std::vector<double> &f,
+                    const DeviceConfig &device)
+{
+    FELIX_CHECK(f.size() ==
+                static_cast<size_t>(features::kNumFeatures),
+                "latency model expects the 82-feature vector");
+    const FeatureIdx &fi = idx();
+    LatencyBreakdown out;
+
+    const double blocks = std::max(1.0, f[fi.blockLen]);
+    const double threads = std::max(1.0, f[fi.threadLen]);
+
+    // ---- Occupancy & parallel efficiency ------------------------------
+    const double warps = std::ceil(threads / 32.0);
+    out.warpEfficiency = threads / (warps * 32.0);
+
+    double blocksPerSm = std::floor(device.maxThreadsPerSm / threads);
+    blocksPerSm = std::min(blocksPerSm, device.maxBlocksPerSm);
+    const double shared = f[fi.sharedBytes];
+    if (shared > 0.0) {
+        blocksPerSm = std::min(
+            blocksPerSm,
+            std::floor(device.sharedPerSmBytes / shared));
+    }
+    // Register pressure limits residency: large per-thread tiles eat
+    // the register file (proxy: ~2 registers per value in flight out
+    // of a 64K-register file shared by resident threads).
+    const double regsPerThread =
+        16.0 + 2.0 * std::max(0.0, f[fi.regPressure]);
+    blocksPerSm = std::min(
+        blocksPerSm,
+        std::floor(65536.0 / std::max(1.0, regsPerThread * threads)));
+    blocksPerSm = std::max(1.0, blocksPerSm);
+
+    const double residentPerSm =
+        std::min(blocksPerSm,
+                 std::max(1.0, std::ceil(blocks / device.smCount)));
+    out.occupancy = clamp01(residentPerSm * threads /
+                            device.maxThreadsPerSm);
+    // Latency hiding saturates quickly with occupancy.
+    const double latencyHiding =
+        out.occupancy / (out.occupancy + 0.05);
+
+    const double slotCap = device.smCount * residentPerSm;
+    const double waves = std::ceil(blocks / slotCap);
+    out.waveEfficiency = blocks / (waves * slotCap);
+
+    // ---- Compute roofline ----------------------------------------------
+    const double specialExtra =
+        f[fi.floatSpecial] * (device.specialOpCost - 1.0) +
+        f[fi.floatDiv] * 3.0;
+    const double intWork = 0.35 * f[fi.intAdd];
+    const double computeWork =
+        f[fi.flopsTotal] + specialExtra + intWork;
+
+    // ILP boost from unrolling (up to ~1.35x), with an instruction
+    // cache penalty for extreme unroll factors.
+    double ilp = 1.0;
+    if (f[fi.unrollApplied] > 0.5) {
+        double step = std::max(2.0, f[fi.unrollStep]);
+        ilp += 0.35 * clamp01(std::log2(step) / 6.0);
+        if (step > 256.0)
+            ilp *= 0.92;
+    }
+    ilp += 0.05 * clamp01(f[fi.vecLen] - 1.0);
+    // Virtual threads interleave independent instruction streams in
+    // one physical thread (Ansor's vthread), improving ILP.
+    if (f[fi.vthreadLen] > 1.0) {
+        ilp += 0.15 * clamp01(std::log2(f[fi.vthreadLen]) / 3.0);
+    }
+
+    // The ILP boost can compensate other losses but never push a
+    // kernel beyond the device's peak throughput.
+    const double computeEff = std::min(
+        1.0, std::max(1e-3, latencyHiding * out.warpEfficiency *
+                                out.waveEfficiency * ilp));
+    out.computeSec =
+        computeWork / (device.peakFlops() * computeEff);
+
+    // ---- Memory roofline -------------------------------------------------
+    // Per-buffer L2 adjustment: refetches of a buffer that fits
+    // comfortably in L2 (e.g. the small activation matrix of a
+    // matmul) are mostly L2 hits, while refetches of a buffer much
+    // larger than L2 (streamed weights) go to DRAM every time.
+    double dramTraffic = f[fi.globalStores];
+    double perBufferRaw = 0.0;
+    for (int slot = 0; slot < 3; ++slot) {
+        const double unique = f[fi.bUnique[slot]];
+        const double traffic = f[fi.bTraffic[slot]];
+        if (traffic <= 0.0)
+            continue;
+        perBufferRaw += traffic;
+        if (traffic <= unique) {
+            dramTraffic += traffic;
+            continue;
+        }
+        // A buffer well under the L2 capacity stays resident and its
+        // refetches are free; one far above it misses every time.
+        const double ratio = unique / device.l2Bytes;
+        const double missFrac =
+            clamp01((ratio - 0.4) / (ratio + 0.6));
+        dramTraffic += unique + (traffic - unique) * missFrac;
+    }
+    // Traffic not attributed to the three tracked buffers (epilogue
+    // and auxiliary stages) is charged at face value.
+    dramTraffic +=
+        std::max(0.0, f[fi.globalTraffic] - perBufferRaw);
+
+    const double transactions = std::max(1.0, f[fi.coalesce]);
+    const double coalesceEff = 1.0 / (1.0 + 0.12 * (transactions - 1.0));
+    // DRAM needs enough threads in flight to reach peak bandwidth.
+    const double memParallel = clamp01(
+        blocks * threads / (device.smCount * 384.0));
+    const double memEff = std::max(
+        0.02, coalesceEff * (0.15 + 0.85 * memParallel));
+    out.memorySec = dramTraffic / (device.dramBytesPerSec() * memEff);
+
+    // ---- Shared memory & synchronization ---------------------------------
+    const double sharedBw =
+        device.dramBytesPerSec() * device.sharedBwRatio;
+    out.sharedSec =
+        f[fi.sharedTraffic] /
+        (sharedBw * std::max(0.3, latencyHiding));
+    // Syncthreads serialize per resident block slot; total stall is
+    // the per-slot sync count times the barrier latency.
+    out.syncSec = f[fi.syncCount] * 25e-9 / std::max(1.0, slotCap);
+
+    // ---- Combine -----------------------------------------------------------
+    // Smooth roofline max: components overlap but the largest
+    // dominates (p-norm with p = 3).
+    const double p = 3.0;
+    const double body =
+        std::pow(std::pow(out.computeSec, p) +
+                     std::pow(out.memorySec, p) +
+                     std::pow(out.sharedSec, p),
+                 1.0 / p);
+    out.launchSec = device.launchOverheadUs * 1e-6;
+    out.totalSec = body + out.syncSec + out.launchSec;
+    return out;
+}
+
+double
+kernelLatency(const std::vector<double> &features,
+              const DeviceConfig &device)
+{
+    return kernelLatencyDetail(features, device).totalSec;
+}
+
+double
+measureKernel(const std::vector<double> &features,
+              const DeviceConfig &device, uint64_t noise_seed)
+{
+    const double base = kernelLatency(features, device);
+
+    // Schedule-intrinsic perturbation: effects the analytical model
+    // misses (bank conflicts, instruction scheduling luck, ...) that
+    // are a fixed property of the generated code.
+    uint64_t h = hashCombine(static_cast<uint64_t>(device.kind), 0x5bd1);
+    for (double v : features) {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        h = hashCombine(h, bits);
+    }
+    Rng intrinsic(h);
+    const double scheduleJitter = std::exp(intrinsic.normal(0.0, 0.04));
+
+    // Run-to-run measurement noise.
+    Rng run(hashCombine(h, noise_seed));
+    const double runJitter = std::exp(run.normal(0.0, 0.015));
+
+    return base * scheduleJitter * runJitter;
+}
+
+} // namespace sim
+} // namespace felix

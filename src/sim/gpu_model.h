@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytical GPU kernel latency model.
+ *
+ * Computes the latency of one scheduled subgraph (== one CUDA kernel
+ * in the TVM lowering Felix uses) from its 82 concrete program
+ * features and a device configuration. The model combines:
+ *  - a compute roofline with warp efficiency, occupancy-based
+ *    latency hiding, wave quantization / SM under-utilization (the
+ *    effect that makes small layers hard to schedule, §6.1), and an
+ *    ILP boost from unrolling;
+ *  - a memory roofline with L2-hit modelling of block-level
+ *    refetches, coalescing penalties and bandwidth saturation;
+ *  - shared-memory traffic and block synchronization costs;
+ *  - kernel launch overhead.
+ *
+ * measureKernel() adds deterministic, hash-seeded multiplicative
+ * noise to emulate empirical measurement (repeatable experiments).
+ */
+#ifndef FELIX_SIM_GPU_MODEL_H_
+#define FELIX_SIM_GPU_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace felix {
+namespace sim {
+
+/** Per-component latency contributions, for inspection/tests. */
+struct LatencyBreakdown
+{
+    double computeSec = 0.0;
+    double memorySec = 0.0;
+    double sharedSec = 0.0;
+    double syncSec = 0.0;
+    double launchSec = 0.0;
+    double totalSec = 0.0;
+
+    double occupancy = 0.0;      ///< resident warps / max warps
+    double warpEfficiency = 0.0; ///< active lanes per warp
+    double waveEfficiency = 0.0; ///< block slots actually used
+};
+
+/** Noise-free latency (seconds) of a kernel with these features. */
+double kernelLatency(const std::vector<double> &features,
+                     const DeviceConfig &device);
+
+/** Latency with the full component breakdown. */
+LatencyBreakdown kernelLatencyDetail(const std::vector<double> &features,
+                                     const DeviceConfig &device);
+
+/**
+ * Emulated empirical measurement: latency with deterministic
+ * multiplicative noise. @p noise_seed selects the measurement run
+ * (same seed + same features => same result); the schedule-intrinsic
+ * perturbation is derived from the features themselves.
+ */
+double measureKernel(const std::vector<double> &features,
+                     const DeviceConfig &device, uint64_t noise_seed);
+
+} // namespace sim
+} // namespace felix
+
+#endif // FELIX_SIM_GPU_MODEL_H_

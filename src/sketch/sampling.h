@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sampling, rounding and validation of schedule-variable values.
+ *
+ * Three pieces of Algorithm 1 live here:
+ *  - RandomInitSchedVars: rejection sampling of valid concrete
+ *    assignments to seed gradient descent;
+ *  - rounding of relaxed (log-space) values back to valid integers,
+ *    snapping tile factors to divisors of the loop extent nearest in
+ *    log space (paper §3.3, divisibility constraints);
+ *  - GetValidSchedules' validity check: domains, divisibility, and
+ *    every legality constraint g(x) <= 0.
+ */
+#ifndef FELIX_SKETCH_SAMPLING_H_
+#define FELIX_SKETCH_SAMPLING_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "expr/compiled.h"
+#include "sketch/sketch.h"
+#include "support/rng.h"
+
+namespace felix {
+namespace sketch {
+
+/**
+ * Evaluates a symbolic schedule's constraints at concrete values.
+ * Compiles the constraint expressions once; reusable across calls.
+ */
+class ConstraintChecker
+{
+  public:
+    explicit ConstraintChecker(const SymbolicSchedule &sched);
+
+    /** All g_i(x) <= tolerance? (x-space values, one per variable) */
+    bool feasible(const std::vector<double> &x, double tol = 1e-6);
+
+    /** Largest constraint violation max_i g_i(x) (<= 0 = feasible). */
+    double maxViolation(const std::vector<double> &x);
+
+  private:
+    const SymbolicSchedule &sched_;
+    std::unique_ptr<expr::CompiledExprs> compiled_;
+};
+
+/**
+ * Sample one valid x-space assignment by construction: tile factors
+ * are drawn as successive divisors of the remaining extent, free
+ * variables uniformly (log-scaled) from their domain; resource
+ * constraints are enforced by rejection.
+ *
+ * Returns empty when @p max_tries rejections are exhausted (then the
+ * all-ones assignment, which is always legal, is returned instead).
+ */
+std::vector<double> sampleValid(const SymbolicSchedule &sched, Rng &rng,
+                                int max_tries = 64);
+
+/**
+ * Round relaxed log-space values y (the optimizer's iterate) to a
+ * valid integer x-space assignment, or nullopt when the rounded
+ * point violates a resource constraint.
+ */
+std::optional<std::vector<double>> roundToValid(
+    const SymbolicSchedule &sched, const std::vector<double> &y);
+
+/** As above, reusing a compiled ConstraintChecker (hot loops). */
+std::optional<std::vector<double>> roundToValid(
+    const SymbolicSchedule &sched, const std::vector<double> &y,
+    ConstraintChecker &checker);
+
+/** Exact validity of an integer x-space assignment. */
+bool isValidAssignment(const SymbolicSchedule &sched,
+                       const std::vector<double> &x);
+
+} // namespace sketch
+} // namespace felix
+
+#endif // FELIX_SKETCH_SAMPLING_H_

@@ -1,0 +1,586 @@
+#include "sketch/sketch.h"
+
+#include <algorithm>
+
+#include "features/features.h"
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace sketch {
+
+using expr::Expr;
+using tir::Annotation;
+using tir::ComputeOp;
+using tir::StepKind;
+using tir::SubgraphDef;
+using tir::TransformStep;
+
+int
+SymbolicSchedule::varIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i].name == name)
+            return static_cast<int>(i);
+    }
+    panic("unknown schedule variable: " + name);
+}
+
+namespace {
+
+/**
+ * Builds a symbolic schedule step by step, applying each step to a
+ * live Program so loop indices always refer to the current state.
+ */
+class ScheduleBuilder
+{
+  public:
+    explicit ScheduleBuilder(const SubgraphDef &subgraph)
+        : subgraph_(subgraph),
+          program_(tir::naiveProgram(subgraph))
+    {
+    }
+
+    Expr
+    newVar(const std::string &name, int64_t lo, int64_t hi,
+           int64_t divisor_of, bool power_of_two = false)
+    {
+        VarDomain domain;
+        domain.name = name;
+        domain.lo = lo;
+        domain.hi = std::max(lo, hi);
+        domain.divisorOf = divisor_of;
+        domain.powerOfTwo = power_of_two;
+        vars_.push_back(domain);
+        schedule_.vars.push_back(name);
+        return Expr::var(name);
+    }
+
+    void
+    addGroup(int64_t extent, const std::vector<std::string> &names)
+    {
+        SplitGroup group;
+        group.extent = extent;
+        for (const std::string &name : names)
+            group.varIndices.push_back(indexOf(name));
+        groups_.push_back(std::move(group));
+    }
+
+    void addConstraint(Expr g) { constraints_.push_back(g); }
+
+    void
+    split(int stage, int loop, std::vector<Expr> factors)
+    {
+        TransformStep step;
+        step.kind = StepKind::Split;
+        step.stageId = stage;
+        step.loopIndex = loop;
+        step.factors = std::move(factors);
+        push(step);
+    }
+
+    void
+    fuse(int stage, int loop, int count)
+    {
+        TransformStep step;
+        step.kind = StepKind::Fuse;
+        step.stageId = stage;
+        step.loopIndex = loop;
+        step.count = count;
+        push(step);
+    }
+
+    void
+    reorder(int stage, std::vector<int> order)
+    {
+        TransformStep step;
+        step.kind = StepKind::Reorder;
+        step.stageId = stage;
+        step.order = std::move(order);
+        push(step);
+    }
+
+    void
+    annotate(int stage, int loop, Annotation ann)
+    {
+        TransformStep step;
+        step.kind = StepKind::Annotate;
+        step.stageId = stage;
+        step.loopIndex = loop;
+        step.annotation = ann;
+        push(step);
+    }
+
+    void
+    computeAt(int stage, int target, int target_loop)
+    {
+        TransformStep step;
+        step.kind = StepKind::ComputeAt;
+        step.stageId = stage;
+        step.targetStageId = target;
+        step.targetLoopIndex = target_loop;
+        push(step);
+    }
+
+    void
+    cacheRead(int consumer, int input_index, int attach_loop)
+    {
+        TransformStep step;
+        step.kind = StepKind::CacheRead;
+        step.stageId = consumer;
+        step.inputIndex = input_index;
+        step.targetLoopIndex = attach_loop;
+        push(step);
+    }
+
+    void
+    pragmaUnroll(Expr max_step)
+    {
+        TransformStep step;
+        step.kind = StepKind::Pragma;
+        step.factors = {max_step};
+        push(step);
+    }
+
+    const tir::Program &program() const { return program_; }
+
+    SymbolicSchedule
+    finish(const std::string &desc)
+    {
+        SymbolicSchedule result;
+        result.desc = desc;
+        result.schedule = std::move(schedule_);
+        result.vars = std::move(vars_);
+        result.groups = std::move(groups_);
+        result.constraints = std::move(constraints_);
+        result.program = std::move(program_);
+        return result;
+    }
+
+  private:
+    int
+    indexOf(const std::string &name) const
+    {
+        for (size_t i = 0; i < vars_.size(); ++i) {
+            if (vars_[i].name == name)
+                return static_cast<int>(i);
+        }
+        panic("group references unknown variable " + name);
+    }
+
+    void
+    push(const TransformStep &step)
+    {
+        schedule_.steps.push_back(step);
+        tir::applyStep(program_, step);
+    }
+
+    const SubgraphDef &subgraph_;
+    tir::Schedule schedule_;
+    tir::Program program_;
+    std::vector<VarDomain> vars_;
+    std::vector<SplitGroup> groups_;
+    std::vector<Expr> constraints_;
+};
+
+/** Bound constraints 1 <= v <= hi for a fresh variable. */
+void
+boundVar(ScheduleBuilder &builder, const Expr &var, int64_t hi)
+{
+    builder.addConstraint(Expr::constant(1.0) - var);
+    builder.addConstraint(var - Expr::constant(
+                                    static_cast<double>(hi)));
+}
+
+/**
+ * Is op an epilogue of the dominant op: elementwise (no reduction),
+ * same spatial extent, and reading the dominant output?
+ */
+bool
+isEpilogueOf(const ComputeOp &op, const ComputeOp &dominant)
+{
+    if (op.reduceExtent() != 1)
+        return false;
+    if (op.spatialExtent() != dominant.spatialExtent())
+        return false;
+    for (const tir::BufferAccess &access : op.inputs) {
+        if (access.tensor == dominant.name)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Schedule an auxiliary stage (non-dominant, non-epilogue): fused
+ * spatial -> [blockIdx, threadIdx(var)], reduce loops stay serial.
+ */
+void
+scheduleAuxStage(ScheduleBuilder &builder, int stage_id,
+                 const ComputeOp &op, const HardwareParams &hw)
+{
+    int numSpatial = static_cast<int>(op.spatialAxes().size());
+    if (numSpatial >= 2)
+        builder.fuse(stage_id, 0, numSpatial);
+    int64_t extent = op.spatialExtent();
+    std::string varName = strformat("s%d_th", stage_id);
+    Expr th = builder.newVar(varName, 1,
+                             std::min(extent, hw.maxThreadsPerBlock),
+                             extent);
+    builder.addGroup(extent, {varName});
+    boundVar(builder, th,
+             std::min(extent, hw.maxThreadsPerBlock));
+    builder.split(stage_id, 0, {th});
+    builder.annotate(stage_id, 0, Annotation::BlockX);
+    builder.annotate(stage_id, 1, Annotation::ThreadX);
+}
+
+/** Schedule all auxiliary stages and attach the epilogue. */
+void
+finishOtherStages(ScheduleBuilder &builder, const SubgraphDef &subgraph,
+                  int dominant, int epilogue_attach_loop,
+                  const HardwareParams &hw)
+{
+    const ComputeOp &dom = subgraph.ops[dominant];
+    for (size_t i = 0; i < subgraph.ops.size(); ++i) {
+        if (static_cast<int>(i) == dominant)
+            continue;
+        const ComputeOp &op = subgraph.ops[i];
+        if (isEpilogueOf(op, dom)) {
+            builder.computeAt(static_cast<int>(i), dominant,
+                              epilogue_attach_loop);
+        } else {
+            scheduleAuxStage(builder, static_cast<int>(i), op, hw);
+        }
+    }
+}
+
+/**
+ * Full GPU multi-level tiling (the paper's s*_2 shape): per spatial
+ * axis [vthread, threadIdx, inner] splits, per reduce axis an inner
+ * split, fused bindings, shared-memory cache reads, epilogue
+ * ComputeAt and auto-unroll.
+ */
+SymbolicSchedule
+fullTilingSketch(const SubgraphDef &subgraph, const HardwareParams &hw)
+{
+    ScheduleBuilder builder(subgraph);
+    const int d = subgraph.dominantOpIndex();
+    const ComputeOp &dom = subgraph.ops[d];
+    auto spatial = dom.spatialAxes();
+    auto reduce = dom.reduceAxes();
+    const int m = static_cast<int>(spatial.size());
+    const int n = static_cast<int>(reduce.size());
+    FELIX_CHECK(n >= 1, "full tiling requires a reduction");
+
+    Expr vthreadProduct = Expr::constant(1.0);
+    Expr threadProduct = Expr::constant(1.0);
+    Expr innerProduct = Expr::constant(1.0);
+
+    // Split reduce axes first (higher loop indices stay valid while
+    // we then split the spatial axes in reverse order).
+    for (int i = n - 1; i >= 0; --i) {
+        const tir::Axis &axis = reduce[i];
+        if (axis.extent <= 1)
+            continue;
+        std::string name = strformat("r%d_in", i);
+        Expr v = builder.newVar(name, 1, axis.extent, axis.extent);
+        builder.addGroup(axis.extent, {name});
+        boundVar(builder, v, axis.extent);
+        builder.split(d, m + i, {v});
+    }
+    for (int i = m - 1; i >= 0; --i) {
+        const tir::Axis &axis = spatial[i];
+        if (axis.extent <= 1)
+            continue;
+        std::string vtName = strformat("sp%d_vt", i);
+        std::string thName = strformat("sp%d_th", i);
+        std::string inName = strformat("sp%d_in", i);
+        Expr vt = builder.newVar(vtName, 1,
+                                 std::min(axis.extent, hw.maxVThread),
+                                 axis.extent);
+        Expr th = builder.newVar(
+            thName, 1, std::min(axis.extent, hw.maxThreadsPerBlock),
+            axis.extent);
+        Expr in = builder.newVar(
+            inName, 1, std::min(axis.extent, hw.maxInnerTile),
+            axis.extent);
+        builder.addGroup(axis.extent, {vtName, thName, inName});
+        boundVar(builder, vt, std::min(axis.extent, hw.maxVThread));
+        boundVar(builder, th,
+                 std::min(axis.extent, hw.maxThreadsPerBlock));
+        boundVar(builder, in,
+                 std::min(axis.extent, hw.maxInnerTile));
+        // Joint tiling legality: the split factors must fit in the
+        // axis (the outer extent stays >= 1).
+        builder.addConstraint(
+            vt * th * in -
+            Expr::constant(static_cast<double>(axis.extent)));
+        vthreadProduct = vthreadProduct * vt;
+        threadProduct = threadProduct * th;
+        innerProduct = innerProduct * in;
+        builder.split(d, i, {vt, th, in});
+    }
+
+    // Classify current loops of the dominant stage by name into the
+    // SSSRRS order [block | vthread | thread | r.0 | r.1 | inner].
+    const auto &loops = builder.program().stages[d].loops;
+    std::vector<int> grpBlock, grpVt, grpTh, grpR0, grpR1, grpIn;
+    auto suffixOf = [](const std::string &name) -> std::string {
+        auto pos = name.rfind('.');
+        return pos == std::string::npos ? "" : name.substr(pos);
+    };
+    auto isReduceName = [&](const std::string &base) {
+        for (const tir::Axis &axis : reduce) {
+            if (axis.name == base)
+                return true;
+        }
+        return false;
+    };
+    for (size_t i = 0; i < loops.size(); ++i) {
+        std::string name = loops[i].name;
+        std::string suffix = suffixOf(name);
+        std::string base =
+            suffix.empty() ? name : name.substr(0, name.size() -
+                                                        suffix.size());
+        int idx = static_cast<int>(i);
+        if (isReduceName(base)) {
+            if (suffix == ".1")
+                grpR1.push_back(idx);
+            else
+                grpR0.push_back(idx);
+        } else {
+            if (suffix == ".1")
+                grpVt.push_back(idx);
+            else if (suffix == ".2")
+                grpTh.push_back(idx);
+            else if (suffix == ".3")
+                grpIn.push_back(idx);
+            else
+                grpBlock.push_back(idx);
+        }
+    }
+    std::vector<int> order;
+    for (auto *grp : {&grpBlock, &grpVt, &grpTh, &grpR0, &grpR1, &grpIn})
+        order.insert(order.end(), grp->begin(), grp->end());
+    builder.reorder(d, order);
+
+    // Fuse + bind the three parallel groups.
+    int pos = 0;
+    auto fuseBind = [&](int count, Annotation ann) -> bool {
+        if (count == 0)
+            return false;
+        if (count >= 2)
+            builder.fuse(d, pos, count);
+        builder.annotate(d, pos, ann);
+        ++pos;
+        return true;
+    };
+    fuseBind(static_cast<int>(grpBlock.size()), Annotation::BlockX);
+    bool hasVt =
+        fuseBind(static_cast<int>(grpVt.size()), Annotation::VThread);
+    bool hasTh =
+        fuseBind(static_cast<int>(grpTh.size()), Annotation::ThreadX);
+    (void)hasVt;
+
+    // Shared-memory cache reads, attached under the last outer
+    // reduction loop (cooperative fetch per k.0 iteration).
+    int r0Count = static_cast<int>(grpR0.size());
+    if (r0Count > 0) {
+        int attach = pos + r0Count - 1;
+        for (size_t ai = 0; ai < dom.inputs.size(); ++ai)
+            builder.cacheRead(d, static_cast<int>(ai), attach);
+    }
+
+    // Resource constraints.
+    builder.addConstraint(
+        threadProduct -
+        Expr::constant(static_cast<double>(hw.maxThreadsPerBlock)));
+    builder.addConstraint(
+        vthreadProduct -
+        Expr::constant(static_cast<double>(hw.maxVThread)));
+    builder.addConstraint(
+        innerProduct -
+        Expr::constant(static_cast<double>(hw.maxInnerTile)));
+    builder.addConstraint(
+        features::sharedBytesPerBlock(builder.program()) -
+        Expr::constant(static_cast<double>(hw.maxSharedBytes)));
+
+    // Epilogue + auxiliary stages attach at the threadIdx loop.
+    int attachLoop = hasTh ? pos - 1 : 0;
+    finishOtherStages(builder, subgraph, d, attachLoop, hw);
+
+    Expr unroll = builder.newVar("UNROLL", 1, hw.maxUnroll, 0, true);
+    boundVar(builder, unroll, hw.maxUnroll);
+    builder.pragmaUnroll(unroll);
+
+    return builder.finish("gpu.multi_level_tiling");
+}
+
+/** Simple tiling (the paper's s*_1 shape). */
+SymbolicSchedule
+simpleTilingSketch(const SubgraphDef &subgraph, const HardwareParams &hw)
+{
+    ScheduleBuilder builder(subgraph);
+    const int d = subgraph.dominantOpIndex();
+    const ComputeOp &dom = subgraph.ops[d];
+    const int m = static_cast<int>(dom.spatialAxes().size());
+    const int n = static_cast<int>(dom.reduceAxes().size());
+    const int64_t spatialExtent = dom.spatialExtent();
+    const int64_t reduceExtent = dom.reduceExtent();
+
+    if (m >= 2)
+        builder.fuse(d, 0, m);
+    if (n >= 2)
+        builder.fuse(d, 1, n);
+
+    Expr th = builder.newVar(
+        "f_th", 1, std::min(spatialExtent, hw.maxThreadsPerBlock),
+        spatialExtent);
+    Expr in = builder.newVar(
+        "f_in", 1, std::min(spatialExtent, hw.maxInnerTile),
+        spatialExtent);
+    builder.addGroup(spatialExtent, {"f_th", "f_in"});
+    boundVar(builder, th,
+             std::min(spatialExtent, hw.maxThreadsPerBlock));
+    boundVar(builder, in, std::min(spatialExtent, hw.maxInnerTile));
+    builder.addConstraint(
+        th * in - Expr::constant(static_cast<double>(spatialExtent)));
+    builder.split(d, 0, {th, in});
+    // Loops now: [F.0, F.1, F.2, R?]
+    if (reduceExtent > 1) {
+        Expr rin = builder.newVar("r_in", 1, reduceExtent,
+                                  reduceExtent);
+        builder.addGroup(reduceExtent, {"r_in"});
+        boundVar(builder, rin, reduceExtent);
+        builder.split(d, 3, {rin});
+        // [F.0, F.1, F.2, R.0, R.1] -> [F.0, F.1, R.0, R.1, F.2]
+        builder.reorder(d, {0, 1, 3, 4, 2});
+    }
+    builder.annotate(d, 0, Annotation::BlockX);
+    builder.annotate(d, 1, Annotation::ThreadX);
+
+    finishOtherStages(builder, subgraph, d, 1, hw);
+
+    Expr unroll = builder.newVar("UNROLL", 1, hw.maxUnroll, 0, true);
+    boundVar(builder, unroll, hw.maxUnroll);
+    builder.pragmaUnroll(unroll);
+
+    return builder.finish("gpu.simple_tiling");
+}
+
+/**
+ * Cross-thread reduction (Ansor's rule for small-spatial,
+ * large-reduction subgraphs such as softmax row sums and global
+ * pooling): the fused spatial domain binds to blockIdx and the
+ * *reduction* is split with its outer part bound to threadIdx, so
+ * the threads of a block cooperate on one reduction via shared
+ * memory / warp shuffles.
+ */
+SymbolicSchedule
+crossThreadReductionSketch(const SubgraphDef &subgraph,
+                           const HardwareParams &hw)
+{
+    ScheduleBuilder builder(subgraph);
+    const int d = subgraph.dominantOpIndex();
+    const ComputeOp &dom = subgraph.ops[d];
+    const int m = static_cast<int>(dom.spatialAxes().size());
+    const int n = static_cast<int>(dom.reduceAxes().size());
+    const int64_t reduceExtent = dom.reduceExtent();
+    FELIX_CHECK(reduceExtent > 1,
+                "cross-thread reduction requires a reduction");
+
+    if (m >= 2)
+        builder.fuse(d, 0, m);
+    if (n >= 2)
+        builder.fuse(d, 1, n);
+    // Loops: [S, R]. Split R by a serial inner length ct_in; the
+    // outer part R/ct_in binds to threadIdx (the cooperating
+    // threads), so threadLen = R / ct_in.
+    const int64_t minInner = std::max<int64_t>(
+        1, reduceExtent / hw.maxThreadsPerBlock);
+    Expr ctIn = builder.newVar("ct_in", minInner, reduceExtent,
+                               reduceExtent);
+    builder.addGroup(reduceExtent, {"ct_in"});
+    boundVar(builder, ctIn, reduceExtent);
+    // threadLen = R / ct_in <= maxThreadsPerBlock.
+    builder.addConstraint(
+        Expr::intConst(reduceExtent) / ctIn -
+        Expr::constant(
+            static_cast<double>(hw.maxThreadsPerBlock)));
+    builder.split(d, 1, {ctIn});
+    builder.annotate(d, 0, Annotation::BlockX);
+    builder.annotate(d, 1, Annotation::ThreadX);
+
+    // The threadIdx loop covers the *reduction*, so epilogues attach
+    // at the block level (one output element per block).
+    finishOtherStages(builder, subgraph, d, 0, hw);
+
+    Expr unroll = builder.newVar("UNROLL", 1, hw.maxUnroll, 0, true);
+    boundVar(builder, unroll, hw.maxUnroll);
+    builder.pragmaUnroll(unroll);
+
+    return builder.finish("gpu.cross_thread_reduction");
+}
+
+/** Elementwise sketch: fused [blockIdx, threadIdx, vectorize]. */
+SymbolicSchedule
+elementwiseSketch(const SubgraphDef &subgraph, const HardwareParams &hw)
+{
+    ScheduleBuilder builder(subgraph);
+    const int d = subgraph.dominantOpIndex();
+    const ComputeOp &dom = subgraph.ops[d];
+    const int m = static_cast<int>(dom.spatialAxes().size());
+    const int64_t extent = dom.spatialExtent();
+
+    if (m >= 2)
+        builder.fuse(d, 0, m);
+
+    Expr th = builder.newVar(
+        "e_th", 1, std::min(extent, hw.maxThreadsPerBlock), extent);
+    Expr vec = builder.newVar(
+        "e_vec", 1, std::min(extent, hw.maxVectorize), extent, true);
+    builder.addGroup(extent, {"e_th", "e_vec"});
+    boundVar(builder, th, std::min(extent, hw.maxThreadsPerBlock));
+    boundVar(builder, vec, std::min(extent, hw.maxVectorize));
+    builder.addConstraint(
+        th * vec - Expr::constant(static_cast<double>(extent)));
+    builder.split(d, 0, {th, vec});
+    builder.annotate(d, 0, Annotation::BlockX);
+    builder.annotate(d, 1, Annotation::ThreadX);
+    builder.annotate(d, 2, Annotation::Vectorize);
+
+    finishOtherStages(builder, subgraph, d, 1, hw);
+
+    return builder.finish("gpu.elementwise");
+}
+
+} // namespace
+
+std::vector<SymbolicSchedule>
+generateSketches(const SubgraphDef &subgraph, const GenOptions &options)
+{
+    std::vector<SymbolicSchedule> sketches;
+    const ComputeOp &dom = subgraph.dominantOp();
+    const bool hasReduce = dom.reduceExtent() > 1;
+
+    if (hasReduce) {
+        if (dom.spatialExtent() >= options.fullTilingMinExtent)
+            sketches.push_back(fullTilingSketch(subgraph,
+                                                options.hardware));
+        sketches.push_back(simpleTilingSketch(subgraph,
+                                              options.hardware));
+        if (dom.spatialExtent() <= options.crossThreadMaxSpatial &&
+            dom.reduceExtent() >= options.crossThreadMinReduce) {
+            sketches.push_back(crossThreadReductionSketch(
+                subgraph, options.hardware));
+        }
+    } else {
+        sketches.push_back(elementwiseSketch(subgraph,
+                                             options.hardware));
+    }
+    FELIX_CHECK(!sketches.empty());
+    return sketches;
+}
+
+} // namespace sketch
+} // namespace felix

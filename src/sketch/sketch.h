@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Symbolic schedule (sketch) generation (paper §3.2).
+ *
+ * Felix extends Ansor's sketch + annotation scheme: a sketch is a
+ * list of transformation steps with unfilled tunable parameters;
+ * where Ansor fills the parameters with concrete integers during
+ * annotation, Felix fills them with *schedule variables* and tracks
+ * legality constraints over those variables. Each subgraph yields
+ * several symbolic schedules s*_1..s*_N; the subgraph's search space
+ * is their union.
+ *
+ * GPU sketch rules implemented (matching Ansor's GPU rule set, §4):
+ *  - full multi-level tiling (SSSRRS): per spatial axis the split
+ *    [vthread, threadIdx, inner], per reduce axis [outer, inner],
+ *    fused blockIdx/vthread/threadIdx bindings, shared-memory cache
+ *    read of every input, epilogue ComputeAt, auto-unroll pragma;
+ *  - simple tiling: fused spatial split [blockIdx, threadIdx,
+ *    inner] with a split reduction (the paper's s*_1 in Fig. 3);
+ *  - cross-thread reduction: for small-spatial / large-reduction
+ *    subgraphs (softmax rows, global pooling) the reduction itself
+ *    is bound to threadIdx (Ansor's rule for the same shape class);
+ *  - elementwise: fused spatial [blockIdx, threadIdx, vectorize].
+ * Auxiliary (non-dominant, non-epilogue) stages get a fused
+ * [blockIdx, threadIdx] nest with their own variables.
+ */
+#ifndef FELIX_SKETCH_SKETCH_H_
+#define FELIX_SKETCH_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "tir/program.h"
+#include "tir/schedule.h"
+
+namespace felix {
+namespace sketch {
+
+/** Domain of one schedule variable (x-space). */
+struct VarDomain
+{
+    std::string name;
+    int64_t lo = 1;
+    int64_t hi = 1;
+    /** When > 0 the value must divide this number (tile factors). */
+    int64_t divisorOf = 0;
+    /** Round to a power of two (unroll steps, vector widths). */
+    bool powerOfTwo = false;
+};
+
+/**
+ * Variables tiling one loop together: their product must divide the
+ * loop extent (divisibility constraint, handled by factor rounding).
+ */
+struct SplitGroup
+{
+    int64_t extent = 1;
+    std::vector<int> varIndices;
+};
+
+/** Hardware legality limits used when emitting constraints. */
+struct HardwareParams
+{
+    int64_t maxThreadsPerBlock = 1024;
+    int64_t maxSharedBytes = 48 * 1024;
+    int64_t maxVThread = 16;
+    int64_t maxInnerTile = 128;     ///< register-pressure proxy
+    int64_t maxUnroll = 512;
+    int64_t maxVectorize = 4;
+};
+
+/**
+ * A symbolic schedule s*_i: steps with variable parameters, the
+ * variable domains, the legality constraints (expressions g with
+ * g(x) <= 0 required), and the symbolic program T(p0, s*_i).
+ */
+struct SymbolicSchedule
+{
+    std::string desc;               ///< sketch rule that produced it
+    tir::Schedule schedule;
+    std::vector<VarDomain> vars;    ///< order == schedule.vars
+    std::vector<SplitGroup> groups;
+    std::vector<expr::Expr> constraints;
+    tir::Program program;
+
+    int varIndex(const std::string &name) const;
+};
+
+/** Options for sketch generation. */
+struct GenOptions
+{
+    HardwareParams hardware;
+    /** Minimum spatial extent for the full multi-level tiling rule. */
+    int64_t fullTilingMinExtent = 256;
+    /** Maximum spatial extent for the cross-thread reduction rule. */
+    int64_t crossThreadMaxSpatial = 65536;
+    /** Minimum reduction extent for the cross-thread rule. */
+    int64_t crossThreadMinReduce = 32;
+};
+
+/**
+ * Generate the symbolic schedules of a subgraph. At least one
+ * schedule is always produced.
+ */
+std::vector<SymbolicSchedule> generateSketches(
+    const tir::SubgraphDef &subgraph, const GenOptions &options = {});
+
+} // namespace sketch
+} // namespace felix
+
+#endif // FELIX_SKETCH_SKETCH_H_

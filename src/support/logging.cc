@@ -1,0 +1,60 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace felix {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::fprintf(stderr, "[felix %s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "fatal: " + msg);
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Error, "panic: " + msg);
+    throw InternalError(msg);
+}
+
+} // namespace felix

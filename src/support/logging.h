@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting facilities.
+ *
+ * Follows the gem5 convention: fatal() for user errors that make
+ * continuing impossible, panic() for internal invariant violations,
+ * warn()/inform() for status messages that never stop execution.
+ */
+#ifndef FELIX_SUPPORT_LOGGING_H_
+#define FELIX_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace felix {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/** Global minimum level below which messages are dropped. */
+LogLevel logLevel();
+
+/** Set the global minimum log level. */
+void setLogLevel(LogLevel level);
+
+/** Emit one formatted log line to stderr if @p level is enabled. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Exception thrown by fatal(): a user-caused unrecoverable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant violation. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Raise a FatalError (bad input, invalid configuration, ...). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Raise an InternalError (a bug in Felix itself). */
+[[noreturn]] void panic(const std::string &msg);
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a string by streaming all arguments together. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    return os.str();
+}
+
+/** Log an informational message built from the arguments. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage(LogLevel::Info, concat(args...));
+}
+
+/** Log a warning message built from the arguments. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage(LogLevel::Warn, concat(args...));
+}
+
+/** Log a debug message built from the arguments. */
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    logMessage(LogLevel::Debug, concat(args...));
+}
+
+/**
+ * Check an internal invariant; panic with location info when violated.
+ */
+#define FELIX_CHECK(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::felix::panic(::felix::concat(                               \
+                "check failed: " #cond " at ", __FILE__, ":", __LINE__,  \
+                " ", ##__VA_ARGS__));                                     \
+        }                                                                 \
+    } while (0)
+
+} // namespace felix
+
+#endif // FELIX_SUPPORT_LOGGING_H_

@@ -1,0 +1,113 @@
+#include "support/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace felix {
+
+std::vector<int64_t>
+divisorsOf(int64_t n)
+{
+    FELIX_CHECK(n > 0, "divisorsOf requires n > 0, got ", n);
+    std::vector<int64_t> small, large;
+    for (int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            small.push_back(d);
+            if (d != n / d)
+                large.push_back(n / d);
+        }
+    }
+    small.insert(small.end(), large.rbegin(), large.rend());
+    return small;
+}
+
+int64_t
+nearestDivisorLog(int64_t n, double x)
+{
+    FELIX_CHECK(n > 0);
+    if (x <= 1.0)
+        return 1;
+    if (x >= static_cast<double>(n))
+        return n;
+    double lx = std::log(x);
+    int64_t best = 1;
+    double bestDist = std::abs(lx);
+    for (int64_t d : divisorsOf(n)) {
+        double dist = std::abs(std::log(static_cast<double>(d)) - lx);
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = d;
+        }
+    }
+    return best;
+}
+
+int64_t
+clampRound(double x, int64_t lo, int64_t hi)
+{
+    double r = std::nearbyint(x);
+    if (r < static_cast<double>(lo))
+        return lo;
+    if (r > static_cast<double>(hi))
+        return hi;
+    return static_cast<int64_t>(r);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        FELIX_CHECK(v > 0.0, "geomean needs positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    FELIX_CHECK(b > 0);
+    return (a + b - 1) / b;
+}
+
+int64_t
+roundUp(int64_t n, int64_t unit)
+{
+    return ceilDiv(n, unit) * unit;
+}
+
+bool
+isPowerOfTwo(int64_t n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace felix

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small math helpers shared across Felix: integer factorization (for
+ * rounding tile sizes to divisors), geometric means, clamping, and
+ * statistics used by experiment harnesses.
+ */
+#ifndef FELIX_SUPPORT_MATH_UTIL_H_
+#define FELIX_SUPPORT_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace felix {
+
+/** All positive divisors of @p n in increasing order. */
+std::vector<int64_t> divisorsOf(int64_t n);
+
+/**
+ * The divisor of @p n closest to @p x in log space.
+ *
+ * This is the rounding rule the paper uses after gradient descent:
+ * tile sizes must divide the loop extent, so a relaxed value is
+ * snapped to the nearest factor (nearest in ln, matching the e^y
+ * substitution).
+ */
+int64_t nearestDivisorLog(int64_t n, double x);
+
+/** The integer in [lo, hi] closest to @p x. */
+int64_t clampRound(double x, int64_t lo, int64_t hi);
+
+/** Geometric mean of strictly positive values; 0 when empty. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 when empty. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; 0 when fewer than 2 items. */
+double stddev(const std::vector<double> &values);
+
+/** ceil(a / b) for positive integers. */
+int64_t ceilDiv(int64_t a, int64_t b);
+
+/** Round @p n up to a multiple of @p unit. */
+int64_t roundUp(int64_t n, int64_t unit);
+
+/** True when @p n is a power of two. */
+bool isPowerOfTwo(int64_t n);
+
+} // namespace felix
+
+#endif // FELIX_SUPPORT_MATH_UTIL_H_

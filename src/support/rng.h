@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component in Felix draws from an explicitly seeded
+ * Rng so that experiment harnesses are reproducible bit-for-bit.
+ */
+#ifndef FELIX_SUPPORT_RNG_H_
+#define FELIX_SUPPORT_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace felix {
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**).
+ *
+ * Not cryptographic. Chosen over std::mt19937 for speed and for a
+ * stable cross-platform stream (libstdc++ distributions are not
+ * portable; we implement our own distributions below).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal variate (Box-Muller). */
+    double normal();
+
+    /** Normal variate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /** True with probability @p p. */
+    bool bernoulli(double p);
+
+    /** Pick an index in [0, n) uniformly. */
+    size_t index(size_t n);
+
+    /** Pick an index with probability proportional to weights[i]. */
+    size_t weightedIndex(const std::vector<double> &weights);
+
+    /** Shuffle a vector in place (Fisher-Yates). */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            size_t j = index(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Derive an independent child stream (for parallel components). */
+    Rng fork();
+
+  private:
+    uint64_t state_[4];
+    bool hasSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+};
+
+/**
+ * Deterministic 64-bit hash of a byte-span-like pair of integers.
+ * Used for reproducible "measurement noise" in the simulator.
+ */
+uint64_t hashCombine(uint64_t a, uint64_t b);
+
+} // namespace felix
+
+#endif // FELIX_SUPPORT_RNG_H_

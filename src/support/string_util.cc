@@ -1,0 +1,88 @@
+#include "support/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace felix {
+
+std::string
+join(const std::vector<std::string> &items, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args2);
+        return {};
+    }
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+renderTable(const std::vector<std::vector<std::string>> &rows)
+{
+    if (rows.empty())
+        return {};
+    size_t cols = 0;
+    for (const auto &row : rows)
+        cols = std::max(cols, row.size());
+    std::vector<size_t> widths(cols, 0);
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    std::string out;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        for (size_t c = 0; c < rows[r].size(); ++c) {
+            if (c > 0)
+                out += "  ";
+            out += padRight(rows[r][c], widths[c]);
+        }
+        out += '\n';
+        if (r == 0) {
+            for (size_t c = 0; c < cols; ++c) {
+                if (c > 0)
+                    out += "  ";
+                out += std::string(widths[c], '-');
+            }
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace felix

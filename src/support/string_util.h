@@ -1,0 +1,33 @@
+/**
+ * @file
+ * String formatting helpers used by printers and experiment harnesses.
+ */
+#ifndef FELIX_SUPPORT_STRING_UTIL_H_
+#define FELIX_SUPPORT_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace felix {
+
+/** Join the items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Left-pad or right-pad @p s with spaces to @p width columns. */
+std::string padLeft(const std::string &s, size_t width);
+std::string padRight(const std::string &s, size_t width);
+
+/**
+ * Render an aligned text table: the first row is the header.
+ * Used by the bench harnesses to print paper-style tables.
+ */
+std::string renderTable(const std::vector<std::vector<std::string>> &rows);
+
+} // namespace felix
+
+#endif // FELIX_SUPPORT_STRING_UTIL_H_

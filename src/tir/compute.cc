@@ -1,0 +1,150 @@
+#include "tir/compute.h"
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace felix {
+namespace tir {
+
+ArithCounts &
+ArithCounts::operator+=(const ArithCounts &other)
+{
+    fma += other.fma;
+    add += other.add;
+    mul += other.mul;
+    divOp += other.divOp;
+    special += other.special;
+    cmp += other.cmp;
+    return *this;
+}
+
+double
+ArithCounts::total() const
+{
+    return 2 * fma + add + mul + divOp + special + cmp;
+}
+
+int64_t
+BufferAccess::bufferElems() const
+{
+    int64_t elems = 1;
+    for (const BufferDim &dim : dims)
+        elems *= dim.dimSize;
+    return elems;
+}
+
+std::vector<Axis>
+ComputeOp::spatialAxes() const
+{
+    std::vector<Axis> out;
+    for (const Axis &axis : axes) {
+        if (!axis.isReduce)
+            out.push_back(axis);
+    }
+    return out;
+}
+
+std::vector<Axis>
+ComputeOp::reduceAxes() const
+{
+    std::vector<Axis> out;
+    for (const Axis &axis : axes) {
+        if (axis.isReduce)
+            out.push_back(axis);
+    }
+    return out;
+}
+
+int64_t
+ComputeOp::spatialExtent() const
+{
+    int64_t extent = 1;
+    for (const Axis &axis : axes) {
+        if (!axis.isReduce)
+            extent *= axis.extent;
+    }
+    return extent;
+}
+
+int64_t
+ComputeOp::reduceExtent() const
+{
+    int64_t extent = 1;
+    for (const Axis &axis : axes) {
+        if (axis.isReduce)
+            extent *= axis.extent;
+    }
+    return extent;
+}
+
+int64_t
+ComputeOp::totalPoints() const
+{
+    return spatialExtent() * reduceExtent();
+}
+
+double
+ComputeOp::flops() const
+{
+    return static_cast<double>(totalPoints()) * arith.total();
+}
+
+const ComputeOp &
+SubgraphDef::dominantOp() const
+{
+    return ops[dominantOpIndex()];
+}
+
+int
+SubgraphDef::dominantOpIndex() const
+{
+    FELIX_CHECK(!ops.empty(), "empty subgraph ", name);
+    int best = 0;
+    double bestFlops = -1.0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        double f = ops[i].flops();
+        // Prefer reduction ops on a tie: they own the tiling sketch.
+        if (f > bestFlops ||
+            (f == bestFlops && ops[i].reduceExtent() > 1 &&
+             ops[best].reduceExtent() == 1)) {
+            bestFlops = f;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+double
+SubgraphDef::totalFlops() const
+{
+    double flops = 0.0;
+    for (const ComputeOp &op : ops)
+        flops += op.flops();
+    return flops;
+}
+
+uint64_t
+SubgraphDef::structuralHash() const
+{
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const ComputeOp &op : ops) {
+        for (const Axis &axis : op.axes) {
+            h = hashCombine(h, static_cast<uint64_t>(axis.extent));
+            h = hashCombine(h, axis.isReduce ? 1 : 0);
+        }
+        h = hashCombine(h, static_cast<uint64_t>(op.arith.total() * 16));
+        h = hashCombine(h, op.inputs.size());
+        for (const BufferAccess &acc : op.inputs) {
+            h = hashCombine(h, acc.dims.size());
+            for (const BufferDim &dim : acc.dims) {
+                h = hashCombine(h, static_cast<uint64_t>(dim.dimSize));
+                h = hashCombine(h, dim.contribs.size());
+            }
+        }
+        h = hashCombine(h, op.inlineable ? 1 : 0);
+    }
+    return h;
+}
+
+} // namespace tir
+} // namespace felix

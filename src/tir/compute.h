@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Compute definitions: the workload side of the tensor IR.
+ *
+ * A SubgraphDef is Felix's unit of tuning (one fused-operator
+ * subgraph, §3.1). It is a small DAG of ComputeOps, each defining an
+ * output tensor over an iteration domain of spatial and reduction
+ * axes. The "body" of an op is captured at the granularity feature
+ * extraction needs: arithmetic-operation counts per innermost point
+ * and buffer-access descriptors with affine footprint information —
+ * the same abstraction level as Ansor's program features.
+ */
+#ifndef FELIX_TIR_COMPUTE_H_
+#define FELIX_TIR_COMPUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace tir {
+
+/** Bytes per element; Felix tunes float32 inference (paper §5). */
+constexpr int64_t kDtypeBytes = 4;
+
+/** An iteration axis of a compute definition. */
+struct Axis
+{
+    std::string name;
+    int64_t extent = 1;
+    bool isReduce = false;
+};
+
+/**
+ * Arithmetic operation counts per innermost iteration point,
+ * bucketed the way the program features need them.
+ */
+struct ArithCounts
+{
+    double fma = 0;       ///< fused multiply-accumulate
+    double add = 0;       ///< float add/sub
+    double mul = 0;       ///< float mul
+    double divOp = 0;     ///< float div
+    double special = 0;   ///< exp / tanh / sqrt / erf ...
+    double cmp = 0;       ///< float compare / min / max
+
+    ArithCounts &operator+=(const ArithCounts &other);
+    double total() const;
+};
+
+/**
+ * One origin axis contributing to a buffer dimension, with its
+ * stride: index = sum_i axis_i * stride_i (+ const).
+ *
+ * Example: conv input height h = oh*strideH + kh has contributions
+ * {oh, strideH} and {kh, dilationH}.
+ */
+struct AxisRef
+{
+    std::string axis;
+    int64_t stride = 1;
+};
+
+/** One dimension of a buffer access. */
+struct BufferDim
+{
+    std::vector<AxisRef> contribs;
+    int64_t dimSize = 1;
+};
+
+/**
+ * Access of one stage to one buffer. The footprint of the access
+ * within a loop scope is derived from which origin axes are iterated
+ * inside that scope (see features/).
+ */
+struct BufferAccess
+{
+    std::string tensor;     ///< producing tensor / input name
+    bool isWrite = false;
+    std::vector<BufferDim> dims;
+
+    /** Total element count of the accessed buffer. */
+    int64_t bufferElems() const;
+};
+
+/**
+ * One tensor operator in destination-passing form: the output
+ * iteration domain plus per-point arithmetic and input accesses.
+ */
+struct ComputeOp
+{
+    std::string name;               ///< also the output tensor name
+    std::vector<Axis> axes;         ///< spatial axes then reduce axes
+    ArithCounts arith;              ///< per innermost point
+    std::vector<BufferAccess> inputs;
+    bool inlineable = false;        ///< pure elementwise epilogue
+
+    std::vector<Axis> spatialAxes() const;
+    std::vector<Axis> reduceAxes() const;
+    int64_t spatialExtent() const;  ///< product of spatial extents
+    int64_t reduceExtent() const;   ///< product of reduce extents
+    int64_t totalPoints() const;
+    double flops() const;           ///< total floating-point ops
+};
+
+/**
+ * A fused-operator subgraph: Felix's tuning task granularity.
+ *
+ * Ops are stored in topological order; the *dominant* op (largest
+ * flops, usually the one with a reduction) drives sketch generation,
+ * while inlineable elementwise consumers are folded into it.
+ */
+struct SubgraphDef
+{
+    std::string name;
+    std::vector<ComputeOp> ops;
+
+    const ComputeOp &dominantOp() const;
+    int dominantOpIndex() const;
+    double totalFlops() const;
+
+    /**
+     * Structural fingerprint used to deduplicate identical tuning
+     * tasks across a network (same op types and shapes => same task).
+     */
+    uint64_t structuralHash() const;
+};
+
+} // namespace tir
+} // namespace felix
+
+#endif // FELIX_TIR_COMPUTE_H_

@@ -1,0 +1,484 @@
+#include "tir/ops.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace tir {
+
+namespace {
+
+/** Arithmetic cost of a unary epilogue, merged into the main op. */
+ArithCounts
+epilogueArith(Epilogue epilogue)
+{
+    ArithCounts arith;
+    switch (epilogue) {
+      case Epilogue::None:
+        break;
+      case Epilogue::Relu:
+        arith.cmp = 1;
+        break;
+      case Epilogue::Sigmoid:
+        arith.special = 1;
+        arith.add = 1;
+        arith.divOp = 1;
+        break;
+      case Epilogue::Tanh:
+        arith.special = 1;
+        break;
+      case Epilogue::Gelu:
+        arith.special = 1;
+        arith.mul = 2;
+        arith.add = 1;
+        break;
+    }
+    return arith;
+}
+
+BufferDim
+dim1(const std::string &axis, int64_t size)
+{
+    return BufferDim{{{axis, 1}}, size};
+}
+
+/**
+ * Fold a unary epilogue into a reduction op's per-point arithmetic.
+ * The epilogue runs once per *output* point, while ArithCounts are
+ * multiplied by the full iteration domain (including reductions), so
+ * the contribution must be scaled by 1/reduceExtent.
+ */
+ArithCounts
+scaledEpilogue(Epilogue epilogue, int64_t reduce_extent)
+{
+    ArithCounts arith = epilogueArith(epilogue);
+    const double scale = 1.0 / static_cast<double>(
+                                   std::max<int64_t>(1, reduce_extent));
+    arith.fma *= scale;
+    arith.add *= scale;
+    arith.mul *= scale;
+    arith.divOp *= scale;
+    arith.special *= scale;
+    arith.cmp *= scale;
+    return arith;
+}
+
+/** Bias-add epilogue stage: out[spatial] = in[spatial] + bias[ch]. */
+ComputeOp
+biasAddStage(const std::string &producer, const std::string &bias_name,
+             const std::vector<Axis> &spatial, int channel_axis,
+             Epilogue epilogue)
+{
+    ComputeOp op;
+    op.name = producer + "_add";
+    op.axes = spatial;
+    op.arith.add = 1;
+    op.arith += epilogueArith(epilogue);
+    op.inlineable = false;
+
+    BufferAccess producerAccess;
+    producerAccess.tensor = producer;
+    for (const Axis &axis : spatial)
+        producerAccess.dims.push_back(dim1(axis.name, axis.extent));
+    op.inputs.push_back(std::move(producerAccess));
+
+    BufferAccess biasAccess;
+    biasAccess.tensor = bias_name;
+    biasAccess.dims.push_back(dim1(spatial[channel_axis].name,
+                                   spatial[channel_axis].extent));
+    op.inputs.push_back(std::move(biasAccess));
+    return op;
+}
+
+} // namespace
+
+SubgraphDef
+conv2d(const Conv2dConfig &config, const std::string &name)
+{
+    FELIX_CHECK(config.c % config.groups == 0 &&
+                config.k % config.groups == 0,
+                "conv2d: channels not divisible by groups");
+    const int64_t oh = config.outH(), ow = config.outW();
+    const int64_t cPerGroup = config.c / config.groups;
+    FELIX_CHECK(oh > 0 && ow > 0, "conv2d: empty output");
+
+    ComputeOp op;
+    op.name = name;
+    op.axes = {
+        {"n", config.n, false}, {"k", config.k, false},
+        {"oh", oh, false},      {"ow", ow, false},
+        {"c", cPerGroup, true}, {"r", config.r, true},
+        {"s", config.s, true},
+    };
+    op.arith.fma = 1;
+    if (config.epilogue != Epilogue::None && !config.bias) {
+        op.arith += scaledEpilogue(config.epilogue,
+                                   cPerGroup * config.r * config.s);
+    }
+
+    BufferAccess data;
+    data.tensor = "data";
+    data.dims = {
+        dim1("n", config.n),
+        // The channel dim is driven by the reduce axis c (and, for
+        // grouped convs, by a slice of k; the footprint model folds
+        // that into c's contribution).
+        dim1("c", config.c),
+        BufferDim{{{"oh", config.stride}, {"r", 1}}, config.h},
+        BufferDim{{{"ow", config.stride}, {"s", 1}}, config.w},
+    };
+    op.inputs.push_back(std::move(data));
+
+    BufferAccess weight;
+    weight.tensor = "weight";
+    weight.dims = {dim1("k", config.k), dim1("c", cPerGroup),
+                   dim1("r", config.r), dim1("s", config.s)};
+    op.inputs.push_back(std::move(weight));
+
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    if (config.bias) {
+        subgraph.ops.push_back(biasAddStage(
+            name, "bias",
+            {{"n", config.n, false},
+             {"k", config.k, false},
+             {"oh", oh, false},
+             {"ow", ow, false}},
+            1, config.epilogue));
+    }
+    return subgraph;
+}
+
+SubgraphDef
+conv3d(const Conv3dConfig &config, const std::string &name)
+{
+    const int64_t od = config.outD(), oh = config.outH(),
+                  ow = config.outW();
+    FELIX_CHECK(od > 0 && oh > 0 && ow > 0, "conv3d: empty output");
+
+    ComputeOp op;
+    op.name = name;
+    op.axes = {
+        {"n", config.n, false},  {"k", config.k, false},
+        {"od", od, false},       {"oh", oh, false},
+        {"ow", ow, false},       {"c", config.c, true},
+        {"kd", config.kd, true}, {"r", config.r, true},
+        {"s", config.s, true},
+    };
+    op.arith.fma = 1;
+    if (config.epilogue != Epilogue::None && !config.bias) {
+        op.arith += scaledEpilogue(config.epilogue,
+                                   config.c * config.kd * config.r *
+                                       config.s);
+    }
+
+    BufferAccess data;
+    data.tensor = "data";
+    data.dims = {
+        dim1("n", config.n),
+        dim1("c", config.c),
+        BufferDim{{{"od", config.stride}, {"kd", 1}}, config.d},
+        BufferDim{{{"oh", config.stride}, {"r", 1}}, config.h},
+        BufferDim{{{"ow", config.stride}, {"s", 1}}, config.w},
+    };
+    op.inputs.push_back(std::move(data));
+
+    BufferAccess weight;
+    weight.tensor = "weight";
+    weight.dims = {dim1("k", config.k), dim1("c", config.c),
+                   dim1("kd", config.kd), dim1("r", config.r),
+                   dim1("s", config.s)};
+    op.inputs.push_back(std::move(weight));
+
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    if (config.bias) {
+        subgraph.ops.push_back(biasAddStage(
+            name, "bias",
+            {{"n", config.n, false},
+             {"k", config.k, false},
+             {"od", od, false},
+             {"oh", oh, false},
+             {"ow", ow, false}},
+            1, config.epilogue));
+    }
+    return subgraph;
+}
+
+SubgraphDef
+tconv2d(const TConv2dConfig &config, const std::string &name)
+{
+    const int64_t oh = config.outH(), ow = config.outW();
+    FELIX_CHECK(oh > 0 && ow > 0, "tconv2d: empty output");
+
+    // Transposed convolution computed output-stationary: each output
+    // pixel reduces over (c, r, s) reading a strided input window.
+    ComputeOp op;
+    op.name = name;
+    op.axes = {
+        {"n", config.n, false}, {"k", config.k, false},
+        {"oh", oh, false},      {"ow", ow, false},
+        {"c", config.c, true},  {"r", config.r, true},
+        {"s", config.s, true},
+    };
+    op.arith.fma = 1;
+    // Zero-insertion guard: only 1/stride^2 of taps hit real inputs.
+    op.arith.cmp = 2;
+    if (config.epilogue != Epilogue::None && !config.bias) {
+        op.arith += scaledEpilogue(config.epilogue,
+                                   config.c * config.r * config.s);
+    }
+
+    BufferAccess data;
+    data.tensor = "data";
+    data.dims = {
+        dim1("n", config.n),
+        dim1("c", config.c),
+        // Input rows touched by an output tile of height t is about
+        // t/stride + r/stride: stride-1 contributions approximate
+        // the fractional stride of the transposed conv.
+        BufferDim{{{"oh", 1}, {"r", 1}}, config.h},
+        BufferDim{{{"ow", 1}, {"s", 1}}, config.w},
+    };
+    op.inputs.push_back(std::move(data));
+
+    BufferAccess weight;
+    weight.tensor = "weight";
+    weight.dims = {dim1("c", config.c), dim1("k", config.k),
+                   dim1("r", config.r), dim1("s", config.s)};
+    op.inputs.push_back(std::move(weight));
+
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    if (config.bias) {
+        subgraph.ops.push_back(biasAddStage(
+            name, "bias",
+            {{"n", config.n, false},
+             {"k", config.k, false},
+             {"oh", oh, false},
+             {"ow", ow, false}},
+            1, config.epilogue));
+    }
+    return subgraph;
+}
+
+SubgraphDef
+dense(int64_t n, int64_t m, int64_t k, bool bias, Epilogue epilogue,
+      const std::string &name)
+{
+    ComputeOp op;
+    op.name = name;
+    op.axes = {{"i", n, false}, {"j", m, false}, {"kk", k, true}};
+    op.arith.fma = 1;
+    if (!bias && epilogue != Epilogue::None)
+        op.arith += scaledEpilogue(epilogue, k);
+
+    BufferAccess a;
+    a.tensor = "A";
+    a.dims = {dim1("i", n), dim1("kk", k)};
+    op.inputs.push_back(std::move(a));
+
+    BufferAccess b;
+    b.tensor = "B";
+    b.dims = {dim1("kk", k), dim1("j", m)};
+    op.inputs.push_back(std::move(b));
+
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    if (bias) {
+        subgraph.ops.push_back(biasAddStage(
+            name, "C", {{"i", n, false}, {"j", m, false}}, 1,
+            epilogue));
+    }
+    return subgraph;
+}
+
+SubgraphDef
+batchMatmul(int64_t b, int64_t n, int64_t m, int64_t k,
+            const std::string &name)
+{
+    ComputeOp op;
+    op.name = name;
+    op.axes = {{"b", b, false}, {"i", n, false}, {"j", m, false},
+               {"kk", k, true}};
+    op.arith.fma = 1;
+
+    BufferAccess lhs;
+    lhs.tensor = "A";
+    lhs.dims = {dim1("b", b), dim1("i", n), dim1("kk", k)};
+    op.inputs.push_back(std::move(lhs));
+
+    BufferAccess rhs;
+    rhs.tensor = "B";
+    rhs.dims = {dim1("b", b), dim1("kk", k), dim1("j", m)};
+    op.inputs.push_back(std::move(rhs));
+
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    return subgraph;
+}
+
+SubgraphDef
+softmax(int64_t rows, int64_t cols, const std::string &name)
+{
+    SubgraphDef subgraph;
+    subgraph.name = name;
+
+    ComputeOp maxOp;
+    maxOp.name = name + "_max";
+    maxOp.axes = {{"i", rows, false}, {"j", cols, true}};
+    maxOp.arith.cmp = 1;
+    BufferAccess x1;
+    x1.tensor = "X";
+    x1.dims = {dim1("i", rows), dim1("j", cols)};
+    maxOp.inputs.push_back(x1);
+    subgraph.ops.push_back(std::move(maxOp));
+
+    ComputeOp sumOp;
+    sumOp.name = name + "_expsum";
+    sumOp.axes = {{"i", rows, false}, {"j", cols, true}};
+    sumOp.arith.special = 1;   // exp
+    sumOp.arith.add = 2;       // subtract max, accumulate
+    sumOp.inputs.push_back(x1);
+    BufferAccess mx;
+    mx.tensor = name + "_max";
+    mx.dims = {dim1("i", rows)};
+    sumOp.inputs.push_back(mx);
+    subgraph.ops.push_back(std::move(sumOp));
+
+    ComputeOp normOp;
+    normOp.name = name;
+    normOp.axes = {{"i", rows, false}, {"j", cols, false}};
+    normOp.arith.special = 1;  // exp
+    normOp.arith.add = 1;
+    normOp.arith.divOp = 1;
+    normOp.inputs.push_back(x1);
+    normOp.inputs.push_back(mx);
+    BufferAccess sm;
+    sm.tensor = name + "_expsum";
+    sm.dims = {dim1("i", rows)};
+    normOp.inputs.push_back(sm);
+    subgraph.ops.push_back(std::move(normOp));
+    return subgraph;
+}
+
+SubgraphDef
+maxPool2d(int64_t n, int64_t c, int64_t h, int64_t w, int64_t kernel,
+          int64_t stride, const std::string &name)
+{
+    const int64_t oh = (h - kernel) / stride + 1;
+    const int64_t ow = (w - kernel) / stride + 1;
+    FELIX_CHECK(oh > 0 && ow > 0, "max_pool2d: empty output");
+
+    ComputeOp op;
+    op.name = name;
+    op.axes = {
+        {"n", n, false},      {"c", c, false}, {"oh", oh, false},
+        {"ow", ow, false},    {"r", kernel, true},
+        {"s", kernel, true},
+    };
+    op.arith.cmp = 1;
+
+    BufferAccess data;
+    data.tensor = "data";
+    data.dims = {
+        dim1("n", n),
+        dim1("c", c),
+        BufferDim{{{"oh", stride}, {"r", 1}}, h},
+        BufferDim{{{"ow", stride}, {"s", 1}}, w},
+    };
+    op.inputs.push_back(std::move(data));
+
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    return subgraph;
+}
+
+SubgraphDef
+globalAvgPool2d(int64_t n, int64_t c, int64_t h, int64_t w,
+                const std::string &name)
+{
+    ComputeOp op;
+    op.name = name;
+    op.axes = {{"n", n, false}, {"c", c, false}, {"r", h, true},
+               {"s", w, true}};
+    op.arith.add = 1;
+
+    BufferAccess data;
+    data.tensor = "data";
+    data.dims = {dim1("n", n), dim1("c", c), dim1("r", h),
+                 dim1("s", w)};
+    op.inputs.push_back(std::move(data));
+
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    return subgraph;
+}
+
+SubgraphDef
+elementwise(int64_t elems, int num_inputs, const ArithCounts &arith,
+            const std::string &name)
+{
+    FELIX_CHECK(elems > 0 && num_inputs >= 1);
+    ComputeOp op;
+    op.name = name;
+    op.axes = {{"i", elems, false}};
+    op.arith = arith;
+    for (int i = 0; i < num_inputs; ++i) {
+        BufferAccess in;
+        in.tensor = strformat("in%d", i);
+        in.dims = {dim1("i", elems)};
+        op.inputs.push_back(std::move(in));
+    }
+    SubgraphDef subgraph;
+    subgraph.name = name;
+    subgraph.ops.push_back(std::move(op));
+    return subgraph;
+}
+
+SubgraphDef
+layerNorm(int64_t rows, int64_t cols, const std::string &name)
+{
+    SubgraphDef subgraph;
+    subgraph.name = name;
+
+    BufferAccess x;
+    x.tensor = "X";
+    x.dims = {dim1("i", rows), dim1("j", cols)};
+
+    ComputeOp meanOp;
+    meanOp.name = name + "_moments";
+    meanOp.axes = {{"i", rows, false}, {"j", cols, true}};
+    meanOp.arith.add = 2;      // sum and sum-of-squares
+    meanOp.arith.mul = 1;
+    meanOp.inputs.push_back(x);
+    subgraph.ops.push_back(std::move(meanOp));
+
+    ComputeOp normOp;
+    normOp.name = name;
+    normOp.axes = {{"i", rows, false}, {"j", cols, false}};
+    normOp.arith.add = 2;      // subtract mean, add beta
+    normOp.arith.mul = 2;      // scale by rstd and gamma
+    normOp.arith.special = 1;  // rsqrt
+    normOp.inputs.push_back(x);
+    BufferAccess moments;
+    moments.tensor = name + "_moments";
+    moments.dims = {dim1("i", rows)};
+    normOp.inputs.push_back(moments);
+    BufferAccess gamma;
+    gamma.tensor = "gamma";
+    gamma.dims = {dim1("j", cols)};
+    normOp.inputs.push_back(gamma);
+    subgraph.ops.push_back(std::move(normOp));
+    return subgraph;
+}
+
+} // namespace tir
+} // namespace felix

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Operator builders: compute definitions for every tensor operator
+ * used by the evaluated networks (paper §5: 2d/3d convolutions,
+ * transposed convolutions, dense / batched matmul, softmax, pooling,
+ * and the elementwise family).
+ *
+ * Each builder returns a SubgraphDef — the fused tuning task Felix
+ * optimizes. Unary elementwise epilogues (ReLU, etc.) are pre-fused
+ * into the dominant op's arithmetic (Ansor applies operator fusion
+ * greedily, §4); epilogues that read an extra tensor (bias add,
+ * residual add) become a separate stage scheduled with ComputeAt,
+ * like the paper's Dense-Add example (Fig. 3).
+ */
+#ifndef FELIX_TIR_OPS_H_
+#define FELIX_TIR_OPS_H_
+
+#include "tir/compute.h"
+
+namespace felix {
+namespace tir {
+
+/** Unary epilogue fused into the dominant op. */
+enum class Epilogue : uint8_t { None, Relu, Sigmoid, Tanh, Gelu };
+
+/** Conv2d configuration (NCHW input, KCRS weight). */
+struct Conv2dConfig
+{
+    int64_t n = 1, c = 3, h = 224, w = 224;
+    int64_t k = 64, r = 3, s = 3;
+    int64_t stride = 1, pad = 1;
+    int64_t groups = 1;        ///< groups == c: depthwise
+    bool bias = false;
+    Epilogue epilogue = Epilogue::None;
+
+    int64_t outH() const { return (h + 2 * pad - r) / stride + 1; }
+    int64_t outW() const { return (w + 2 * pad - s) / stride + 1; }
+};
+
+/** Conv3d configuration (NCDHW input). */
+struct Conv3dConfig
+{
+    int64_t n = 1, c = 3, d = 16, h = 112, w = 112;
+    int64_t k = 64, kd = 3, r = 3, s = 3;
+    int64_t stride = 1, pad = 1;
+    bool bias = false;
+    Epilogue epilogue = Epilogue::None;
+
+    int64_t outD() const { return (d + 2 * pad - kd) / stride + 1; }
+    int64_t outH() const { return (h + 2 * pad - r) / stride + 1; }
+    int64_t outW() const { return (w + 2 * pad - s) / stride + 1; }
+};
+
+/** Transposed Conv2d (DCGAN generator style). */
+struct TConv2dConfig
+{
+    int64_t n = 1, c = 100, h = 1, w = 1;
+    int64_t k = 512, r = 4, s = 4;
+    int64_t stride = 1, pad = 0;
+    bool bias = false;
+    Epilogue epilogue = Epilogue::None;
+
+    int64_t outH() const { return (h - 1) * stride - 2 * pad + r; }
+    int64_t outW() const { return (w - 1) * stride - 2 * pad + s; }
+};
+
+SubgraphDef conv2d(const Conv2dConfig &config,
+                   const std::string &name = "conv2d");
+SubgraphDef conv3d(const Conv3dConfig &config,
+                   const std::string &name = "conv3d");
+SubgraphDef tconv2d(const TConv2dConfig &config,
+                    const std::string &name = "tconv2d");
+
+/** Dense (matmul) with optional bias-add epilogue stage. */
+SubgraphDef dense(int64_t n, int64_t m, int64_t k, bool bias = true,
+                  Epilogue epilogue = Epilogue::None,
+                  const std::string &name = "dense");
+
+/** Batched matmul: [b, n, k] x [b, k, m]. */
+SubgraphDef batchMatmul(int64_t b, int64_t n, int64_t m, int64_t k,
+                        const std::string &name = "batch_matmul");
+
+/** Row softmax over [rows, cols] (3 stages: max, exp-sum, norm). */
+SubgraphDef softmax(int64_t rows, int64_t cols,
+                    const std::string &name = "softmax");
+
+/** Max pooling, NCHW. */
+SubgraphDef maxPool2d(int64_t n, int64_t c, int64_t h, int64_t w,
+                      int64_t kernel, int64_t stride,
+                      const std::string &name = "max_pool2d");
+
+/** Global average pooling to 1x1, NCHW. */
+SubgraphDef globalAvgPool2d(int64_t n, int64_t c, int64_t h, int64_t w,
+                            const std::string &name = "global_avg_pool");
+
+/**
+ * Fused elementwise subgraph over a flat domain of @p elems
+ * elements reading @p num_inputs tensors (residual add, batchnorm-
+ * scale, activations, ...).
+ */
+SubgraphDef elementwise(int64_t elems, int num_inputs,
+                        const ArithCounts &arith,
+                        const std::string &name = "elementwise");
+
+/** LayerNorm over [rows, cols] (transformers). */
+SubgraphDef layerNorm(int64_t rows, int64_t cols,
+                      const std::string &name = "layer_norm");
+
+} // namespace tir
+} // namespace felix
+
+#endif // FELIX_TIR_OPS_H_

@@ -1,0 +1,118 @@
+#include "tir/schedule.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace tir {
+
+const char *
+annotationName(Annotation ann)
+{
+    switch (ann) {
+      case Annotation::None: return "none";
+      case Annotation::BlockX: return "blockIdx.x";
+      case Annotation::ThreadX: return "threadIdx.x";
+      case Annotation::VThread: return "vthread";
+      case Annotation::Vectorize: return "vectorize";
+      case Annotation::Unroll: return "unroll";
+      case Annotation::Parallel: return "parallel";
+    }
+    return "?";
+}
+
+const char *
+stepKindName(StepKind kind)
+{
+    switch (kind) {
+      case StepKind::Split: return "Split";
+      case StepKind::Fuse: return "Fuse";
+      case StepKind::Reorder: return "Reorder";
+      case StepKind::Annotate: return "Annotation";
+      case StepKind::ComputeAt: return "ComputeAt";
+      case StepKind::Inline: return "Inline";
+      case StepKind::CacheRead: return "CacheRead";
+      case StepKind::Pragma: return "Pragma";
+    }
+    return "?";
+}
+
+std::string
+TransformStep::str() const
+{
+    std::vector<std::string> parts;
+    parts.push_back(strformat("stage=%d", stageId));
+    switch (kind) {
+      case StepKind::Split: {
+        parts.push_back(strformat("loop=%d", loopIndex));
+        std::vector<std::string> fs;
+        for (const expr::Expr &f : factors)
+            fs.push_back(f.str());
+        parts.push_back("into=[" + join(fs, ",") + "]");
+        break;
+      }
+      case StepKind::Fuse:
+        parts.push_back(strformat("loop=%d", loopIndex));
+        parts.push_back(strformat("count=%d", count));
+        break;
+      case StepKind::Reorder: {
+        std::vector<std::string> os;
+        for (int idx : order)
+            os.push_back(std::to_string(idx));
+        parts.push_back("order=[" + join(os, ",") + "]");
+        break;
+      }
+      case StepKind::Annotate:
+        parts.push_back(strformat("loop=%d", loopIndex));
+        parts.push_back(
+            strformat("annotation=\"%s\"", annotationName(annotation)));
+        break;
+      case StepKind::ComputeAt:
+        parts.push_back(strformat("target_stage_id=%d", targetStageId));
+        parts.push_back(strformat("loop=%d", targetLoopIndex));
+        break;
+      case StepKind::Inline:
+        break;
+      case StepKind::CacheRead:
+        parts.push_back(strformat("input=%d", inputIndex));
+        parts.push_back(strformat("loop=%d", targetLoopIndex));
+        break;
+      case StepKind::Pragma:
+        FELIX_CHECK(!factors.empty());
+        parts.push_back("max_step=" + factors[0].str());
+        break;
+    }
+    return std::string(stepKindName(kind)) + "(" + join(parts, ", ") + ")";
+}
+
+Schedule
+Schedule::bind(const std::vector<double> &values) const
+{
+    FELIX_CHECK(values.size() == vars.size(),
+                "bind: expected ", vars.size(), " values, got ",
+                values.size());
+    std::vector<std::pair<std::string, expr::Expr>> map;
+    map.reserve(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i)
+        map.emplace_back(vars[i], expr::Expr::constant(values[i]));
+
+    Schedule bound;
+    bound.steps = steps;
+    for (TransformStep &step : bound.steps) {
+        for (expr::Expr &factor : step.factors)
+            factor = expr::substitute(factor, map);
+    }
+    return bound;
+}
+
+std::string
+Schedule::str() const
+{
+    std::string out;
+    for (const TransformStep &step : steps)
+        out += step.str() + "\n";
+    return out;
+}
+
+} // namespace tir
+} // namespace felix

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Schedules: sequences of program transformations (paper §2, §3.2).
+ *
+ * A Schedule is a list of TransformSteps applied to the naive
+ * program of a subgraph. Step parameters are expressions: a
+ * *symbolic schedule* s* carries schedule variables (tile sizes,
+ * unroll factors, ...) where a concrete schedule carries integer
+ * constants. Binding variable values turns a symbolic schedule into
+ * a concrete one — exactly Felix's relationship between the two.
+ */
+#ifndef FELIX_TIR_SCHEDULE_H_
+#define FELIX_TIR_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "tir/compute.h"
+
+namespace felix {
+namespace tir {
+
+/** Loop annotations (TVM/Ansor's GPU + CPU binding set). */
+enum class Annotation : uint8_t {
+    None,
+    BlockX,     ///< bind to blockIdx.x
+    ThreadX,    ///< bind to threadIdx.x
+    VThread,    ///< virtual thread (striding thread block)
+    Vectorize,
+    Unroll,
+    Parallel,   ///< CPU-style parallel-for (unused on GPU)
+};
+
+const char *annotationName(Annotation ann);
+
+/** Kinds of transformation steps Felix tunes (paper §4). */
+enum class StepKind : uint8_t {
+    Split,       ///< tile one loop with symbolic factors
+    Fuse,        ///< fuse a contiguous run of loops into one
+    Reorder,     ///< permute the loop order
+    Annotate,    ///< bind/annotate one loop
+    ComputeAt,   ///< attach this stage under a loop of another stage
+    Inline,      ///< inline an elementwise stage into its consumer
+    CacheRead,   ///< stage an input buffer in shared memory
+    Pragma,      ///< auto_unroll_max_step <= value
+};
+
+const char *stepKindName(StepKind kind);
+
+/**
+ * One transformation step. Fields are interpreted per kind:
+ *  - Split: stageId, loopIndex, factors (inner tile sizes; the
+ *    outer extent becomes extent / prod(factors))
+ *  - Fuse: stageId, loopIndex (first), count = number of loops
+ *  - Reorder: stageId, order = permutation of loop indices
+ *  - Annotate: stageId, loopIndex, annotation
+ *  - ComputeAt: stageId, targetStageId, targetLoopIndex
+ *  - Inline: stageId
+ *  - CacheRead: stageId (consumer), inputIndex (which access),
+ *    targetLoopIndex (attach point in consumer)
+ *  - Pragma: stageId, factors[0] = max unroll step
+ */
+struct TransformStep
+{
+    StepKind kind;
+    int stageId = 0;
+    int loopIndex = 0;
+    int count = 0;
+    int targetStageId = 0;
+    int targetLoopIndex = 0;
+    int inputIndex = 0;
+    Annotation annotation = Annotation::None;
+    std::vector<expr::Expr> factors;
+    std::vector<int> order;
+
+    std::string str() const;
+};
+
+/**
+ * A schedule: transformation steps plus the schedule-variable names
+ * they reference. For a concrete schedule `vars` is empty.
+ */
+struct Schedule
+{
+    std::vector<TransformStep> steps;
+    std::vector<std::string> vars;
+
+    /** Bind variable values (name order = vars) => concrete steps. */
+    Schedule bind(const std::vector<double> &values) const;
+
+    std::string str() const;
+};
+
+} // namespace tir
+} // namespace felix
+
+#endif // FELIX_TIR_SCHEDULE_H_

@@ -1,0 +1,72 @@
+#include "tuner/records.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace tuner {
+
+void
+appendRecord(const std::string &path, const TuneRecord &record)
+{
+    std::ofstream os(path, std::ios::app);
+    FELIX_CHECK(os.good(), "cannot append tuning record to " + path);
+    os.precision(17);
+    os << record.taskHash << " " << record.sketchIndex << " "
+       << record.latencySec << " " << record.clockSec << " "
+       << record.scheduleVars.size();
+    for (double v : record.scheduleVars)
+        os << " " << v;
+    os << " " << record.taskLabel << "\n";
+}
+
+std::vector<TuneRecord>
+loadRecords(const std::string &path)
+{
+    std::vector<TuneRecord> records;
+    std::ifstream is(path);
+    std::string line;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        TuneRecord record;
+        size_t numVars = 0;
+        if (!(ls >> record.taskHash >> record.sketchIndex >>
+              record.latencySec >> record.clockSec >> numVars)) {
+            continue;   // corrupt line: skip
+        }
+        if (numVars > 4096)
+            continue;
+        record.scheduleVars.resize(numVars);
+        bool ok = true;
+        for (double &v : record.scheduleVars)
+            ok = ok && static_cast<bool>(ls >> v);
+        if (!ok)
+            continue;
+        ls >> record.taskLabel;
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+std::vector<TuneRecord>
+historyBest(const std::vector<TuneRecord> &records)
+{
+    std::unordered_map<uint64_t, size_t> bestOf;
+    std::vector<TuneRecord> best;
+    for (const TuneRecord &record : records) {
+        auto it = bestOf.find(record.taskHash);
+        if (it == bestOf.end()) {
+            bestOf.emplace(record.taskHash, best.size());
+            best.push_back(record);
+        } else if (record.latencySec < best[it->second].latencySec) {
+            best[it->second] = record;
+        }
+    }
+    return best;
+}
+
+} // namespace tuner
+} // namespace felix

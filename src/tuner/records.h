@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tuning records: an append-only log of every hardware measurement,
+ * replayable without re-tuning.
+ *
+ * This mirrors TVM/Ansor's tuning-log workflow that the paper's
+ * programming interface exposes (Fig. 5: `save_res="resnet50.json"`):
+ * each measured (task, schedule) pair is appended as one line; a
+ * later session can "apply history best" — rebuild the best
+ * schedule per task from the log — and skip the search entirely.
+ */
+#ifndef FELIX_TUNER_RECORDS_H_
+#define FELIX_TUNER_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace tuner {
+
+/** One measured schedule. */
+struct TuneRecord
+{
+    uint64_t taskHash = 0;          ///< SubgraphDef::structuralHash
+    std::string taskLabel;
+    int sketchIndex = 0;
+    std::vector<double> scheduleVars;
+    double latencySec = 0.0;
+    double clockSec = 0.0;          ///< virtual time of measurement
+};
+
+/** Append one record to a log file (creates the file if needed). */
+void appendRecord(const std::string &path, const TuneRecord &record);
+
+/** Load every well-formed record; skips corrupt lines. */
+std::vector<TuneRecord> loadRecords(const std::string &path);
+
+/**
+ * History-best selection: the lowest-latency record per task hash.
+ */
+std::vector<TuneRecord> historyBest(
+    const std::vector<TuneRecord> &records);
+
+} // namespace tuner
+} // namespace felix
+
+#endif // FELIX_TUNER_RECORDS_H_

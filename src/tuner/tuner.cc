@@ -1,0 +1,188 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/features.h"
+#include "sim/gpu_model.h"
+#include "support/logging.h"
+#include "tuner/records.h"
+
+namespace felix {
+namespace tuner {
+
+const char *
+strategyName(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::FelixGradient: return "Felix";
+      case StrategyKind::AnsorTenSet: return "Ansor-TenSet";
+    }
+    return "?";
+}
+
+GraphTuner::GraphTuner(std::vector<graph::Task> tasks,
+                       costmodel::CostModel model,
+                       sim::DeviceKind device, TunerOptions options)
+    : model_(std::move(model)), device_(sim::deviceConfig(device)),
+      options_(std::move(options)), rng_(options_.seed)
+{
+    FELIX_CHECK(!tasks.empty(), "tuner needs at least one task");
+    for (graph::Task &task : tasks) {
+        TaskRecord record;
+        record.task = std::move(task);
+        if (options_.strategy == StrategyKind::FelixGradient) {
+            record.strategy = std::make_unique<optim::GradientSearch>(
+                record.task.subgraph, options_.grad);
+        } else {
+            record.strategy =
+                std::make_unique<evolutionary::EvolutionarySearch>(
+                    record.task.subgraph, options_.evo);
+        }
+        // Initialize with the trivial all-ones schedule of the
+        // primary sketch (always legal, single-threaded): this is
+        // the "untuned" latency the curves start at.
+        const auto &sched = record.strategy->sketches().front();
+        std::vector<std::string> names;
+        for (const auto &domain : sched.vars)
+            names.push_back(domain.name);
+        std::vector<double> ones(sched.vars.size(), 1.0);
+        auto rawFeatures = features::concreteFeatures(sched.program,
+                                                      names, ones);
+        record.bestLatencySec = sim::measureKernel(
+            rawFeatures, device_, measureSeed_++);
+        record.bestCandidate.sketchIndex = 0;
+        record.bestCandidate.x = ones;
+        record.bestCandidate.rawFeatures = std::move(rawFeatures);
+        tasks_.push_back(std::move(record));
+    }
+    timeline_.push_back({0.0, networkLatency()});
+}
+
+double
+GraphTuner::networkLatency() const
+{
+    double total = options_.graphExecOverheadSec;
+    for (const TaskRecord &record : tasks_)
+        total += record.task.weight * record.bestLatencySec;
+    return total;
+}
+
+int
+GraphTuner::selectNextTask()
+{
+    // First pass: visit every task once.
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].rounds == 0)
+            return static_cast<int>(i);
+    }
+    // Ansor's task scheduler: spend rounds where the most network
+    // time remains, backing off tasks that stopped improving.
+    int best = 0;
+    double bestScore = -1.0;
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+        const TaskRecord &record = tasks_[i];
+        double share = record.task.weight * record.bestLatencySec;
+        double backoff =
+            std::pow(0.5, std::min(6, record.stagnantRounds));
+        double score = share * backoff;
+        if (score > bestScore) {
+            bestScore = score;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+double
+GraphTuner::measureCandidate(const optim::Candidate &candidate)
+{
+    ++totalMeasurements_;
+    return sim::measureKernel(candidate.rawFeatures, device_,
+                              measureSeed_++);
+}
+
+void
+GraphTuner::tuneOneRound()
+{
+    const int taskIdx = selectNextTask();
+    TaskRecord &record = tasks_[taskIdx];
+
+    optim::RoundResult result = record.strategy->round(model_, rng_);
+
+    // Advance the virtual clock for the search phase.
+    double predFactor =
+        (options_.strategy == StrategyKind::FelixGradient)
+            ? options_.clock.gradStepFactor
+            : 1.0;
+    clockSec_ += options_.clock.roundOverheadSec +
+                 result.trace.numPredictions *
+                     options_.clock.secPerPrediction * predFactor;
+
+    // Measure the proposed candidates, update the best schedule and
+    // fine-tune the cost model with the fresh measurements.
+    std::vector<costmodel::Sample> fresh;
+    double prevBest = record.bestLatencySec;
+    for (const optim::Candidate &candidate : result.toMeasure) {
+        double latency = measureCandidate(candidate);
+        clockSec_ += options_.clock.secPerMeasurement;
+        record.strategy->observe(candidate, latency);
+        if (!options_.recordLogPath.empty()) {
+            TuneRecord logEntry;
+            logEntry.taskHash =
+                record.task.subgraph.structuralHash();
+            logEntry.taskLabel = record.task.exampleLabel;
+            logEntry.sketchIndex = candidate.sketchIndex;
+            logEntry.scheduleVars = candidate.x;
+            logEntry.latencySec = latency;
+            logEntry.clockSec = clockSec_;
+            appendRecord(options_.recordLogPath, logEntry);
+        }
+        if (latency < record.bestLatencySec) {
+            record.bestLatencySec = latency;
+            record.bestCandidate = candidate;
+        }
+        costmodel::Sample sample;
+        sample.rawFeatures = candidate.rawFeatures;
+        sample.latencySec = latency;
+        fresh.push_back(std::move(sample));
+        timeline_.push_back({clockSec_, networkLatency()});
+    }
+    // Fine-tune on the fresh measurements plus a replay batch from
+    // earlier rounds, so the model adapts to this network's tasks
+    // without forgetting the rest of the search space.
+    for (const costmodel::Sample &sample : fresh)
+        history_.push_back(sample);
+    std::vector<costmodel::Sample> batch = fresh;
+    for (int i = 0; i < 64 && !history_.empty(); ++i)
+        batch.push_back(history_[rng_.index(history_.size())]);
+    model_.finetune(batch, options_.finetuneSteps);
+    if (history_.size() > 8192)
+        history_.erase(history_.begin(),
+                       history_.begin() + history_.size() / 2);
+
+    ++record.rounds;
+    if (record.bestLatencySec >= prevBest * 0.995)
+        ++record.stagnantRounds;
+    else
+        record.stagnantRounds = 0;
+
+    timeline_.push_back({clockSec_, networkLatency()});
+}
+
+void
+GraphTuner::tuneRounds(int n_rounds)
+{
+    for (int round = 0; round < n_rounds; ++round)
+        tuneOneRound();
+}
+
+void
+GraphTuner::tuneUntil(double budget_sec)
+{
+    while (clockSec_ < budget_sec)
+        tuneOneRound();
+}
+
+} // namespace tuner
+} // namespace felix

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the experiment-harness infrastructure: argument parsing,
+ * scaled-vs-full settings, milestone lookup, and formatting.
+ */
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace bench {
+namespace {
+
+BenchOptions
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "bench");
+    return parseArgs(static_cast<int>(args.size()),
+                     const_cast<char **>(args.data()));
+}
+
+TEST(ParseArgs, Defaults)
+{
+    auto options = parse({});
+    EXPECT_FALSE(options.full);
+    EXPECT_EQ(options.budgetSec, 0.0);
+    EXPECT_EQ(options.seed, 1u);
+    EXPECT_TRUE(options.device.empty());
+}
+
+TEST(ParseArgs, AllFlags)
+{
+    auto options = parse({"--full", "--budget", "1234", "--seed",
+                          "42", "--device", "a10g", "--cache-dir",
+                          "/tmp/x"});
+    EXPECT_TRUE(options.full);
+    EXPECT_DOUBLE_EQ(options.budgetSec, 1234.0);
+    EXPECT_EQ(options.seed, 42u);
+    EXPECT_EQ(options.device, "a10g");
+    EXPECT_EQ(options.cacheDir, "/tmp/x");
+}
+
+TEST(ParseArgs, UnknownFlagFatal)
+{
+    EXPECT_THROW(parse({"--bogus"}), FatalError);
+}
+
+TEST(Settings, FullScalesSearchParameters)
+{
+    BenchOptions scaled;
+    BenchOptions full;
+    full.full = true;
+    EXPECT_LT(felixOptions(scaled).grad.nSteps,
+              felixOptions(full).grad.nSteps);
+    EXPECT_EQ(felixOptions(full).grad.nSteps, 200);    // paper §5
+    EXPECT_EQ(ansorOptions(full).evo.population, 2048);
+    EXPECT_EQ(ansorOptions(full).evo.nMeasure, 64);
+    EXPECT_LT(defaultBudget(scaled), defaultBudget(full));
+}
+
+TEST(Settings, BudgetOverrideWins)
+{
+    BenchOptions options;
+    options.budgetSec = 77.0;
+    EXPECT_DOUBLE_EQ(defaultBudget(options), 77.0);
+}
+
+TEST(Settings, DeviceSelection)
+{
+    BenchOptions all;
+    EXPECT_EQ(selectedDevices(all).size(), 3u);
+    BenchOptions one;
+    one.device = "xavier-nx";
+    auto devices = selectedDevices(one);
+    ASSERT_EQ(devices.size(), 1u);
+    EXPECT_EQ(devices[0], sim::DeviceKind::XavierNX);
+}
+
+TEST(Milestones, TimeToLatencyFindsFirstCrossing)
+{
+    std::vector<tuner::TimelinePoint> timeline = {
+        {0.0, 10.0}, {5.0, 8.0}, {9.0, 3.0}, {20.0, 1.0}};
+    EXPECT_DOUBLE_EQ(timeToLatency(timeline, 8.0), 5.0);
+    EXPECT_DOUBLE_EQ(timeToLatency(timeline, 2.0), 20.0);
+    EXPECT_LT(timeToLatency(timeline, 0.5), 0.0);   // never reached
+}
+
+TEST(Format, HelpersRenderExpectedStrings)
+{
+    EXPECT_EQ(fmtMs(0.00125), "1.250 ms");
+    EXPECT_EQ(fmtSpeedup(3.4), "3.4x");
+    EXPECT_EQ(fmtSpeedup(-1.0), "-");
+}
+
+} // namespace
+} // namespace bench
+} // namespace felix

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the simulated inference-framework baselines: support
+ * matrix, latency structure, and the paper's qualitative ordering
+ * (TensorRT fastest library; conv3d near roofline; small layers
+ * penalized).
+ */
+#include <gtest/gtest.h>
+
+#include "frameworks/frameworks.h"
+#include "graph/graph.h"
+#include "models/models.h"
+
+namespace felix {
+namespace frameworks {
+namespace {
+
+using sim::DeviceKind;
+
+TEST(Support, MatchesPaperFailures)
+{
+    // LLaMA: PyTorch only, never on Xavier, not at batch 16.
+    EXPECT_TRUE(frameworkSupports(Framework::PyTorch, "LLaMA",
+                                  DeviceKind::A5000, 1));
+    EXPECT_FALSE(frameworkSupports(Framework::TensorFlow, "LLaMA",
+                                   DeviceKind::A5000, 1));
+    EXPECT_FALSE(frameworkSupports(Framework::TensorRT, "LLaMA",
+                                   DeviceKind::A5000, 1));
+    EXPECT_FALSE(frameworkSupports(Framework::PyTorch, "LLaMA",
+                                   DeviceKind::XavierNX, 1));
+    EXPECT_FALSE(frameworkSupports(Framework::PyTorch, "LLaMA",
+                                   DeviceKind::A5000, 16));
+    // ViT on Xavier under TensorFlow OOMs.
+    EXPECT_FALSE(frameworkSupports(Framework::TensorFlow, "ViT-B/32",
+                                   DeviceKind::XavierNX, 1));
+    EXPECT_TRUE(frameworkSupports(Framework::TensorRT, "ViT-B/32",
+                                  DeviceKind::XavierNX, 1));
+    // Everything else runs everywhere.
+    EXPECT_TRUE(frameworkSupports(Framework::TensorFlow, "ResNet-50",
+                                  DeviceKind::XavierNX, 16));
+}
+
+TEST(Latency, PositiveAndDeviceOrdered)
+{
+    auto tasks = graph::partition(models::resnet50(1));
+    for (Framework framework : allFrameworks()) {
+        double a10g = networkLatency(
+            tasks, sim::deviceConfig(DeviceKind::A10G), framework);
+        double xavier = networkLatency(
+            tasks, sim::deviceConfig(DeviceKind::XavierNX), framework);
+        EXPECT_GT(a10g, 0.0);
+        EXPECT_GT(xavier, 4.0 * a10g) << frameworkName(framework);
+    }
+}
+
+TEST(Latency, TensorRTIsTheFastestLibrary)
+{
+    auto tasks = graph::partition(models::resnet50(1));
+    const auto &device = sim::deviceConfig(DeviceKind::A5000);
+    double pt = networkLatency(tasks, device, Framework::PyTorch);
+    double tf = networkLatency(tasks, device, Framework::TensorFlow);
+    double trt = networkLatency(tasks, device, Framework::TensorRT);
+    EXPECT_LT(trt, pt);
+    EXPECT_LT(pt, tf);
+}
+
+TEST(Latency, Conv3dRunsNearRoofline)
+{
+    tir::Conv3dConfig config;
+    config.c = 64;
+    config.d = 8;
+    config.h = config.w = 56;
+    config.k = 64;
+    graph::Task task;
+    task.subgraph = tir::conv3d(config);
+    task.anchorType = graph::OpType::Conv3d;
+    const auto &device = sim::deviceConfig(DeviceKind::A5000);
+    double latency =
+        libraryTaskLatency(task, device, Framework::PyTorch);
+    double roofline = task.subgraph.totalFlops() / device.peakFlops();
+    // Within ~1.4x of the compute roofline: hand-tuned kernels.
+    EXPECT_LT(latency, roofline * 1.45);
+}
+
+TEST(Latency, SmallLayersPayHeavyOverheads)
+{
+    // A tiny conv: overhead-dominated in libraries.
+    tir::Conv2dConfig config;
+    config.c = 160;
+    config.h = config.w = 7;
+    config.k = 160;
+    graph::Task task;
+    task.subgraph = tir::conv2d(config);
+    task.anchorType = graph::OpType::Conv2d;
+    const auto &device = sim::deviceConfig(DeviceKind::A5000);
+    double latency =
+        libraryTaskLatency(task, device, Framework::PyTorch);
+    double roofline = task.subgraph.totalFlops() / device.peakFlops();
+    EXPECT_GT(latency, roofline * 5.0);
+}
+
+TEST(Latency, DepthwiseConvHandledPoorly)
+{
+    tir::Conv2dConfig dense;
+    dense.c = 128;
+    dense.h = dense.w = 28;
+    dense.k = 128;
+    tir::Conv2dConfig depthwise = dense;
+    depthwise.groups = 128;
+
+    graph::Task denseTask;
+    denseTask.subgraph = tir::conv2d(dense);
+    denseTask.anchorType = graph::OpType::Conv2d;
+    graph::Task dwTask;
+    dwTask.subgraph = tir::conv2d(depthwise);
+    dwTask.anchorType = graph::OpType::Conv2d;
+
+    const auto &device = sim::deviceConfig(DeviceKind::A5000);
+    double denseEff =
+        denseTask.subgraph.totalFlops() / device.peakFlops() /
+        libraryTaskLatency(denseTask, device, Framework::PyTorch);
+    double dwEff =
+        dwTask.subgraph.totalFlops() / device.peakFlops() /
+        libraryTaskLatency(dwTask, device, Framework::PyTorch);
+    EXPECT_LT(dwEff, denseEff);
+}
+
+TEST(BestLibrary, SkipsUnsupportedFrameworks)
+{
+    auto tasks = graph::partition(models::llama(1, 100));
+    const auto &device = sim::deviceConfig(DeviceKind::A5000);
+    double best = bestLibraryLatency(tasks, "LLaMA", device, 1);
+    double pytorch =
+        networkLatency(tasks, device, Framework::PyTorch);
+    EXPECT_DOUBLE_EQ(best, pytorch);   // only PyTorch supports LLaMA
+}
+
+TEST(BestLibrary, NegativeWhenNothingSupports)
+{
+    auto tasks = graph::partition(models::llama(1, 100));
+    const auto &device = sim::deviceConfig(DeviceKind::XavierNX);
+    EXPECT_LT(bestLibraryLatency(tasks, "LLaMA", device, 1), 0.0);
+}
+
+} // namespace
+} // namespace frameworks
+} // namespace felix

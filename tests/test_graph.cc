@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for computation graphs, fusion-pattern partitioning, task
+ * deduplication, and the six network models.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "models/models.h"
+
+namespace felix {
+namespace graph {
+namespace {
+
+TEST(GraphBuild, NodesAndEdges)
+{
+    Graph g("test");
+    tir::Conv2dConfig conv;
+    conv.c = 16;
+    conv.h = conv.w = 32;
+    conv.k = 32;
+    int c1 = g.addConv2d(conv, -1, "conv1");
+    int r1 = g.addEpilogue(OpType::Relu, c1);
+    EXPECT_EQ(g.nodes().size(), 2u);
+    EXPECT_EQ(g.nodes()[r1].inputs[0], c1);
+    EXPECT_EQ(g.nodes()[r1].outputElems, g.nodes()[c1].outputElems);
+}
+
+TEST(Partition, ConvBnReluFusesIntoOneTask)
+{
+    Graph g("test");
+    tir::Conv2dConfig conv;
+    conv.c = 16;
+    conv.h = conv.w = 32;
+    conv.k = 32;
+    int c1 = g.addConv2d(conv, -1, "conv1");
+    int bn = g.addEpilogue(OpType::BatchNorm, c1);
+    g.addEpilogue(OpType::Relu, bn);
+    auto tasks = partition(g);
+    ASSERT_EQ(tasks.size(), 1u);
+    EXPECT_EQ(tasks[0].anchorType, OpType::Conv2d);
+    // BatchNorm became the bias-add epilogue stage.
+    EXPECT_EQ(tasks[0].subgraph.ops.size(), 2u);
+}
+
+TEST(Partition, RepeatedBlocksDeduplicateWithWeights)
+{
+    Graph g("test");
+    tir::Conv2dConfig conv;
+    conv.c = 64;
+    conv.h = conv.w = 28;
+    conv.k = 64;
+    int x = -1;
+    for (int i = 0; i < 5; ++i) {
+        x = g.addConv2d(conv, x, "conv");
+        x = g.addEpilogue(OpType::Relu, x);
+    }
+    auto tasks = partition(g);
+    ASSERT_EQ(tasks.size(), 1u);
+    EXPECT_EQ(tasks[0].weight, 5);
+}
+
+TEST(Partition, ResidualAddBecomesElementwiseTask)
+{
+    Graph g("test");
+    tir::Conv2dConfig conv;
+    conv.c = 32;
+    conv.h = conv.w = 16;
+    conv.k = 32;
+    int a = g.addConv2d(conv, -1, "a");
+    int b = g.addConv2d(conv, -1, "b");
+    int sum = g.addAdd(a, b, "residual");
+    g.addEpilogue(OpType::Relu, sum);
+    auto tasks = partition(g);
+    // conv (x2 dedup -> weight 2) + add task.
+    ASSERT_EQ(tasks.size(), 2u);
+    int convIdx = tasks[0].anchorType == OpType::Conv2d ? 0 : 1;
+    EXPECT_EQ(tasks[convIdx].weight, 2);
+    EXPECT_EQ(tasks[1 - convIdx].anchorType, OpType::Elementwise);
+    // The ReLU after the add fused into the elementwise task.
+    EXPECT_GT(tasks[1 - convIdx].subgraph.ops[0].arith.cmp, 0.0);
+}
+
+TEST(Partition, SharedOutputBlocksFusion)
+{
+    // A conv feeding two consumers cannot absorb either of them.
+    Graph g("test");
+    tir::Conv2dConfig conv;
+    conv.c = 16;
+    conv.h = conv.w = 16;
+    conv.k = 16;
+    int c1 = g.addConv2d(conv, -1, "conv");
+    g.addEpilogue(OpType::Relu, c1, "relu_a");
+    g.addEpilogue(OpType::Relu, c1, "relu_b");
+    auto tasks = partition(g);
+    // conv (unfused) + two relu elementwise tasks (deduped).
+    ASSERT_EQ(tasks.size(), 2u);
+}
+
+TEST(Partition, BiasThenReluBothFuse)
+{
+    Graph g("test");
+    DenseParams params;
+    params.n = 64;
+    params.m = 256;
+    params.k = 256;
+    int d = g.addDense(params, -1, "fc");
+    int bias = g.addEpilogue(OpType::BiasAdd, d);
+    g.addEpilogue(OpType::Relu, bias);
+    auto tasks = partition(g);
+    ASSERT_EQ(tasks.size(), 1u);
+    ASSERT_EQ(tasks[0].subgraph.ops.size(), 2u);
+    // ReLU cost is folded into the bias-add epilogue stage.
+    EXPECT_GT(tasks[0].subgraph.ops[1].arith.cmp, 0.0);
+}
+
+TEST(Models, ResNet50Structure)
+{
+    auto g = models::resnet50(1);
+    auto tasks = partition(g);
+    // ResNet-50 has ~25 distinct fused tasks after deduplication.
+    EXPECT_GE(tasks.size(), 18u);
+    EXPECT_LE(tasks.size(), 40u);
+    // Total weighted task count covers all 53 convs + fc + pools.
+    int total = 0;
+    for (const auto &task : tasks)
+        total += task.weight;
+    EXPECT_GE(total, 55);
+    // ~4 GFLOPs less the graph at 224x224 resolution.
+    EXPECT_NEAR(g.totalFlops() / 1e9, 8.2, 2.5);
+}
+
+TEST(Models, MobileNetHasManySmallTasks)
+{
+    auto g = models::mobilenetV2(1);
+    auto tasks = partition(g);
+    EXPECT_GE(tasks.size(), 20u);
+    // MobileNet-v2 is ~0.6 GFLOPs: far smaller than ResNet-50.
+    EXPECT_LT(g.totalFlops(), models::resnet50(1).totalFlops() / 4.0);
+}
+
+TEST(Models, R3dIsDominatedByConv3d)
+{
+    auto g = models::r3d18(1);
+    auto tasks = partition(g);
+    double conv3dFlops = 0.0, totalFlops = 0.0;
+    for (const auto &task : tasks) {
+        double f = task.weight * task.subgraph.totalFlops();
+        totalFlops += f;
+        if (task.anchorType == OpType::Conv3d)
+            conv3dFlops += f;
+    }
+    // Paper: 3d convolutions make up more than 99% of computation.
+    EXPECT_GT(conv3dFlops / totalFlops, 0.99);
+}
+
+TEST(Models, DcganIsAllTransposedConvs)
+{
+    auto g = models::dcgan(1);
+    auto tasks = partition(g);
+    int tconvTasks = 0;
+    for (const auto &task : tasks)
+        tconvTasks += (task.anchorType == OpType::TConv2d);
+    EXPECT_GE(tconvTasks, 4);
+}
+
+TEST(Models, VitHasAttentionOps)
+{
+    auto g = models::vitB32(1);
+    auto tasks = partition(g);
+    bool hasBmm = false, hasSoftmax = false, hasLayerNorm = false,
+         hasDense = false;
+    for (const auto &task : tasks) {
+        hasBmm |= task.anchorType == OpType::BatchMatmul;
+        hasSoftmax |= task.anchorType == OpType::Softmax;
+        hasLayerNorm |= task.anchorType == OpType::LayerNorm;
+        hasDense |= task.anchorType == OpType::Dense;
+    }
+    EXPECT_TRUE(hasBmm);
+    EXPECT_TRUE(hasSoftmax);
+    EXPECT_TRUE(hasLayerNorm);
+    EXPECT_TRUE(hasDense);
+    // 12 identical encoder layers deduplicate heavily.
+    EXPECT_LE(tasks.size(), 20u);
+}
+
+TEST(Models, LlamaIsLargeAndDense)
+{
+    auto g = models::llama(1, 100);
+    auto tasks = partition(g);
+    // Prefill of 100 tokens through a 7B model: ~1.3 TFLOPs.
+    EXPECT_GT(g.totalFlops() / 1e12, 0.8);
+    // Dense projections dominate.
+    double denseFlops = 0.0, totalFlops = 0.0;
+    for (const auto &task : tasks) {
+        double f = task.weight * task.subgraph.totalFlops();
+        totalFlops += f;
+        if (task.anchorType == OpType::Dense)
+            denseFlops += f;
+    }
+    EXPECT_GT(denseFlops / totalFlops, 0.9);
+}
+
+TEST(Models, VitDeduplicatesTwelveEncoderLayers)
+{
+    auto tasks = partition(models::vitB32(1));
+    // Every per-layer projection task carries weight 12 (or 24 for
+    // the two same-shaped MLP matmuls per layer).
+    bool foundWeight12 = false;
+    for (const auto &task : tasks)
+        foundWeight12 |= (task.weight % 12 == 0 && task.weight > 0 &&
+                          task.anchorType == OpType::Dense);
+    EXPECT_TRUE(foundWeight12);
+}
+
+TEST(Models, PartitionConservesComputeFlops)
+{
+    // The weighted task FLOPs must cover the graph's compute nodes
+    // (elementwise epilogues may add a small epsilon on top).
+    auto g = models::resnet50(1);
+    auto tasks = partition(g);
+    double taskFlops = 0.0;
+    for (const auto &task : tasks)
+        taskFlops += task.weight * task.subgraph.totalFlops();
+    EXPECT_GT(taskFlops, g.totalFlops() * 0.98);
+    EXPECT_LT(taskFlops, g.totalFlops() * 1.10);
+}
+
+TEST(Names, EnumPrintersCoverAllValues)
+{
+    for (OpType type :
+         {OpType::Conv2d, OpType::Conv3d, OpType::TConv2d,
+          OpType::Dense, OpType::BatchMatmul, OpType::Softmax,
+          OpType::MaxPool2d, OpType::GlobalAvgPool, OpType::LayerNorm,
+          OpType::BiasAdd, OpType::BatchNorm, OpType::Relu,
+          OpType::Sigmoid, OpType::Tanh, OpType::Gelu, OpType::Add,
+          OpType::Elementwise}) {
+        EXPECT_STRNE(opTypeName(type), "?");
+    }
+}
+
+TEST(Models, BatchSizeScalesFlops)
+{
+    double flops1 = models::resnet50(1).totalFlops();
+    double flops16 = models::resnet50(16).totalFlops();
+    EXPECT_NEAR(flops16 / flops1, 16.0, 0.1);
+}
+
+TEST(Models, EvaluationSetMatchesPaper)
+{
+    auto specs = models::evaluationNetworks();
+    ASSERT_EQ(specs.size(), 6u);
+    EXPECT_EQ(specs[0].name, "ResNet-50");
+    EXPECT_EQ(specs[5].name, "LLaMA");
+    EXPECT_FALSE(specs[5].runsOnXavier);
+    EXPECT_FALSE(specs[5].runsAtBatch16);
+}
+
+} // namespace
+} // namespace graph
+} // namespace felix

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * End-to-end integration smoke of the public API on each evaluated
+ * network: extract tasks, construct a tuner (which compiles every
+ * symbolic schedule and tape), run one tuning round, and verify the
+ * module artifact round-trips. Catches cross-module breakage that
+ * unit tests of individual modules cannot.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/felix.h"
+#include "costmodel/dataset.h"
+#include "models/models.h"
+
+namespace felix {
+namespace {
+
+const costmodel::CostModel &
+smallModel()
+{
+    static const costmodel::CostModel model = [] {
+        costmodel::DatasetOptions options;
+        options.numSubgraphs = 8;
+        options.schedulesPerSketch = 24;
+        options.seed = 23;
+        auto samples = costmodel::synthesizeDataset(
+            sim::deviceConfig(sim::DeviceKind::A5000), options);
+        costmodel::MlpConfig config;
+        config.layerSizes = {82, 48, 48, 1};
+        costmodel::CostModel model(config, 23);
+        model.fit(samples, 6, 128, 1.5e-3);
+        return model;
+    }();
+    return model;
+}
+
+class NetworkSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NetworkSweep, ExtractTuneAndCompile)
+{
+    const auto spec = models::evaluationNetworks()[GetParam()];
+    auto tasks = extractSubgraphs(spec.build(1));
+    ASSERT_GT(tasks.size(), 0u) << spec.name;
+
+    OptimizerOptions options;
+    options.tuner.grad.nSeeds = 2;
+    options.tuner.grad.nSteps = 16;
+    options.tuner.grad.nMeasure = 4;
+    Optimizer opt(tasks, smallModel(), Device::cuda("a5000"),
+                  options);
+    double before = opt.tuner().networkLatency();
+    EXPECT_TRUE(std::isfinite(before)) << spec.name;
+
+    // A couple of rounds must run cleanly and never regress.
+    opt.optimizeAll(2);
+    EXPECT_LE(opt.tuner().networkLatency(), before) << spec.name;
+
+    auto module = opt.compileWithBestConfigs();
+    EXPECT_EQ(module.configs().size(), tasks.size()) << spec.name;
+    EXPECT_GT(module.run(), 0.0);
+
+    std::string path = "integration_tmp_" +
+                       std::to_string(GetParam()) + ".cfg";
+    module.save(path);
+    auto loaded = CompiledModule::load(path);
+    ASSERT_TRUE(loaded.has_value()) << spec.name;
+    EXPECT_DOUBLE_EQ(loaded->run(), module.run());
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworks, NetworkSweep, ::testing::Range(0, 6),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string name =
+            models::evaluationNetworks()[info.param].name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace felix

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the simulated GPU devices and the analytical latency
+ * model: monotonicity and structure properties the search relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/compiled.h"
+#include "features/features.h"
+#include "sim/device.h"
+#include "sim/gpu_model.h"
+#include "sketch/sampling.h"
+#include "sketch/sketch.h"
+#include "support/logging.h"
+#include "tir/ops.h"
+
+namespace felix {
+namespace sim {
+namespace {
+
+std::vector<double>
+denseFeatures(const std::vector<std::pair<std::string, double>> &sets,
+              int64_t n = 512, int64_t m = 512, int64_t k = 512)
+{
+    auto subgraph = tir::dense(n, m, k, false);
+    auto sketches = sketch::generateSketches(subgraph);
+    const auto &full = sketches[0];
+    std::vector<double> x(full.vars.size(), 1.0);
+    for (const auto &[name, value] : sets)
+        x[full.varIndex(name)] = value;
+    std::vector<std::string> names;
+    for (const auto &domain : full.vars)
+        names.push_back(domain.name);
+    return features::concreteFeatures(full.program, names, x);
+}
+
+TEST(Device, ConfigsMatchPublishedSpecs)
+{
+    const DeviceConfig &a10g = deviceConfig(DeviceKind::A10G);
+    EXPECT_EQ(a10g.smCount, 80);
+    // ~35 TFLOPS FP32.
+    EXPECT_NEAR(a10g.peakFlops() / 1e12, 35.0, 1.5);
+
+    const DeviceConfig &a5000 = deviceConfig(DeviceKind::A5000);
+    EXPECT_EQ(a5000.smCount * a5000.coresPerSm, 8192);   // paper §6.1
+
+    const DeviceConfig &xavier = deviceConfig(DeviceKind::XavierNX);
+    EXPECT_EQ(xavier.smCount * xavier.coresPerSm, 384);
+    EXPECT_LT(xavier.peakFlops(), a10g.peakFlops() / 10.0);
+}
+
+TEST(Device, ParseNames)
+{
+    EXPECT_EQ(parseDevice("a10g"), DeviceKind::A10G);
+    EXPECT_EQ(parseDevice("A5000"), DeviceKind::A5000);
+    EXPECT_EQ(parseDevice("xavier-nx"), DeviceKind::XavierNX);
+    EXPECT_THROW(parseDevice("h100"), FatalError);
+}
+
+TEST(Model, LatencyPositiveAndFinite)
+{
+    auto f = denseFeatures({});
+    for (DeviceKind kind : allDevices()) {
+        double latency = kernelLatency(f, deviceConfig(kind));
+        EXPECT_TRUE(std::isfinite(latency));
+        EXPECT_GT(latency, 0.0);
+    }
+}
+
+TEST(Model, LaunchOverheadIsAFloor)
+{
+    // A tiny elementwise kernel cannot run faster than the launch
+    // overhead.
+    tir::ArithCounts arith;
+    arith.add = 1;
+    auto subgraph = tir::elementwise(1024, 1, arith);
+    auto sketches = sketch::generateSketches(subgraph);
+    std::vector<std::string> names;
+    for (const auto &domain : sketches[0].vars)
+        names.push_back(domain.name);
+    std::vector<double> x(names.size(), 1.0);
+    x[sketches[0].varIndex("e_th")] = 256.0;
+    auto f = features::concreteFeatures(sketches[0].program, names, x);
+    const DeviceConfig &device = deviceConfig(DeviceKind::A5000);
+    EXPECT_GE(kernelLatency(f, device),
+              device.launchOverheadUs * 1e-6);
+    EXPECT_LT(kernelLatency(f, device),
+              5.0 * device.launchOverheadUs * 1e-6);
+}
+
+TEST(Model, ThreadParallelismSpeedsUpLargeKernels)
+{
+    auto fOneThread = denseFeatures({});
+    auto fManyThreads = denseFeatures(
+        {{"sp0_th", 16.0}, {"sp1_th", 16.0}});
+    const DeviceConfig &device = deviceConfig(DeviceKind::A5000);
+    EXPECT_GT(kernelLatency(fOneThread, device),
+              5.0 * kernelLatency(fManyThreads, device));
+}
+
+TEST(Model, LargerBlockTilesReduceMemoryTime)
+{
+    // A block covering a larger output tile refetches less of A and
+    // B overall (classic matmul blocking trade-off). Matrices are
+    // sized above L2 so refetches actually hit DRAM.
+    auto base = denseFeatures({{"sp0_th", 16.0}, {"sp1_th", 16.0}},
+                              2048, 2048, 2048);
+    auto tiled = denseFeatures({{"sp0_th", 16.0},
+                                {"sp1_th", 16.0},
+                                {"sp0_in", 4.0},
+                                {"sp1_in", 4.0}},
+                               2048, 2048, 2048);
+    const DeviceConfig &device = deviceConfig(DeviceKind::A5000);
+    auto baseDetail = kernelLatencyDetail(base, device);
+    auto tiledDetail = kernelLatencyDetail(tiled, device);
+    EXPECT_LT(tiledDetail.memorySec, baseDetail.memorySec);
+}
+
+TEST(Model, UnrollingImprovesComputeBoundKernels)
+{
+    auto plain = denseFeatures({{"sp0_th", 16.0},
+                                {"sp1_th", 16.0},
+                                {"r0_in", 16.0}});
+    auto unrolled = denseFeatures({{"sp0_th", 16.0},
+                                   {"sp1_th", 16.0},
+                                   {"r0_in", 16.0},
+                                   {"UNROLL", 64.0}});
+    const DeviceConfig &device = deviceConfig(DeviceKind::A5000);
+    EXPECT_LT(kernelLatency(unrolled, device),
+              kernelLatency(plain, device));
+}
+
+TEST(Model, EdgeDeviceIsSlower)
+{
+    auto f = denseFeatures({{"sp0_th", 16.0}, {"sp1_th", 16.0},
+                            {"r0_in", 16.0}});
+    double a10g = kernelLatency(f, deviceConfig(DeviceKind::A10G));
+    double xavier =
+        kernelLatency(f, deviceConfig(DeviceKind::XavierNX));
+    EXPECT_GT(xavier, 5.0 * a10g);
+}
+
+TEST(Model, OccupancyReportedInBreakdown)
+{
+    auto f = denseFeatures({{"sp0_th", 16.0}, {"sp1_th", 16.0}});
+    auto detail =
+        kernelLatencyDetail(f, deviceConfig(DeviceKind::A5000));
+    EXPECT_GT(detail.occupancy, 0.0);
+    EXPECT_LE(detail.occupancy, 1.0);
+    EXPECT_GT(detail.warpEfficiency, 0.0);
+    EXPECT_LE(detail.warpEfficiency, 1.0);
+    EXPECT_GT(detail.waveEfficiency, 0.0);
+    EXPECT_LE(detail.waveEfficiency, 1.0);
+}
+
+TEST(Model, PartialWarpsArePenalized)
+{
+    // 48 threads = 1.5 warps: warp efficiency 0.75.
+    auto f48 = denseFeatures({{"sp0_th", 4.0}, {"sp1_th", 4.0}});
+    auto detail =
+        kernelLatencyDetail(f48, deviceConfig(DeviceKind::A5000));
+    EXPECT_LT(detail.warpEfficiency, 0.75);
+}
+
+TEST(Measure, DeterministicGivenSeed)
+{
+    auto f = denseFeatures({{"sp0_th", 8.0}});
+    const DeviceConfig &device = deviceConfig(DeviceKind::A5000);
+    EXPECT_DOUBLE_EQ(measureKernel(f, device, 7),
+                     measureKernel(f, device, 7));
+    EXPECT_NE(measureKernel(f, device, 7),
+              measureKernel(f, device, 8));
+}
+
+TEST(Measure, NoiseIsSmall)
+{
+    auto f = denseFeatures({{"sp0_th", 8.0}, {"sp1_th", 8.0}});
+    const DeviceConfig &device = deviceConfig(DeviceKind::A5000);
+    double base = kernelLatency(f, device);
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        double measured = measureKernel(f, device, seed);
+        EXPECT_NEAR(measured / base, 1.0, 0.25);
+    }
+}
+
+TEST(Model, BreakdownTotalCoversComponents)
+{
+    auto f = denseFeatures({{"sp0_th", 16.0}, {"sp1_th", 16.0}});
+    auto detail =
+        kernelLatencyDetail(f, deviceConfig(DeviceKind::A5000));
+    // The p-norm body is at least the largest single component, and
+    // the total adds sync + launch on top.
+    double maxComponent = std::max(
+        {detail.computeSec, detail.memorySec, detail.sharedSec});
+    EXPECT_GE(detail.totalSec,
+              maxComponent + detail.launchSec - 1e-15);
+    EXPECT_DOUBLE_EQ(
+        kernelLatency(f, deviceConfig(DeviceKind::A5000)),
+        detail.totalSec);
+}
+
+TEST(Measure, IntrinsicJitterDiffersAcrossDevices)
+{
+    auto f = denseFeatures({{"sp0_th", 8.0}});
+    double a = measureKernel(f, deviceConfig(DeviceKind::A5000), 1) /
+               kernelLatency(f, deviceConfig(DeviceKind::A5000));
+    double b = measureKernel(f, deviceConfig(DeviceKind::A10G), 1) /
+               kernelLatency(f, deviceConfig(DeviceKind::A10G));
+    // Same schedule, different device: different code generation
+    // luck, hence a different multiplicative perturbation.
+    EXPECT_NE(a, b);
+}
+
+/** The search space has room: tuned beats naive by a wide margin. */
+TEST(Model, TunedScheduleBeatsNaiveByOrderOfMagnitude)
+{
+    auto naive = denseFeatures({});
+    auto tuned = denseFeatures({{"sp0_vt", 2.0},
+                                {"sp0_th", 16.0},
+                                {"sp0_in", 4.0},
+                                {"sp1_th", 16.0},
+                                {"sp1_in", 4.0},
+                                {"r0_in", 16.0},
+                                {"UNROLL", 64.0}});
+    const DeviceConfig &device = deviceConfig(DeviceKind::A5000);
+    EXPECT_GT(kernelLatency(naive, device),
+              10.0 * kernelLatency(tuned, device));
+}
+
+} // namespace
+} // namespace sim
+} // namespace felix

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the support substrate: RNG determinism and
+ * distributions, math helpers, string/table formatting, logging.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+
+namespace felix {
+namespace {
+
+TEST(Rng, DeterministicStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard)
+{
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.normal());
+    EXPECT_NEAR(mean(xs), 0.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(5);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        counts[rng.weightedIndex(weights)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_GT(counts[2], counts[0] * 2);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(9);
+    Rng child = parent.fork();
+    // The child stream must differ from the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(13);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(MathUtil, DivisorsOfTwelve)
+{
+    EXPECT_EQ(divisorsOf(12),
+              (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+}
+
+TEST(MathUtil, DivisorsOfPrime)
+{
+    EXPECT_EQ(divisorsOf(13), (std::vector<int64_t>{1, 13}));
+}
+
+TEST(MathUtil, DivisorsOfOne)
+{
+    EXPECT_EQ(divisorsOf(1), (std::vector<int64_t>{1}));
+}
+
+TEST(MathUtil, NearestDivisorLogSnapsInLogSpace)
+{
+    // For N = 64, x = 5.6: candidates 4 and 8; log-space midpoint is
+    // sqrt(32) ~ 5.66, so 5.6 snaps to 4.
+    EXPECT_EQ(nearestDivisorLog(64, 5.6), 4);
+    EXPECT_EQ(nearestDivisorLog(64, 5.7), 8);
+}
+
+TEST(MathUtil, NearestDivisorLogClamps)
+{
+    EXPECT_EQ(nearestDivisorLog(36, 0.01), 1);
+    EXPECT_EQ(nearestDivisorLog(36, 1e9), 36);
+}
+
+TEST(MathUtil, NearestDivisorExactHit)
+{
+    EXPECT_EQ(nearestDivisorLog(100, 25.0), 25);
+}
+
+TEST(MathUtil, ClampRound)
+{
+    EXPECT_EQ(clampRound(3.4, 1, 10), 3);
+    EXPECT_EQ(clampRound(3.6, 1, 10), 4);
+    EXPECT_EQ(clampRound(-5.0, 1, 10), 1);
+    EXPECT_EQ(clampRound(99.0, 1, 10), 10);
+}
+
+TEST(MathUtil, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(MathUtil, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(roundUp(10, 4), 12);
+    EXPECT_EQ(roundUp(8, 4), 8);
+}
+
+TEST(MathUtil, IsPowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(StringUtil, JoinAndPad)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+}
+
+TEST(StringUtil, Strformat)
+{
+    EXPECT_EQ(strformat("%.2fx", 1.5), "1.50x");
+    EXPECT_EQ(strformat("%d-%s", 3, "ok"), "3-ok");
+}
+
+TEST(StringUtil, RenderTableAligns)
+{
+    std::string table = renderTable({{"name", "value"},
+                                     {"alpha", "1"},
+                                     {"b", "22"}});
+    EXPECT_NE(table.find("name   value"), std::string::npos);
+    EXPECT_NE(table.find("alpha  1"), std::string::npos);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input"), FatalError);
+}
+
+TEST(Logging, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("bug"), InternalError);
+}
+
+TEST(Logging, CheckMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(FELIX_CHECK(1 + 1 == 2));
+    EXPECT_THROW(FELIX_CHECK(false, "context"), InternalError);
+}
+
+TEST(Support, HashCombineIsDeterministic)
+{
+    EXPECT_EQ(hashCombine(1, 2), hashCombine(1, 2));
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+} // namespace
+} // namespace felix

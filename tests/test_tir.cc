@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the tensor IR: operator builders, naive programs,
+ * transformation steps (split/fuse/reorder/annotate/compute_at/
+ * cache_read/pragma), and symbolic vs concrete scheduling.
+ */
+#include <gtest/gtest.h>
+
+#include "expr/compiled.h"
+#include "tir/ops.h"
+#include "tir/program.h"
+#include "tir/schedule.h"
+
+namespace felix {
+namespace tir {
+namespace {
+
+using expr::Expr;
+
+SubgraphDef
+denseAdd(int64_t n = 64, int64_t m = 64, int64_t k = 64)
+{
+    return dense(n, m, k, /*bias=*/true);
+}
+
+TEST(Ops, DenseShapesAndFlops)
+{
+    SubgraphDef subgraph = dense(128, 256, 512, false);
+    ASSERT_EQ(subgraph.ops.size(), 1u);
+    const ComputeOp &op = subgraph.ops[0];
+    EXPECT_EQ(op.spatialExtent(), 128 * 256);
+    EXPECT_EQ(op.reduceExtent(), 512);
+    // One FMA per point = 2 flops.
+    EXPECT_DOUBLE_EQ(op.flops(), 2.0 * 128 * 256 * 512);
+}
+
+TEST(Ops, DenseWithBiasHasEpilogueStage)
+{
+    SubgraphDef subgraph = denseAdd();
+    ASSERT_EQ(subgraph.ops.size(), 2u);
+    EXPECT_EQ(subgraph.dominantOpIndex(), 0);
+    const ComputeOp &epilogue = subgraph.ops[1];
+    EXPECT_EQ(epilogue.reduceExtent(), 1);
+    // Reads the matmul output and the bias vector.
+    ASSERT_EQ(epilogue.inputs.size(), 2u);
+    EXPECT_EQ(epilogue.inputs[0].tensor, subgraph.ops[0].name);
+}
+
+TEST(Ops, Conv2dOutputShape)
+{
+    Conv2dConfig config;
+    config.n = 1;
+    config.c = 64;
+    config.h = 56;
+    config.w = 56;
+    config.k = 128;
+    config.r = 3;
+    config.s = 3;
+    config.stride = 2;
+    config.pad = 1;
+    SubgraphDef subgraph = conv2d(config);
+    const ComputeOp &op = subgraph.ops[0];
+    EXPECT_EQ(config.outH(), 28);
+    EXPECT_EQ(op.spatialExtent(), 1 * 128 * 28 * 28);
+    EXPECT_EQ(op.reduceExtent(), 64 * 3 * 3);
+}
+
+TEST(Ops, Conv2dSlidingWindowFootprintContribs)
+{
+    Conv2dConfig config;
+    config.stride = 2;
+    SubgraphDef subgraph = conv2d(config);
+    const BufferAccess &data = subgraph.ops[0].inputs[0];
+    // Height dim: driven by oh (stride 2) and r (stride 1).
+    const BufferDim &hDim = data.dims[2];
+    ASSERT_EQ(hDim.contribs.size(), 2u);
+    EXPECT_EQ(hDim.contribs[0].axis, "oh");
+    EXPECT_EQ(hDim.contribs[0].stride, 2);
+    EXPECT_EQ(hDim.contribs[1].axis, "r");
+}
+
+TEST(Ops, DepthwiseConvReducesOnlySpatialTaps)
+{
+    Conv2dConfig config;
+    config.c = 32;
+    config.k = 32;
+    config.groups = 32;
+    SubgraphDef subgraph = conv2d(config);
+    // Depthwise: reduction over r*s only (c/groups == 1).
+    EXPECT_EQ(subgraph.ops[0].reduceExtent(), 3 * 3);
+}
+
+TEST(Ops, SoftmaxHasThreeStages)
+{
+    SubgraphDef subgraph = softmax(16, 1024);
+    EXPECT_EQ(subgraph.ops.size(), 3u);
+    // Dominant is the exp-sum reduction stage.
+    EXPECT_EQ(subgraph.ops[subgraph.dominantOpIndex()].name,
+              "softmax_expsum");
+}
+
+TEST(Ops, StructuralHashDistinguishesShapes)
+{
+    EXPECT_EQ(dense(64, 64, 64).structuralHash(),
+              dense(64, 64, 64).structuralHash());
+    EXPECT_NE(dense(64, 64, 64).structuralHash(),
+              dense(64, 64, 128).structuralHash());
+}
+
+TEST(NaiveProgram, OneLoopPerAxis)
+{
+    Program program = naiveProgram(denseAdd());
+    ASSERT_EQ(program.stages.size(), 2u);
+    EXPECT_EQ(program.stages[0].loops.size(), 3u);   // i, j, kk
+    EXPECT_EQ(program.stages[1].loops.size(), 2u);
+    EXPECT_TRUE(program.stages[0].loops[0].extent.isConst(64.0));
+}
+
+TEST(Transform, SplitConcreteFactors)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    TransformStep split;
+    split.kind = StepKind::Split;
+    split.stageId = 0;
+    split.loopIndex = 1;                       // j, extent 64
+    split.factors = {Expr::constant(8.0)};
+    schedule.steps.push_back(split);
+    Program program = applySchedule(subgraph, schedule);
+    ASSERT_EQ(program.stages[0].loops.size(), 4u);
+    EXPECT_TRUE(program.stages[0].loops[1].extent.isConst(8.0));
+    EXPECT_TRUE(program.stages[0].loops[2].extent.isConst(8.0));
+    EXPECT_EQ(program.stages[0].loops[1].name, "j.0");
+    EXPECT_EQ(program.stages[0].loops[2].name, "j.1");
+}
+
+TEST(Transform, SplitSymbolicFactorKeepsVariable)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    schedule.vars = {"T"};
+    TransformStep split;
+    split.kind = StepKind::Split;
+    split.stageId = 0;
+    split.loopIndex = 1;
+    split.factors = {Expr::var("T")};
+    schedule.steps.push_back(split);
+    Program program = applySchedule(subgraph, schedule);
+    // Outer extent is 64 / T: contains the variable.
+    auto vars = expr::collectVars({program.stages[0].loops[1].extent});
+    EXPECT_EQ(vars, (std::vector<std::string>{"T"}));
+    // Binding T = 16 folds extents to constants.
+    Schedule bound = schedule.bind({16.0});
+    Program concrete = applySchedule(subgraph, bound);
+    EXPECT_TRUE(concrete.stages[0].loops[1].extent.isConst(4.0));
+    EXPECT_TRUE(concrete.stages[0].loops[2].extent.isConst(16.0));
+}
+
+TEST(Transform, SplitCoverTracksOriginAxis)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    TransformStep split;
+    split.kind = StepKind::Split;
+    split.stageId = 0;
+    split.loopIndex = 0;   // i
+    split.factors = {Expr::constant(4.0)};
+    schedule.steps.push_back(split);
+    Program program = applySchedule(subgraph, schedule);
+    const LoopInfo &inner = program.stages[0].loops[1];
+    ASSERT_EQ(inner.cover.size(), 1u);
+    EXPECT_EQ(inner.cover[0].axis, "i");
+    EXPECT_TRUE(inner.cover[0].extent.isConst(4.0));
+}
+
+TEST(Transform, FuseMultipliesExtentsAndMergesCover)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    TransformStep fuse;
+    fuse.kind = StepKind::Fuse;
+    fuse.stageId = 0;
+    fuse.loopIndex = 0;
+    fuse.count = 2;        // fuse i and j
+    schedule.steps.push_back(fuse);
+    Program program = applySchedule(subgraph, schedule);
+    ASSERT_EQ(program.stages[0].loops.size(), 2u);
+    EXPECT_TRUE(program.stages[0].loops[0].extent.isConst(64.0 * 64.0));
+    EXPECT_EQ(program.stages[0].loops[0].cover.size(), 2u);
+}
+
+TEST(Transform, FusedSplitDistributesCoverInnermostFirst)
+{
+    // Fuse (i, j) then split off an inner tile of 16 <= extent(j):
+    // the tile must cover only j.
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    TransformStep fuse;
+    fuse.kind = StepKind::Fuse;
+    fuse.stageId = 0;
+    fuse.loopIndex = 0;
+    fuse.count = 2;
+    schedule.steps.push_back(fuse);
+    TransformStep split;
+    split.kind = StepKind::Split;
+    split.stageId = 0;
+    split.loopIndex = 0;
+    split.factors = {Expr::constant(16.0)};
+    schedule.steps.push_back(split);
+    Program program = applySchedule(subgraph, schedule);
+    const LoopInfo &inner = program.stages[0].loops[1];
+    double coveredJ = 1.0, coveredI = 1.0;
+    for (const AxisCover &cover : inner.cover) {
+        if (cover.axis == "j")
+            coveredJ = cover.extent.constValue();
+        if (cover.axis == "i")
+            coveredI = cover.extent.constValue();
+    }
+    EXPECT_DOUBLE_EQ(coveredJ, 16.0);
+    EXPECT_DOUBLE_EQ(coveredI, 1.0);
+}
+
+TEST(Transform, ReorderPermutesLoops)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    TransformStep reorder;
+    reorder.kind = StepKind::Reorder;
+    reorder.stageId = 0;
+    reorder.order = {2, 0, 1};
+    schedule.steps.push_back(reorder);
+    Program program = applySchedule(subgraph, schedule);
+    EXPECT_EQ(program.stages[0].loops[0].name, "kk");
+    EXPECT_EQ(program.stages[0].loops[1].name, "i");
+}
+
+TEST(Transform, AnnotateAndAnnotatedExtent)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    TransformStep ann;
+    ann.kind = StepKind::Annotate;
+    ann.stageId = 0;
+    ann.loopIndex = 0;
+    ann.annotation = Annotation::BlockX;
+    schedule.steps.push_back(ann);
+    Program program = applySchedule(subgraph, schedule);
+    EXPECT_TRUE(program.annotatedExtent(Annotation::BlockX)
+                    .isConst(64.0));
+    EXPECT_TRUE(program.annotatedExtent(Annotation::ThreadX)
+                    .isConst(1.0));
+}
+
+TEST(Transform, ComputeAtShrinksAttachedStage)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    // Split i of the matmul into 8x8, attach the bias stage under
+    // the outer loop.
+    TransformStep split;
+    split.kind = StepKind::Split;
+    split.stageId = 0;
+    split.loopIndex = 0;
+    split.factors = {Expr::constant(8.0)};
+    schedule.steps.push_back(split);
+    TransformStep at;
+    at.kind = StepKind::ComputeAt;
+    at.stageId = 1;
+    at.targetStageId = 0;
+    at.targetLoopIndex = 0;    // under i.0 (extent 8)
+    schedule.steps.push_back(at);
+    Program program = applySchedule(subgraph, schedule);
+    const StageInfo &epilogue = program.stages[1];
+    EXPECT_EQ(epilogue.attachStage, 0);
+    EXPECT_TRUE(epilogue.aggregateLoops);
+    ASSERT_EQ(epilogue.loops.size(), 1u);
+    // Per-execution work: 64*64 total / 8 executions = 512.
+    EXPECT_TRUE(epilogue.loops[0].extent.isConst(512.0));
+}
+
+TEST(Transform, CacheReadAppendsSharedStage)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    TransformStep cache;
+    cache.kind = StepKind::CacheRead;
+    cache.stageId = 0;
+    cache.inputIndex = 0;      // A
+    cache.targetLoopIndex = 2; // under kk
+    schedule.steps.push_back(cache);
+    Program program = applySchedule(subgraph, schedule);
+    ASSERT_EQ(program.stages.size(), 3u);
+    const StageInfo &cacheStage = program.stages.back();
+    EXPECT_TRUE(cacheStage.isCacheRead);
+    EXPECT_EQ(cacheStage.outputScope, MemScope::Shared);
+    EXPECT_EQ(cacheStage.name, "A.shared");
+    EXPECT_EQ(cacheStage.cacheConsumerStage, 0);
+}
+
+TEST(Transform, PragmaSetsUnroll)
+{
+    SubgraphDef subgraph = denseAdd();
+    Schedule schedule;
+    schedule.vars = {"U"};
+    TransformStep pragma;
+    pragma.kind = StepKind::Pragma;
+    pragma.factors = {Expr::var("U")};
+    schedule.steps.push_back(pragma);
+    Program program = applySchedule(subgraph, schedule);
+    EXPECT_TRUE(program.unrollMaxStep.isVar());
+}
+
+TEST(Schedule, BindSubstitutesAllFactors)
+{
+    Schedule schedule;
+    schedule.vars = {"A", "B"};
+    TransformStep split;
+    split.kind = StepKind::Split;
+    split.factors = {Expr::var("A") * Expr::var("B")};
+    schedule.steps.push_back(split);
+    Schedule bound = schedule.bind({3.0, 5.0});
+    EXPECT_TRUE(bound.steps[0].factors[0].isConst(15.0));
+}
+
+TEST(Schedule, PrinterShowsStepKinds)
+{
+    Schedule schedule;
+    schedule.vars = {"T"};
+    TransformStep split;
+    split.kind = StepKind::Split;
+    split.stageId = 0;
+    split.loopIndex = 1;
+    split.factors = {Expr::var("T")};
+    schedule.steps.push_back(split);
+    std::string text = schedule.str();
+    EXPECT_NE(text.find("Split"), std::string::npos);
+    EXPECT_NE(text.find("T"), std::string::npos);
+}
+
+TEST(Program, PrinterRendersLoops)
+{
+    Program program = naiveProgram(denseAdd());
+    std::string text = program.str();
+    EXPECT_NE(text.find("for i in (0, 64)"), std::string::npos);
+    EXPECT_NE(text.find("stage dense"), std::string::npos);
+}
+
+} // namespace
+} // namespace tir
+} // namespace felix

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * felix-tune: a small command-line front end to the library.
+ *
+ *   felix-tune --network resnet50 --device a5000 --budget 600
+ *              [--batch N] [--strategy felix|ansor] [--seed N]
+ *              [--out FILE.cfg] [--compare-frameworks]
+ *
+ * Tunes one network for one device under a virtual tuning budget and
+ * prints the resulting latency (optionally against the simulated
+ * vendor libraries), saving the best schedules to a module file.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/felix.h"
+#include "frameworks/frameworks.h"
+#include "models/models.h"
+#include "sketch/sketch.h"
+#include "support/logging.h"
+
+using namespace felix;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: felix-tune --network NAME [options]\n"
+        "  --network   resnet50 | mobilenet_v2 | r3d_18 | dcgan |\n"
+        "              vit_b32 | llama\n"
+        "  --device    a10g | a5000 | xavier-nx   (default a5000)\n"
+        "  --batch     input batch size           (default 1)\n"
+        "  --budget    virtual tuning seconds     (default 600)\n"
+        "  --strategy  felix | ansor              (default felix)\n"
+        "  --seed      RNG seed                   (default 1)\n"
+        "  --out       save best schedules to a module file\n"
+        "  --compare-frameworks  also report library latencies\n"
+        "  --show-schedules N    print the bound loop nests of the\n"
+        "                        N most time-consuming tasks\n"
+        "  --log FILE  append every measurement as a replayable\n"
+        "              tuning record (Ansor-style tuning log)\n");
+}
+
+graph::Graph
+buildNetwork(const std::string &name, int batch)
+{
+    if (name == "resnet50")
+        return models::resnet50(batch);
+    if (name == "mobilenet_v2")
+        return models::mobilenetV2(batch);
+    if (name == "r3d_18")
+        return models::r3d18(batch);
+    if (name == "dcgan")
+        return models::dcgan(batch);
+    if (name == "vit_b32")
+        return models::vitB32(batch);
+    if (name == "llama")
+        return models::llama(batch);
+    fatal("unknown network: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string network, deviceName = "a5000", strategy = "felix";
+    std::string outPath;
+    int batch = 1;
+    double budget = 600.0;
+    uint64_t seed = 1;
+    bool compareFrameworks = false;
+    int showSchedules = 0;
+    std::string logPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                fatal("missing value for " + arg);
+            }
+            return argv[++i];
+        };
+        if (arg == "--network") network = next();
+        else if (arg == "--device") deviceName = next();
+        else if (arg == "--batch") batch = std::atoi(next().c_str());
+        else if (arg == "--budget") budget = std::atof(next().c_str());
+        else if (arg == "--strategy") strategy = next();
+        else if (arg == "--seed")
+            seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--out") outPath = next();
+        else if (arg == "--compare-frameworks")
+            compareFrameworks = true;
+        else if (arg == "--show-schedules")
+            showSchedules = std::atoi(next().c_str());
+        else if (arg == "--log")
+            logPath = next();
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument: " + arg);
+        }
+    }
+    if (network.empty()) {
+        usage();
+        return 1;
+    }
+
+    auto device = Device::cuda(deviceName);
+    auto dnn = buildNetwork(network, batch);
+    auto tasks = extractSubgraphs(dnn);
+    std::printf("%s (batch %d) on %s: %zu tuning tasks\n",
+                network.c_str(), batch, device.config().name.c_str(),
+                tasks.size());
+
+    if (compareFrameworks) {
+        for (auto framework : frameworks::allFrameworks()) {
+            if (!frameworks::frameworkSupports(
+                    framework, network, device.kind, batch)) {
+                std::printf("  %-10s : unsupported\n",
+                            frameworks::frameworkName(framework));
+                continue;
+            }
+            std::printf("  %-10s : %9.3f ms\n",
+                        frameworks::frameworkName(framework),
+                        frameworks::networkLatency(
+                            tasks, device.config(), framework) *
+                            1e3);
+        }
+    }
+
+    OptimizerOptions options;
+    options.tuner.seed = seed;
+    options.tuner.recordLogPath = logPath;
+    options.tuner.strategy = (strategy == "ansor")
+                                 ? tuner::StrategyKind::AnsorTenSet
+                                 : tuner::StrategyKind::FelixGradient;
+    Optimizer opt(tasks, pretrainedCostModel(device), device, options);
+    opt.optimizeFor(budget);
+
+    auto module = opt.compileWithBestConfigs();
+    std::printf("  %-10s : %9.3f ms  (after %.0f virtual seconds, "
+                "%d measurements)\n",
+                strategy == "ansor" ? "Ansor" : "Felix",
+                module.run() * 1e3, opt.tuner().clockNow(),
+                opt.tuner().totalMeasurements());
+    if (!outPath.empty()) {
+        module.save(outPath);
+        std::printf("saved best schedules to %s\n", outPath.c_str());
+    }
+
+    if (showSchedules > 0) {
+        // Rank tasks by their share of the network latency and print
+        // the concrete (bound) loop nest of the winners.
+        const auto &records = opt.tuner().taskRecords();
+        std::vector<size_t> order(records.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return records[a].task.weight * records[a].bestLatencySec >
+                   records[b].task.weight * records[b].bestLatencySec;
+        });
+        for (int rank = 0;
+             rank < showSchedules &&
+             rank < static_cast<int>(order.size());
+             ++rank) {
+            const auto &record = records[order[rank]];
+            const auto &sched =
+                record.strategy
+                    ->sketches()[record.bestCandidate.sketchIndex];
+            std::printf("\n=== %s (weight %d, %.1f us/kernel, "
+                        "sketch %s) ===\n",
+                        record.task.exampleLabel.c_str(),
+                        record.task.weight,
+                        record.bestLatencySec * 1e6,
+                        sched.desc.c_str());
+            auto bound =
+                sched.schedule.bind(record.bestCandidate.x);
+            auto program = tir::applySchedule(record.task.subgraph,
+                                              bound);
+            std::printf("%s", program.str().c_str());
+        }
+    }
+    return 0;
+}
