@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "support/logging.h"
 #include "support/string_util.h"
 
@@ -96,16 +97,53 @@ modelFor(sim::DeviceKind device, const BenchOptions &options)
     return costmodel::pretrainedCostModel(device, options.cacheDir);
 }
 
+PhaseTimings
+phaseTimings()
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    PhaseTimings t;
+    t.sketchMs = registry.counter("sketch.generate_ms").value();
+    t.searchMs = registry.counter("tuner.search_ms").value();
+    t.measureMs = registry.counter("tuner.measure_ms").value();
+    t.finetuneMs = registry.counter("tuner.finetune_ms").value();
+    return t;
+}
+
+PhaseTimings
+phaseDelta(const PhaseTimings &before, const PhaseTimings &after)
+{
+    PhaseTimings d;
+    d.sketchMs = after.sketchMs - before.sketchMs;
+    d.searchMs = after.searchMs - before.searchMs;
+    d.measureMs = after.measureMs - before.measureMs;
+    d.finetuneMs = after.finetuneMs - before.finetuneMs;
+    return d;
+}
+
+void
+printPhaseBreakdown(const PhaseTimings &delta)
+{
+    std::printf("    phases (real): sketch %.2fs | search %.2fs | "
+                "measure %.2fs | finetune %.2fs\n",
+                delta.sketchMs * 1e-3, delta.searchMs * 1e-3,
+                delta.measureMs * 1e-3, delta.finetuneMs * 1e-3);
+}
+
 std::unique_ptr<tuner::GraphTuner>
 tuneNetwork(const models::NetworkSpec &spec, int batch,
             sim::DeviceKind device, tuner::TunerOptions tuner_options,
             double budget_sec, const BenchOptions &options)
 {
+    // Per-phase real-time accounting through the metrics registry
+    // (the tuner and search layers feed these counters) instead of
+    // one end-to-end duration around the whole call.
+    PhaseTimings before = phaseTimings();
     auto tasks = extractSubgraphs(spec.build(batch));
     auto tuner = std::make_unique<tuner::GraphTuner>(
         std::move(tasks), modelFor(device, options), device,
         std::move(tuner_options));
     tuner->tuneUntil(budget_sec);
+    printPhaseBreakdown(phaseDelta(before, phaseTimings()));
     return tuner;
 }
 

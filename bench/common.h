@@ -54,8 +54,35 @@ costmodel::CostModel modelFor(sim::DeviceKind device,
                               const BenchOptions &options);
 
 /**
+ * Real (wall-clock) milliseconds spent per pipeline phase, read from
+ * the telemetry metrics registry (src/obs/metrics.h). "Sketch"
+ * covers sketch generation plus tape compilation, "search" the
+ * candidate search rounds, "measure" the simulated hardware
+ * measurements, and "finetune" the cost-model updates.
+ */
+struct PhaseTimings
+{
+    double sketchMs = 0.0;
+    double searchMs = 0.0;
+    double measureMs = 0.0;
+    double finetuneMs = 0.0;
+};
+
+/** Current cumulative per-phase timings from the metrics registry. */
+PhaseTimings phaseTimings();
+
+/** Difference of two snapshots (after - before). */
+PhaseTimings phaseDelta(const PhaseTimings &before,
+                        const PhaseTimings &after);
+
+/** Print one "phases: ..." line for a tuning run's phase delta. */
+void printPhaseBreakdown(const PhaseTimings &delta);
+
+/**
  * Tune one network with the given strategy until the virtual budget
- * and return the tuner (timeline included).
+ * and return the tuner (timeline included). Reports the real time
+ * spent per phase (sketch gen / search / measurement / fine-tune)
+ * through the metrics registry rather than one end-to-end duration.
  */
 std::unique_ptr<tuner::GraphTuner> tuneNetwork(
     const models::NetworkSpec &spec, int batch,

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace felix {
@@ -120,6 +121,7 @@ Optimizer::Optimizer(std::vector<graph::Task> graphs,
                      OptimizerOptions options)
     : device_(device)
 {
+    FELIX_SPAN("optimizer.setup", "core");
     tuner_ = std::make_unique<tuner::GraphTuner>(
         std::move(graphs), std::move(cost_model), device.kind,
         options.tuner);
@@ -130,6 +132,7 @@ Optimizer::optimizeAll(int n_total_rounds, int measure_per_round,
                        const std::string &save_res)
 {
     (void)measure_per_round;   // strategy options carry the default
+    FELIX_SPAN("optimizer.optimize_all", "core");
     tuner_->tuneRounds(n_total_rounds);
     if (!save_res.empty())
         compileWithBestConfigs().save(save_res);
@@ -138,6 +141,7 @@ Optimizer::optimizeAll(int n_total_rounds, int measure_per_round,
 void
 Optimizer::optimizeFor(double budget_sec)
 {
+    FELIX_SPAN("optimizer.optimize_for", "core");
     tuner_->tuneUntil(budget_sec);
 }
 

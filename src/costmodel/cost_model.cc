@@ -5,6 +5,8 @@
 #include <fstream>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace felix {
@@ -109,6 +111,7 @@ CostModel::fit(const std::vector<Sample> &samples, int epochs,
                int batch_size, double lr)
 {
     FELIX_CHECK(!samples.empty(), "cost model fit on empty dataset");
+    FELIX_SPAN("costmodel.fit", "costmodel");
     std::vector<std::vector<double>> xs;
     std::vector<double> ys;
     xs.reserve(samples.size());
@@ -149,17 +152,21 @@ CostModel::fit(const std::vector<Sample> &samples, int epochs,
             epochLoss += mlp_.trainBatch(bx, by, lr);
             ++batches;
         }
-        debug("cost model epoch ", epoch, " mse ",
-              epochLoss / std::max(1, batches));
+        double epochMse = epochLoss / std::max(1, batches);
+        obs::MetricsRegistry::instance()
+            .gauge("costmodel.train_loss")
+            .set(epochMse);
+        debug("cost model epoch ", epoch, " mse ", epochMse);
     }
 }
 
-void
+double
 CostModel::finetune(const std::vector<Sample> &samples, int steps,
                     double lr)
 {
-    if (samples.empty() || !scaler_.fitted())
-        return;
+    if (samples.empty() || !scaler_.fitted() || steps <= 0)
+        return -1.0;
+    FELIX_SPAN("costmodel.finetune", "costmodel");
     std::vector<std::vector<double>> xs;
     std::vector<double> ys;
     for (const Sample &sample : samples) {
@@ -167,8 +174,14 @@ CostModel::finetune(const std::vector<Sample> &samples, int steps,
             scaler_.apply(transformFeatures(sample.rawFeatures)));
         ys.push_back(targetOf(sample.latencySec) - targetMean_);
     }
+    double lossSum = 0.0;
     for (int step = 0; step < steps; ++step)
-        mlp_.trainBatch(xs, ys, lr);
+        lossSum += mlp_.trainBatch(xs, ys, lr);
+    double meanLoss = lossSum / steps;
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.counter("costmodel.finetune_steps").add(steps);
+    registry.gauge("costmodel.train_loss").set(meanLoss);
+    return meanLoss;
 }
 
 double

@@ -77,9 +77,14 @@ class CostModel
     void fit(const std::vector<Sample> &samples, int epochs = 12,
              int batch_size = 128, double lr = 1e-3);
 
-    /** A few gradient steps on fresh measurements (keeps scaler). */
-    void finetune(const std::vector<Sample> &samples, int steps = 16,
-                  double lr = 2e-4);
+    /**
+     * A few gradient steps on fresh measurements (keeps scaler).
+     * @return the mean MSE across the steps taken (the fine-tune
+     *         loss reported in the per-round telemetry), or a
+     *         negative value when nothing was trained.
+     */
+    double finetune(const std::vector<Sample> &samples, int steps = 16,
+                    double lr = 2e-4);
 
     /** Predicted score from raw features (higher = faster). */
     double predict(const std::vector<double> &raw_features) const;

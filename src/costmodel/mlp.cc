@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/metrics.h"
 #include "support/logging.h"
 
 namespace felix {
@@ -132,6 +133,12 @@ Mlp::trainBatch(const std::vector<std::vector<double>> &xs,
 {
     FELIX_CHECK(!xs.empty() && xs.size() == ys.size(),
                 "trainBatch: bad batch");
+    {
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.counter("costmodel.train_batches").add(1.0);
+        registry.counter("costmodel.train_samples")
+            .add(static_cast<double>(xs.size()));
+    }
     const double invBatch = 1.0 / static_cast<double>(xs.size());
 
     // Accumulated parameter gradients.

@@ -5,6 +5,8 @@
 #include <map>
 
 #include "features/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 #include "support/math_util.h"
 
@@ -14,12 +16,33 @@ namespace evolutionary {
 using optim::Candidate;
 using optim::RoundResult;
 
+namespace {
+
+/** Same phase accounting as the gradient search (sketch gen). */
+std::vector<sketch::SymbolicSchedule>
+generateSketchesTimed(const tir::SubgraphDef &subgraph,
+                      const sketch::GenOptions &options)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    obs::ScopedTimerMs timer(registry.counter("sketch.generate_ms"));
+    FELIX_SPAN("sketch.generate", "sketch");
+    auto sketches = sketch::generateSketches(subgraph, options);
+    registry.counter("sketch.generated")
+        .add(static_cast<double>(sketches.size()));
+    return sketches;
+}
+
+} // namespace
+
 EvolutionarySearch::EvolutionarySearch(const tir::SubgraphDef &subgraph,
                                        EvoSearchOptions options)
     : options_(std::move(options)),
-      sketches_(sketch::generateSketches(subgraph,
-                                         options_.sketchOptions))
+      sketches_(generateSketchesTimed(subgraph,
+                                      options_.sketchOptions))
 {
+    obs::ScopedTimerMs timer(obs::MetricsRegistry::instance().counter(
+        "sketch.generate_ms"));
+    FELIX_SPAN("search.compile_tapes", "search");
     for (const sketch::SymbolicSchedule &sched : sketches_) {
         SketchContext context;
         context.sched = &sched;
@@ -149,7 +172,11 @@ EvolutionarySearch::evaluate(Individual &individual,
 RoundResult
 EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
 {
+    FELIX_SPAN("search.round", "search");
+    auto &registry = obs::MetricsRegistry::instance();
+
     RoundResult result;
+    result.trace.seedsLaunched = options_.population;
 
     // Initialize: elites from previous rounds + fresh random
     // schedules up to the population size.
@@ -173,6 +200,7 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
     scoreAndRecord(population);
 
     for (int gen = 1; gen < options_.generations; ++gen) {
+        FELIX_SPAN("search.generation", "search");
         // Softmax selection weights over the current population.
         double maxScore = -1e300;
         for (const Individual &individual : population)
@@ -202,8 +230,14 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
             } else {
                 child = parentA;
             }
+            // The evolutionary analogue of Felix's rounding step:
+            // every generated child is checked against the legality
+            // constraints and infeasible ones are discarded.
+            ++result.trace.roundingAttempts;
             if (valid(child))
                 next.push_back(std::move(child));
+            else
+                ++result.trace.roundingInvalid;
         }
         while (static_cast<int>(next.size()) < options_.population)
             next.push_back(randomIndividual(rng));
@@ -261,6 +295,14 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
         candidate.predictedScore = individual->score;
         result.toMeasure.push_back(std::move(candidate));
     }
+    registry.counter("search.seeds").add(options_.population);
+    registry.counter("evo.generations").add(options_.generations);
+    registry.counter("search.rounding_attempts")
+        .add(result.trace.roundingAttempts);
+    registry.counter("search.rounding_invalid")
+        .add(result.trace.roundingInvalid);
+    registry.counter("search.predictions")
+        .add(result.trace.numPredictions);
     return result;
 }
 

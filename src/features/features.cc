@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "expr/compiled.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace felix {
@@ -251,6 +253,10 @@ featureIndex(const std::string &name)
 std::vector<Expr>
 extractFeatures(const Program &program)
 {
+    FELIX_SPAN("features.extract", "features");
+    obs::MetricsRegistry::instance()
+        .counter("features.extractions")
+        .add(1.0);
     const double bytes = static_cast<double>(tir::kDtypeBytes);
     std::vector<Expr> f(kNumFeatures, kZero);
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal JSON support for the telemetry subsystem: string escaping
+ * for the writers (trace/metrics/round records) and a small
+ * recursive-descent parser used by felix-trace-summary and the
+ * telemetry tests to validate emitted files.
+ *
+ * This is intentionally tiny — objects, arrays, strings, doubles,
+ * booleans and null, UTF-8 passed through untouched — not a general
+ * JSON library.
+ */
+#ifndef FELIX_OBS_JSON_H_
+#define FELIX_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace obs {
+
+/** Quote and escape @p s as a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double as JSON (finite; non-finite mapped to null). */
+std::string jsonNumber(double value);
+
+/** A parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; checked, panic on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member as number/string with a default. */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue makeObject(std::map<std::string, JsonValue> m);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool boolValue_ = false;
+    double numberValue_ = 0.0;
+    std::string stringValue_;
+    std::vector<JsonValue> arrayValue_;
+    std::map<std::string, JsonValue> objectValue_;
+};
+
+/**
+ * Parse one JSON document. Returns nullopt on malformed input (and
+ * reports the offending offset via @p error when non-null).
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+} // namespace obs
+} // namespace felix
+
+#endif // FELIX_OBS_JSON_H_

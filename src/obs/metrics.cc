@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    FELIX_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be sorted");
+    buckets_ = std::make_unique<std::atomic<uint64_t>[]>(
+        bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double value)
+{
+    // First bound >= value: bucket i counts (bounds[i-1], bounds[i]];
+    // values above every bound land in the trailing overflow bucket.
+    size_t bucket = std::lower_bound(bounds_.begin(), bounds_.end(),
+                                     value) -
+                    bounds_.begin();
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomicAdd(sum_, value);
+}
+
+std::vector<uint64_t>
+Histogram::counts() const
+{
+    std::vector<uint64_t> out(bounds_.size() + 1);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+Histogram::mean() const
+{
+    uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void
+Histogram::reset()
+{
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::vector<double>
+MetricsRegistry::defaultLatencyBoundsMs()
+{
+    return {0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+            1000, 2000, 5000, 10000, 30000, 100000};
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        if (bounds.empty())
+            bounds = defaultLatencyBoundsMs();
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    }
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters_)
+        snap.counters[name] = counter->value();
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges[name] = gauge->value();
+    for (const auto &[name, histogram] : histograms_) {
+        MetricsSnapshot::HistogramData data;
+        data.bounds = histogram->bounds();
+        data.counts = histogram->counts();
+        data.count = histogram->count();
+        data.sum = histogram->sum();
+        snap.histograms[name] = std::move(data);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonEscape(name) + ":" + jsonNumber(value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonEscape(name) + ":" + jsonNumber(value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, data] : histograms) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonEscape(name) + ":{\"bounds\":[";
+        for (size_t i = 0; i < data.bounds.size(); ++i) {
+            if (i)
+                out += ",";
+            out += jsonNumber(data.bounds[i]);
+        }
+        out += "],\"counts\":[";
+        for (size_t i = 0; i < data.counts.size(); ++i) {
+            if (i)
+                out += ",";
+            out += std::to_string(data.counts[i]);
+        }
+        out += "],\"count\":" + std::to_string(data.count);
+        out += ",\"sum\":" + jsonNumber(data.sum) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+ScopedTimerMs::ScopedTimerMs(Counter &target)
+    : target_(target), startUs_(Tracer::nowUs())
+{
+}
+
+ScopedTimerMs::~ScopedTimerMs()
+{
+    target_.add(static_cast<double>(Tracer::nowUs() - startUs_) /
+                1000.0);
+}
+
+} // namespace obs
+} // namespace felix

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket histograms.
+ *
+ * Metrics are always compiled in and always collected — an increment
+ * is one atomic add, cheap enough for every layer of the tuning
+ * pipeline — while *export* is opt-in (snapshot() / toJson()).
+ * Handles returned by the registry are valid for the process
+ * lifetime, so hot loops should look a metric up once and keep the
+ * reference:
+ *
+ *   static obs::Counter &steps =
+ *       obs::MetricsRegistry::instance().counter("search.adam_steps");
+ *   steps.add(nSteps);
+ *
+ * The metric catalog and naming convention ("module.metric",
+ * timing counters suffixed "_ms") are documented in
+ * docs/observability.md.
+ */
+#ifndef FELIX_OBS_METRICS_H_
+#define FELIX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace obs {
+
+namespace detail {
+
+/** Lock-free add for pre-C++20-library atomics on double. */
+inline void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+} // namespace detail
+
+/** Monotonically increasing value (counts, accumulated ms). */
+class Counter
+{
+  public:
+    void add(double delta = 1.0) { detail::atomicAdd(value_, delta); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Last-written value (losses, current latency). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations with
+ * value <= bounds[i]; one extra overflow bucket counts the rest.
+ * Bounds are fixed at creation (first histogram() call wins).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** Per-bucket counts; size() == bounds().size() + 1. */
+    std::vector<uint64_t> counts() const;
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    double mean() const;
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** A point-in-time copy of every registered metric. */
+struct MetricsSnapshot
+{
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    struct HistogramData
+    {
+        std::vector<double> bounds;
+        std::vector<uint64_t> counts;
+        uint64_t count = 0;
+        double sum = 0.0;
+    };
+    std::map<std::string, HistogramData> histograms;
+
+    /** One JSON object {"counters":{...},...}. */
+    std::string toJson() const;
+};
+
+/** The process-wide registry. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Get or create; names are independent per metric kind. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /**
+     * Get or create a histogram. @p bounds is used only on creation;
+     * when empty a default latency-ish scale (ms) is used.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds = {});
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric (tests and per-run bench deltas). */
+    void resetAll();
+
+    /** Default histogram bounds: 0.1ms .. 100s, log-ish scale. */
+    static std::vector<double> defaultLatencyBoundsMs();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * RAII wall-clock timer adding elapsed milliseconds to a counter
+ * (always on: keeps per-phase timing available without tracing).
+ */
+class ScopedTimerMs
+{
+  public:
+    explicit ScopedTimerMs(Counter &target);
+    ~ScopedTimerMs();
+
+    ScopedTimerMs(const ScopedTimerMs &) = delete;
+    ScopedTimerMs &operator=(const ScopedTimerMs &) = delete;
+
+  private:
+    Counter &target_;
+    int64_t startUs_;
+};
+
+} // namespace obs
+} // namespace felix
+
+#endif // FELIX_OBS_METRICS_H_

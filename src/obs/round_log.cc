@@ -1,0 +1,88 @@
+#include "obs/round_log.h"
+
+#include "obs/json.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace obs {
+
+double
+RoundRecord::violationRate() const
+{
+    if (roundingAttempts <= 0)
+        return 0.0;
+    return static_cast<double>(roundingInvalid) /
+           static_cast<double>(roundingAttempts);
+}
+
+std::string
+RoundRecord::toJson() const
+{
+    std::string out = "{\"type\":\"round\"";
+    out += ",\"round\":" + std::to_string(round);
+    out += ",\"task\":" + jsonEscape(taskLabel);
+    out += ",\"task_hash\":\"" + std::to_string(taskHash) + "\"";
+    out += ",\"strategy\":" + jsonEscape(strategy);
+    out += ",\"seeds\":" + std::to_string(seedsLaunched);
+    out += ",\"predictions\":" + std::to_string(numPredictions);
+    out += ",\"rounding_attempts\":" + std::to_string(roundingAttempts);
+    out += ",\"rounding_invalid\":" + std::to_string(roundingInvalid);
+    out += ",\"violation_rate\":" + jsonNumber(violationRate());
+    out += ",\"candidates\":[";
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (i)
+            out += ",";
+        out += "{\"predicted_sec\":" +
+               jsonNumber(candidates[i].predictedSec) +
+               ",\"measured_sec\":" +
+               jsonNumber(candidates[i].measuredSec) + "}";
+    }
+    out += "]";
+    out += ",\"finetune_loss\":" + jsonNumber(finetuneLoss);
+    out += ",\"best_latency_sec\":" + jsonNumber(bestLatencySec);
+    out += ",\"network_latency_sec\":" + jsonNumber(networkLatencySec);
+    out += ",\"clock_sec\":" + jsonNumber(clockSec);
+    out += ",\"wall_ms\":" + jsonNumber(wallMs);
+    out += "}";
+    return out;
+}
+
+RoundLogger::RoundLogger(const std::string &path)
+{
+    if (path.empty())
+        return;
+    os_.open(path, std::ios::trunc);
+    if (!os_.good())
+        warn("round log: cannot open ", path, " for writing");
+}
+
+void
+RoundLogger::append(const RoundRecord &record)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << record.toJson() << "\n";
+    os_.flush();
+}
+
+bool
+appendMetricsSnapshot(const std::string &path,
+                      const MetricsSnapshot &snapshot)
+{
+    if (path.empty())
+        return true;
+    std::ofstream os(path, std::ios::app);
+    if (!os.good()) {
+        warn("metrics snapshot: cannot append to ", path);
+        return false;
+    }
+    // Tag the registry dump so JSONL consumers can tell the two
+    // record shapes apart.
+    os << "{\"type\":\"metrics\",\"registry\":" << snapshot.toJson()
+       << "}\n";
+    return os.good();
+}
+
+} // namespace obs
+} // namespace felix

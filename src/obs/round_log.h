@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured per-round tuning records (JSONL).
+ *
+ * Every round of core::Optimizer::optimizeAll (one
+ * tuner::GraphTuner::tuneOneRound) appends one JSON object line
+ * capturing what the search did and how well the cost model tracked
+ * reality: seeds launched, constraint-violation rate after rounding,
+ * predicted vs measured latency for every measured candidate, and
+ * the cost-model fine-tune loss. A final {"type":"metrics"} line
+ * snapshots the whole metrics registry when the run ends.
+ *
+ * The schema is documented in docs/observability.md;
+ * felix-trace-summary aggregates these files (together with a
+ * Chrome trace) into a human-readable breakdown.
+ */
+#ifndef FELIX_OBS_ROUND_LOG_H_
+#define FELIX_OBS_ROUND_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace felix {
+namespace obs {
+
+/** Predicted-vs-measured latency of one measured candidate. */
+struct CandidateOutcome
+{
+    double predictedSec = 0.0;   ///< cost-model predicted latency
+    double measuredSec = 0.0;    ///< simulated hardware measurement
+};
+
+/** One tuning round of one task ({"type":"round"} JSONL line). */
+struct RoundRecord
+{
+    int round = 0;                  ///< global round index (0-based)
+    std::string taskLabel;
+    uint64_t taskHash = 0;
+    std::string strategy;           ///< "Felix" | "Ansor-TenSet"
+    int seedsLaunched = 0;          ///< seeds / population size
+    int numPredictions = 0;         ///< cost-model queries this round
+    int roundingAttempts = 0;       ///< points rounded to integers
+    int roundingInvalid = 0;        ///< rounded points violating g_ir
+    std::vector<CandidateOutcome> candidates;
+    double finetuneLoss = -1.0;     ///< mean MSE; < 0 when skipped
+    double bestLatencySec = 0.0;    ///< task best after this round
+    double networkLatencySec = 0.0; ///< whole-network latency after
+    double clockSec = 0.0;          ///< virtual tuning clock
+    double wallMs = 0.0;            ///< real time spent in the round
+
+    /** Violation rate after rounding, in [0, 1]. */
+    double violationRate() const;
+
+    /** Serialize as one JSON object (no trailing newline). */
+    std::string toJson() const;
+};
+
+/**
+ * Append-only JSONL sink. Thread-safe; writes line-buffered so a
+ * crashed run still leaves complete records behind.
+ */
+class RoundLogger
+{
+  public:
+    /** Opens (truncates) @p path; empty path disables the logger. */
+    explicit RoundLogger(const std::string &path);
+
+    bool enabled() const { return os_.is_open(); }
+
+    void append(const RoundRecord &record);
+
+  private:
+    std::mutex mutex_;
+    std::ofstream os_;
+};
+
+/**
+ * Append one {"type":"metrics"} line with a registry snapshot to a
+ * JSONL file (typically the same file a RoundLogger wrote round
+ * records to, once the run is over). False when the file could not
+ * be written.
+ */
+bool appendMetricsSnapshot(const std::string &path,
+                           const MetricsSnapshot &snapshot);
+
+} // namespace obs
+} // namespace felix
+
+#endif // FELIX_OBS_ROUND_LOG_H_

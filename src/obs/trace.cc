@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/json.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+/** Dense per-thread ids so the trace viewer shows small numbers. */
+int
+denseThreadId()
+{
+    static std::atomic<int> next{1};
+    thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::chrono::steady_clock::time_point
+processEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+int64_t
+Tracer::nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - processEpoch())
+        .count();
+}
+
+void
+Tracer::start(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path_ = path;
+        events_.clear();
+    }
+    processEpoch();   // pin the clock epoch before the first span
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::record(const char *name, const char *cat, int64_t start_us,
+               int64_t dur_us)
+{
+    const int tid = denseThreadId();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back({name, cat, start_us, dur_us, tid});
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::string
+Tracer::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const SpanEvent &event : events_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n{\"name\":";
+        out += jsonEscape(event.name);
+        out += ",\"cat\":";
+        out += jsonEscape(event.cat);
+        out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += std::to_string(event.tid);
+        out += ",\"ts\":";
+        out += std::to_string(event.startUs);
+        out += ",\"dur\":";
+        out += std::to_string(event.durUs);
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+Tracer::stop()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path = path_;
+    }
+    if (path.empty())
+        return true;
+    std::ofstream os(path);
+    if (!os.good()) {
+        warn("tracer: cannot write trace to ", path);
+        return false;
+    }
+    os << toJson();
+    inform("tracer: wrote ", eventCount(), " spans to ", path);
+    return os.good();
+}
+
+} // namespace obs
+} // namespace felix

@@ -5,6 +5,8 @@
 #include <map>
 
 #include "features/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewrite/smoothing.h"
 #include "rewrite/transforms.h"
 #include "support/logging.h"
@@ -31,12 +33,33 @@ GradientSearch::observe(const Candidate &candidate,
     }
 }
 
+namespace {
+
+/** Times sketch + tape construction into the shared phase metrics. */
+std::vector<sketch::SymbolicSchedule>
+generateSketchesTimed(const tir::SubgraphDef &subgraph,
+                      const sketch::GenOptions &options)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    obs::ScopedTimerMs timer(registry.counter("sketch.generate_ms"));
+    FELIX_SPAN("sketch.generate", "sketch");
+    auto sketches = sketch::generateSketches(subgraph, options);
+    registry.counter("sketch.generated")
+        .add(static_cast<double>(sketches.size()));
+    return sketches;
+}
+
+} // namespace
+
 GradientSearch::GradientSearch(const tir::SubgraphDef &subgraph,
                                GradSearchOptions options)
     : options_(std::move(options)),
-      sketches_(sketch::generateSketches(subgraph,
-                                         options_.sketchOptions))
+      sketches_(generateSketchesTimed(subgraph,
+                                      options_.sketchOptions))
 {
+    obs::ScopedTimerMs timer(obs::MetricsRegistry::instance().counter(
+        "sketch.generate_ms"));
+    FELIX_SPAN("search.compile_tapes", "search");
     for (const sketch::SymbolicSchedule &sched : sketches_) {
         SketchContext context;
         context.sched = &sched;
@@ -92,13 +115,18 @@ GradientSearch::GradientSearch(const tir::SubgraphDef &subgraph,
 RoundResult
 GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
 {
+    FELIX_SPAN("search.round", "search");
+    auto &registry = obs::MetricsRegistry::instance();
+
     RoundResult result;
+    result.trace.seedsLaunched = options_.nSeeds;
     const int numFeatures = features::kNumFeatures;
 
     // Deduplicated valid candidates across all seeds and steps.
     std::map<std::pair<int, std::vector<double>>, Candidate> seen;
 
     for (int seed = 0; seed < options_.nSeeds; ++seed) {
+        FELIX_SPAN("search.seed_descent", "search");
         const int sketchIdx =
             seed % static_cast<int>(contexts_.size());
         SketchContext &context = contexts_[sketchIdx];
@@ -161,20 +189,31 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
             }
             auto rounded = sketch::roundToValid(
                 *context.sched, logPoint, *context.checker);
+            ++result.trace.roundingAttempts;
             if (rounded) {
                 seen.emplace(
                     std::make_pair(sketchIdx, *rounded),
                     Candidate{sketchIdx, *rounded, {}, 0.0});
+            } else {
+                ++result.trace.roundingInvalid;
             }
         }
         // The starting point is a valid schedule too.
         seen.emplace(std::make_pair(sketchIdx, x0),
                      Candidate{sketchIdx, x0, {}, 0.0});
     }
+    registry.counter("search.seeds").add(options_.nSeeds);
+    registry.counter("search.adam_steps")
+        .add(static_cast<double>(options_.nSeeds) * options_.nSteps);
+    registry.counter("search.rounding_attempts")
+        .add(result.trace.roundingAttempts);
+    registry.counter("search.rounding_invalid")
+        .add(result.trace.roundingInvalid);
 
     // Rank all valid rounded schedules by predicted performance
     // (exact features, not the smoothed surrogate) and keep the top
     // nMeasure.
+    FELIX_SPAN("search.rank_candidates", "search");
     std::vector<Candidate> candidates;
     candidates.reserve(seen.size());
     for (auto &entry : seen) {
@@ -222,6 +261,8 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
     if (static_cast<int>(selected.size()) > options_.nMeasure)
         selected.resize(options_.nMeasure);
     result.toMeasure = std::move(selected);
+    registry.counter("search.predictions")
+        .add(result.trace.numPredictions);
     return result;
 }
 

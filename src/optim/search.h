@@ -43,12 +43,21 @@ struct Candidate
     double predictedScore = 0.0;       ///< cost-model score (higher better)
 };
 
-/** Per-round instrumentation (drives Fig. 8). */
+/** Per-round instrumentation (drives Fig. 8 and the round log). */
 struct SearchTrace
 {
     /** Predicted score of each schedule visited, in search order. */
     std::vector<double> visitedScores;
     int numPredictions = 0;   ///< cost-model invocations this round
+    /** Seeds launched (gradient) / population size (evolutionary). */
+    int seedsLaunched = 0;
+    /** Points rounded back to integer schedules this round, and how
+     *  many of them violated a legality constraint (the per-round
+     *  constraint-violation rate is roundingInvalid/roundingAttempts;
+     *  for the evolutionary baseline these count generated children
+     *  and the ones rejected as infeasible). */
+    int roundingAttempts = 0;
+    int roundingInvalid = 0;
 };
 
 /** Result of one search round. */

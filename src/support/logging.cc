@@ -1,13 +1,31 @@
 #include "support/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace felix {
 
 namespace {
 
-std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+/** FELIX_LOG_LEVEL environment override of the default level. */
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("FELIX_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Warn;
+    if (auto parsed = parseLogLevel(env))
+        return *parsed;
+    std::fprintf(stderr,
+                 "[felix WARN] ignoring unrecognized FELIX_LOG_LEVEL "
+                 "'%s' (expected debug|info|warn|error)\n",
+                 env);
+    return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> globalLevel{initialLogLevel()};
 
 const char *
 levelName(LogLevel level)
@@ -22,6 +40,21 @@ levelName(LogLevel level)
 }
 
 } // namespace
+
+std::optional<LogLevel>
+parseLogLevel(const std::string &name)
+{
+    std::string lower;
+    for (char c : name)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "debug" || lower == "0") return LogLevel::Debug;
+    if (lower == "info" || lower == "1") return LogLevel::Info;
+    if (lower == "warn" || lower == "warning" || lower == "2")
+        return LogLevel::Warn;
+    if (lower == "error" || lower == "3") return LogLevel::Error;
+    return std::nullopt;
+}
 
 LogLevel
 logLevel()

@@ -9,6 +9,7 @@
 #ifndef FELIX_SUPPORT_LOGGING_H_
 #define FELIX_SUPPORT_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,7 +19,18 @@ namespace felix {
 /** Severity levels understood by the logger. */
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
 
-/** Global minimum level below which messages are dropped. */
+/**
+ * Parse a level name ("debug", "info", "warn"/"warning", "error",
+ * case-insensitive, or a numeric 0-3). nullopt when unrecognized.
+ */
+std::optional<LogLevel> parseLogLevel(const std::string &name);
+
+/**
+ * Global minimum level below which messages are dropped. The initial
+ * value honors the FELIX_LOG_LEVEL environment variable (default
+ * Warn), so examples and benches can raise verbosity without code
+ * changes.
+ */
 LogLevel logLevel();
 
 /** Set the global minimum log level. */

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "features/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/gpu_model.h"
 #include "support/logging.h"
 #include "tuner/records.h"
@@ -25,9 +27,11 @@ GraphTuner::GraphTuner(std::vector<graph::Task> tasks,
                        costmodel::CostModel model,
                        sim::DeviceKind device, TunerOptions options)
     : model_(std::move(model)), device_(sim::deviceConfig(device)),
-      options_(std::move(options)), rng_(options_.seed)
+      options_(std::move(options)), rng_(options_.seed),
+      roundLogger_(options_.roundLogPath)
 {
     FELIX_CHECK(!tasks.empty(), "tuner needs at least one task");
+    FELIX_SPAN("tuner.setup", "tuner");
     for (graph::Task &task : tasks) {
         TaskRecord record;
         record.task = std::move(task);
@@ -98,6 +102,9 @@ double
 GraphTuner::measureCandidate(const optim::Candidate &candidate)
 {
     ++totalMeasurements_;
+    obs::MetricsRegistry::instance()
+        .counter("tuner.measurements")
+        .add(1.0);
     return sim::measureKernel(candidate.rawFeatures, device_,
                               measureSeed_++);
 }
@@ -105,10 +112,30 @@ GraphTuner::measureCandidate(const optim::Candidate &candidate)
 void
 GraphTuner::tuneOneRound()
 {
+    FELIX_SPAN("tuner.round", "tuner");
+    auto &registry = obs::MetricsRegistry::instance();
+    const int64_t roundStartUs = obs::Tracer::nowUs();
+
     const int taskIdx = selectNextTask();
     TaskRecord &record = tasks_[taskIdx];
 
-    optim::RoundResult result = record.strategy->round(model_, rng_);
+    obs::RoundRecord roundRecord;
+    roundRecord.round = roundIndex_;
+    roundRecord.taskLabel = record.task.exampleLabel;
+    roundRecord.taskHash = record.task.subgraph.structuralHash();
+    roundRecord.strategy = strategyName(options_.strategy);
+
+    optim::RoundResult result;
+    {
+        FELIX_SPAN("tuner.search", "tuner");
+        obs::ScopedTimerMs timer(
+            registry.counter("tuner.search_ms"));
+        result = record.strategy->round(model_, rng_);
+    }
+    roundRecord.seedsLaunched = result.trace.seedsLaunched;
+    roundRecord.numPredictions = result.trace.numPredictions;
+    roundRecord.roundingAttempts = result.trace.roundingAttempts;
+    roundRecord.roundingInvalid = result.trace.roundingInvalid;
 
     // Advance the virtual clock for the search phase.
     double predFactor =
@@ -123,30 +150,39 @@ GraphTuner::tuneOneRound()
     // fine-tune the cost model with the fresh measurements.
     std::vector<costmodel::Sample> fresh;
     double prevBest = record.bestLatencySec;
-    for (const optim::Candidate &candidate : result.toMeasure) {
-        double latency = measureCandidate(candidate);
-        clockSec_ += options_.clock.secPerMeasurement;
-        record.strategy->observe(candidate, latency);
-        if (!options_.recordLogPath.empty()) {
-            TuneRecord logEntry;
-            logEntry.taskHash =
-                record.task.subgraph.structuralHash();
-            logEntry.taskLabel = record.task.exampleLabel;
-            logEntry.sketchIndex = candidate.sketchIndex;
-            logEntry.scheduleVars = candidate.x;
-            logEntry.latencySec = latency;
-            logEntry.clockSec = clockSec_;
-            appendRecord(options_.recordLogPath, logEntry);
+    {
+        FELIX_SPAN("tuner.measure", "tuner");
+        obs::ScopedTimerMs timer(
+            registry.counter("tuner.measure_ms"));
+        for (const optim::Candidate &candidate : result.toMeasure) {
+            double latency = measureCandidate(candidate);
+            clockSec_ += options_.clock.secPerMeasurement;
+            record.strategy->observe(candidate, latency);
+            roundRecord.candidates.push_back(
+                {costmodel::CostModel::latencyOf(
+                     candidate.predictedScore),
+                 latency});
+            if (!options_.recordLogPath.empty()) {
+                TuneRecord logEntry;
+                logEntry.taskHash =
+                    record.task.subgraph.structuralHash();
+                logEntry.taskLabel = record.task.exampleLabel;
+                logEntry.sketchIndex = candidate.sketchIndex;
+                logEntry.scheduleVars = candidate.x;
+                logEntry.latencySec = latency;
+                logEntry.clockSec = clockSec_;
+                appendRecord(options_.recordLogPath, logEntry);
+            }
+            if (latency < record.bestLatencySec) {
+                record.bestLatencySec = latency;
+                record.bestCandidate = candidate;
+            }
+            costmodel::Sample sample;
+            sample.rawFeatures = candidate.rawFeatures;
+            sample.latencySec = latency;
+            fresh.push_back(std::move(sample));
+            timeline_.push_back({clockSec_, networkLatency()});
         }
-        if (latency < record.bestLatencySec) {
-            record.bestLatencySec = latency;
-            record.bestCandidate = candidate;
-        }
-        costmodel::Sample sample;
-        sample.rawFeatures = candidate.rawFeatures;
-        sample.latencySec = latency;
-        fresh.push_back(std::move(sample));
-        timeline_.push_back({clockSec_, networkLatency()});
     }
     // Fine-tune on the fresh measurements plus a replay batch from
     // earlier rounds, so the model adapts to this network's tasks
@@ -156,7 +192,13 @@ GraphTuner::tuneOneRound()
     std::vector<costmodel::Sample> batch = fresh;
     for (int i = 0; i < 64 && !history_.empty(); ++i)
         batch.push_back(history_[rng_.index(history_.size())]);
-    model_.finetune(batch, options_.finetuneSteps);
+    {
+        FELIX_SPAN("tuner.finetune", "tuner");
+        obs::ScopedTimerMs timer(
+            registry.counter("tuner.finetune_ms"));
+        roundRecord.finetuneLoss =
+            model_.finetune(batch, options_.finetuneSteps);
+    }
     if (history_.size() > 8192)
         history_.erase(history_.begin(),
                        history_.begin() + history_.size() / 2);
@@ -168,6 +210,26 @@ GraphTuner::tuneOneRound()
         record.stagnantRounds = 0;
 
     timeline_.push_back({clockSec_, networkLatency()});
+
+    ++roundIndex_;
+    const double networkLatencySec =
+        timeline_.back().networkLatencySec;
+    registry.counter("tuner.rounds").add(1.0);
+    registry.gauge("tuner.network_latency_ms")
+        .set(networkLatencySec * 1e3);
+    registry.gauge("tuner.clock_sec").set(clockSec_);
+    const double wallMs =
+        static_cast<double>(obs::Tracer::nowUs() - roundStartUs) /
+        1000.0;
+    registry.histogram("tuner.round_latency_ms").observe(wallMs);
+
+    if (roundLogger_.enabled()) {
+        roundRecord.bestLatencySec = record.bestLatencySec;
+        roundRecord.networkLatencySec = networkLatencySec;
+        roundRecord.clockSec = clockSec_;
+        roundRecord.wallMs = wallMs;
+        roundLogger_.append(roundRecord);
+    }
 }
 
 void

@@ -29,6 +29,7 @@
 #include "costmodel/cost_model.h"
 #include "evolutionary/evolutionary.h"
 #include "graph/graph.h"
+#include "obs/round_log.h"
 #include "optim/search.h"
 #include "sim/device.h"
 
@@ -63,6 +64,10 @@ struct TunerOptions
     /** When non-empty, every measurement is appended here as a
      *  replayable tuning record (Ansor-style tuning log). */
     std::string recordLogPath;
+    /** When non-empty, one structured telemetry record per tuning
+     *  round is written here as JSONL (see docs/observability.md);
+     *  the felix-tune --metrics-out flag plugs in here. */
+    std::string roundLogPath;
 };
 
 /** One point of the tuning-progress curve (Fig. 7/10). */
@@ -111,6 +116,10 @@ class GraphTuner
     }
     const costmodel::CostModel &model() const { return model_; }
     int totalMeasurements() const { return totalMeasurements_; }
+    int totalRounds() const { return roundIndex_; }
+
+    /** The per-round telemetry sink (disabled when no path set). */
+    obs::RoundLogger &roundLogger() { return roundLogger_; }
 
   private:
     int selectNextTask();
@@ -127,7 +136,9 @@ class GraphTuner
     double clockSec_ = 0.0;
     uint64_t measureSeed_ = 0;
     int totalMeasurements_ = 0;
+    int roundIndex_ = 0;
     std::vector<TimelinePoint> timeline_;
+    obs::RoundLogger roundLogger_;
 };
 
 } // namespace tuner

@@ -1,0 +1,105 @@
+# Observability smoke test (ctest): tune a tiny network with
+# telemetry enabled and validate the emitted files.
+#
+# Invoked as
+#   cmake -DFELIX_TUNE=... -DTRACE_SUMMARY=... -DWORK_DIR=...
+#         -DCACHE_DIR=... -P obs_smoke.cmake
+#
+# Steps:
+#   1. felix-tune --network dcgan --budget 10 with --trace-out and
+#      --metrics-out (a couple of tuning rounds on one CPU core).
+#   2. Check both files exist and are non-empty.
+#   3. felix-trace-summary TRACE METRICS — it exits non-zero when
+#      either file is not well-formed JSON / JSONL, so it doubles as
+#      the format validator.
+#   4. Check the JSONL contains at least one per-round record and the
+#      final metrics snapshot.
+
+foreach(var FELIX_TUNE TRACE_SUMMARY WORK_DIR CACHE_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "obs_smoke: missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(trace_file "${WORK_DIR}/trace.json")
+set(metrics_file "${WORK_DIR}/metrics.jsonl")
+
+execute_process(
+    COMMAND "${FELIX_TUNE}"
+        --network dcgan --device a5000 --budget 10 --seed 3
+        --cache-dir "${CACHE_DIR}"
+        --trace-out "${trace_file}"
+        --metrics-out "${metrics_file}"
+    RESULT_VARIABLE tune_rc
+    OUTPUT_VARIABLE tune_out
+    ERROR_VARIABLE tune_err)
+if(NOT tune_rc EQUAL 0)
+    message(FATAL_ERROR
+        "felix-tune failed (${tune_rc}):\n${tune_out}\n${tune_err}")
+endif()
+
+foreach(f "${trace_file}" "${metrics_file}")
+    if(NOT EXISTS "${f}")
+        message(FATAL_ERROR "telemetry file not written: ${f}")
+    endif()
+    file(SIZE "${f}" fsize)
+    if(fsize EQUAL 0)
+        message(FATAL_ERROR "telemetry file empty: ${f}")
+    endif()
+endforeach()
+
+# felix-trace-summary parses both files with the strict in-repo JSON
+# parser and exits non-zero on any malformed line.
+execute_process(
+    COMMAND "${TRACE_SUMMARY}" "${trace_file}" "${metrics_file}"
+    RESULT_VARIABLE summary_rc
+    OUTPUT_VARIABLE summary_out
+    ERROR_VARIABLE summary_err)
+if(NOT summary_rc EQUAL 0)
+    message(FATAL_ERROR
+        "felix-trace-summary rejected the telemetry "
+        "(${summary_rc}):\n${summary_out}\n${summary_err}")
+endif()
+message(STATUS "felix-trace-summary output:\n${summary_out}")
+
+file(STRINGS "${metrics_file}" metric_lines)
+set(round_lines 0)
+set(snapshot_lines 0)
+foreach(line IN LISTS metric_lines)
+    if(line MATCHES "\"type\":[ ]*\"round\"")
+        math(EXPR round_lines "${round_lines} + 1")
+    elseif(line MATCHES "\"type\":[ ]*\"metrics\"")
+        math(EXPR snapshot_lines "${snapshot_lines} + 1")
+    endif()
+endforeach()
+if(round_lines LESS 1)
+    message(FATAL_ERROR "no per-round records in ${metrics_file}")
+endif()
+if(NOT snapshot_lines EQUAL 1)
+    message(FATAL_ERROR
+        "expected exactly one metrics snapshot in ${metrics_file}, "
+        "found ${snapshot_lines}")
+endif()
+
+# Round records must carry the instrumented fields.
+foreach(key seeds violation_rate candidates finetune_loss wall_ms)
+    if(NOT metric_lines MATCHES "\"${key}\"")
+        message(FATAL_ERROR
+            "round records missing \"${key}\" in ${metrics_file}")
+    endif()
+endforeach()
+
+# The trace must be a Chrome trace_event document with spans from
+# the tuner and search layers.
+file(READ "${trace_file}" trace_text)
+foreach(needle "traceEvents" "tuner.round" "search.round")
+    if(NOT trace_text MATCHES "${needle}")
+        message(FATAL_ERROR
+            "trace missing \"${needle}\" in ${trace_file}")
+    endif()
+endforeach()
+
+message(STATUS
+    "obs smoke OK: ${round_lines} round records + metrics snapshot")

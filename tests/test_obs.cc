@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Telemetry subsystem tests: metrics registry semantics (counter /
+ * gauge / histogram, concurrent increments), Chrome-trace export
+ * (well-formed JSON, balanced and properly nested spans), the JSON
+ * parser itself, and the per-round JSONL record schema.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/round_log.h"
+#include "obs/trace.h"
+
+namespace felix {
+namespace obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates)
+{
+    Counter counter;
+    EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+    counter.add();
+    counter.add(2.5);
+    EXPECT_DOUBLE_EQ(counter.value(), 3.5);
+    counter.reset();
+    EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+}
+
+TEST(Metrics, GaugeKeepsLastValue)
+{
+    Gauge gauge;
+    gauge.set(4.0);
+    gauge.set(-1.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), -1.5);
+}
+
+TEST(Metrics, HistogramBucketsAndMean)
+{
+    Histogram histogram({1.0, 10.0, 100.0});
+    histogram.observe(0.5);     // <= 1
+    histogram.observe(1.0);     // <= 1 (bound is inclusive)
+    histogram.observe(5.0);     // <= 10
+    histogram.observe(1000.0);  // overflow
+    auto counts = histogram.counts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 0u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(histogram.count(), 4u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 1006.5);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 1006.5 / 4.0);
+}
+
+TEST(Metrics, RegistryReturnsStableHandles)
+{
+    auto &registry = MetricsRegistry::instance();
+    Counter &a = registry.counter("test_obs.handle");
+    Counter &b = registry.counter("test_obs.handle");
+    EXPECT_EQ(&a, &b);
+    a.reset();
+    b.add(2.0);
+    EXPECT_DOUBLE_EQ(a.value(), 2.0);
+
+    // Same name, different kinds: independent metrics.
+    Gauge &g = registry.gauge("test_obs.handle");
+    g.set(7.0);
+    EXPECT_DOUBLE_EQ(a.value(), 2.0);
+    EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, ConcurrentIncrementsDontLoseUpdates)
+{
+    auto &registry = MetricsRegistry::instance();
+    Counter &counter = registry.counter("test_obs.concurrent");
+    counter.reset();
+    Histogram &histogram =
+        registry.histogram("test_obs.concurrent_histo", {0.5});
+    histogram.reset();
+
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIncrements; ++i) {
+                counter.add(1.0);
+                histogram.observe(i % 2 == 0 ? 0.0 : 1.0);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_DOUBLE_EQ(counter.value(),
+                     static_cast<double>(kThreads * kIncrements));
+    EXPECT_EQ(histogram.count(),
+              static_cast<uint64_t>(kThreads * kIncrements));
+    auto counts = histogram.counts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(Metrics, SnapshotJsonParses)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("test_obs.snapshot_counter").add(3.0);
+    registry.gauge("test_obs.snapshot_gauge").set(1.25);
+    registry.histogram("test_obs.snapshot_histo").observe(12.0);
+
+    std::string json = registry.snapshot().toJson();
+    std::string error;
+    auto parsed = parseJson(json, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    const JsonValue *counters = parsed->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(
+        counters->numberOr("test_obs.snapshot_counter", -1.0), 3.0);
+    const JsonValue *histos = parsed->find("histograms");
+    ASSERT_NE(histos, nullptr);
+    const JsonValue *histo = histos->find("test_obs.snapshot_histo");
+    ASSERT_NE(histo, nullptr);
+    EXPECT_DOUBLE_EQ(histo->numberOr("count", 0.0), 1.0);
+}
+
+TEST(Json, ParsesScalarsAndStructure)
+{
+    auto v = parseJson(
+        " {\"a\": [1, -2.5e2, true, null, \"x\\n\\u0041\"]} ");
+    ASSERT_TRUE(v.has_value());
+    const JsonValue *a = v->find("a");
+    ASSERT_NE(a, nullptr);
+    const auto &items = a->asArray();
+    ASSERT_EQ(items.size(), 5u);
+    EXPECT_DOUBLE_EQ(items[0].asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(items[1].asNumber(), -250.0);
+    EXPECT_TRUE(items[2].asBool());
+    EXPECT_TRUE(items[3].isNull());
+    EXPECT_EQ(items[4].asString(), "x\nA");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseJson("{").has_value());
+    EXPECT_FALSE(parseJson("{\"a\":}").has_value());
+    EXPECT_FALSE(parseJson("[1,]").has_value());
+    EXPECT_FALSE(parseJson("\"unterminated").has_value());
+    EXPECT_FALSE(parseJson("{} trailing").has_value());
+    std::string error;
+    EXPECT_FALSE(parseJson("[1, x]", &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, EscapeRoundTrips)
+{
+    std::string nasty = "a\"b\\c\nd\te\x01f";
+    auto parsed = parseJson(jsonEscape(nasty));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->asString(), nasty);
+}
+
+TEST(Trace, DisabledSpansRecordNothing)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.clear();
+    ASSERT_FALSE(Tracer::enabled());
+    {
+        FELIX_SPAN("test_obs.should_not_appear");
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Trace, ExportIsWellFormedAndSpansBalance)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.start("");   // collect without a file sink
+    {
+        FELIX_SPAN("test_obs.outer", "test");
+        {
+            FELIX_SPAN("test_obs.inner", "test");
+        }
+        {
+            FELIX_SPAN("test_obs.inner", "test");
+        }
+    }
+    std::string json = tracer.toJson();
+    tracer.stop();
+    tracer.clear();
+
+    std::string error;
+    auto parsed = parseJson(json, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    const JsonValue *events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->asArray().size(), 3u);
+
+    // Every span must be a complete event with non-negative
+    // duration...
+    struct Interval { int64_t start, end; std::string name; };
+    std::vector<Interval> intervals;
+    for (const JsonValue &event : events->asArray()) {
+        EXPECT_EQ(event.stringOr("ph", ""), "X");
+        int64_t ts = static_cast<int64_t>(event.numberOr("ts", -1));
+        int64_t dur =
+            static_cast<int64_t>(event.numberOr("dur", -1));
+        EXPECT_GE(ts, 0);
+        EXPECT_GE(dur, 0);
+        intervals.push_back(
+            {ts, ts + dur, event.stringOr("name", "")});
+    }
+    // ...and intervals must nest (balanced begin/end): any two spans
+    // on the single test thread either nest or are disjoint.
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        for (size_t j = 0; j < intervals.size(); ++j) {
+            if (i == j)
+                continue;
+            const Interval &a = intervals[i];
+            const Interval &b = intervals[j];
+            bool disjoint = a.end <= b.start || b.end <= a.start;
+            bool aInB = a.start >= b.start && a.end <= b.end;
+            bool bInA = b.start >= a.start && b.end <= a.end;
+            EXPECT_TRUE(disjoint || aInB || bInA)
+                << a.name << " vs " << b.name;
+        }
+    }
+    // The outer span must contain both inners.
+    auto outer = std::find_if(intervals.begin(), intervals.end(),
+                              [](const Interval &iv) {
+                                  return iv.name == "test_obs.outer";
+                              });
+    ASSERT_NE(outer, intervals.end());
+    for (const Interval &iv : intervals) {
+        if (iv.name == "test_obs.inner") {
+            EXPECT_GE(iv.start, outer->start);
+            EXPECT_LE(iv.end, outer->end);
+        }
+    }
+}
+
+TEST(Trace, ConcurrentRecordingIsSafe)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.start("");
+    constexpr int kThreads = 4;
+    constexpr int kSpans = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kSpans; ++i) {
+                FELIX_SPAN("test_obs.mt", "test");
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(tracer.eventCount(),
+              static_cast<size_t>(kThreads * kSpans));
+    auto parsed = parseJson(tracer.toJson());
+    EXPECT_TRUE(parsed.has_value());
+    tracer.stop();
+    tracer.clear();
+}
+
+TEST(RoundLog, RecordJsonMatchesSchema)
+{
+    RoundRecord record;
+    record.round = 3;
+    record.taskLabel = "conv2d \"quoted\"";
+    record.taskHash = 12345;
+    record.strategy = "Felix";
+    record.seedsLaunched = 8;
+    record.numPredictions = 1616;
+    record.roundingAttempts = 1600;
+    record.roundingInvalid = 400;
+    record.candidates.push_back({1e-3, 2e-3});
+    record.candidates.push_back({5e-4, 4e-4});
+    record.finetuneLoss = 0.125;
+    record.bestLatencySec = 4e-4;
+    record.networkLatencySec = 9e-3;
+    record.clockSec = 42.0;
+    record.wallMs = 1.5;
+
+    EXPECT_DOUBLE_EQ(record.violationRate(), 0.25);
+
+    auto parsed = parseJson(record.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->stringOr("type", ""), "round");
+    EXPECT_EQ(parsed->stringOr("task", ""), "conv2d \"quoted\"");
+    EXPECT_DOUBLE_EQ(parsed->numberOr("seeds", 0), 8.0);
+    EXPECT_DOUBLE_EQ(parsed->numberOr("violation_rate", 0), 0.25);
+    EXPECT_DOUBLE_EQ(parsed->numberOr("finetune_loss", 0), 0.125);
+    const JsonValue *candidates = parsed->find("candidates");
+    ASSERT_NE(candidates, nullptr);
+    ASSERT_EQ(candidates->asArray().size(), 2u);
+    EXPECT_DOUBLE_EQ(candidates->asArray()[0].numberOr(
+                         "predicted_sec", 0.0),
+                     1e-3);
+    EXPECT_DOUBLE_EQ(candidates->asArray()[0].numberOr(
+                         "measured_sec", 0.0),
+                     2e-3);
+}
+
+TEST(RoundLog, EmptyPathDisablesLogger)
+{
+    RoundLogger logger("");
+    EXPECT_FALSE(logger.enabled());
+    logger.append(RoundRecord{});   // must be a safe no-op
+}
+
+} // namespace
+} // namespace obs
+} // namespace felix

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * felix-trace-summary: aggregate a Chrome trace (--trace-out) and/or
+ * a per-round telemetry JSONL file (--metrics-out) from felix-tune
+ * into a human-readable breakdown.
+ *
+ *   felix-trace-summary trace.json [metrics.jsonl]
+ *
+ * Prints, from the trace: total time per span name (count / total /
+ * mean / share of wall time). From the round records: rounds per
+ * strategy, seeds launched, constraint-violation rate after
+ * rounding, cost-model prediction error against the measurements,
+ * and the fine-tune loss trajectory; from the final metrics
+ * snapshot: every counter and gauge.
+ *
+ * Exits non-zero when a file fails to parse — the ctest smoke test
+ * uses this as the telemetry-format validator.
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "support/logging.h"
+
+using namespace felix;
+
+namespace {
+
+struct SpanAgg
+{
+    int64_t count = 0;
+    int64_t totalUs = 0;
+};
+
+/** Read a whole file; false when it cannot be opened. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path);
+    if (!is.good())
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+int
+summarizeTrace(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::string error;
+    auto doc = obs::parseJson(text, &error);
+    if (!doc || !doc->isObject()) {
+        std::fprintf(stderr, "%s: malformed JSON (%s)\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    const obs::JsonValue *events = doc->find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr, "%s: missing traceEvents array\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::map<std::string, SpanAgg> byName;
+    int64_t minTs = -1, maxEnd = 0;
+    for (const obs::JsonValue &event : events->asArray()) {
+        if (!event.isObject())
+            continue;
+        if (event.stringOr("ph", "") != "X")
+            continue;
+        std::string name = event.stringOr("name", "?");
+        int64_t ts =
+            static_cast<int64_t>(event.numberOr("ts", 0.0));
+        int64_t dur =
+            static_cast<int64_t>(event.numberOr("dur", 0.0));
+        SpanAgg &agg = byName[name];
+        ++agg.count;
+        agg.totalUs += dur;
+        if (minTs < 0 || ts < minTs)
+            minTs = ts;
+        maxEnd = std::max(maxEnd, ts + dur);
+    }
+    const double wallMs =
+        minTs < 0 ? 0.0
+                  : static_cast<double>(maxEnd - minTs) / 1000.0;
+
+    std::printf("== trace: %s ==\n", path.c_str());
+    std::printf("%zu span names, wall %.1f ms\n\n", byName.size(),
+                wallMs);
+    std::printf("  %-28s %8s %12s %10s %7s\n", "span", "count",
+                "total ms", "mean ms", "wall%");
+    std::vector<std::pair<std::string, SpanAgg>> rows(byName.begin(),
+                                                      byName.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.totalUs > b.second.totalUs;
+              });
+    for (const auto &[name, agg] : rows) {
+        double totalMs = static_cast<double>(agg.totalUs) / 1000.0;
+        std::printf("  %-28s %8lld %12.2f %10.3f %6.1f%%\n",
+                    name.c_str(),
+                    static_cast<long long>(agg.count), totalMs,
+                    totalMs / static_cast<double>(agg.count),
+                    wallMs > 0.0 ? 100.0 * totalMs / wallMs : 0.0);
+    }
+    std::printf("\n(nested spans overlap their parents, so "
+                "percentages do not sum to 100)\n\n");
+    return 0;
+}
+
+int
+summarizeRounds(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is.good()) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+
+    struct StrategyAgg
+    {
+        int rounds = 0;
+        int64_t seeds = 0;
+        int64_t attempts = 0;
+        int64_t invalid = 0;
+        int64_t candidates = 0;
+        double wallMs = 0.0;
+        double absLogErrorSum = 0.0;   ///< |log(pred / measured)|
+        int64_t errorCount = 0;
+        double firstLoss = -1.0, lastLoss = -1.0;
+    };
+    std::map<std::string, StrategyAgg> byStrategy;
+    obs::JsonValue snapshotValue;
+    bool haveSnapshot = false;
+
+    std::printf("== rounds: %s ==\n", path.c_str());
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::string error;
+        auto record = obs::parseJson(line, &error);
+        if (!record || !record->isObject()) {
+            std::fprintf(stderr, "%s:%d: malformed JSONL (%s)\n",
+                         path.c_str(), lineNo, error.c_str());
+            return 1;
+        }
+        std::string type = record->stringOr("type", "");
+        if (type == "metrics") {
+            if (const obs::JsonValue *reg = record->find("registry")) {
+                snapshotValue = *reg;
+                haveSnapshot = true;
+            }
+            continue;
+        }
+        if (type != "round")
+            continue;
+        StrategyAgg &agg =
+            byStrategy[record->stringOr("strategy", "?")];
+        ++agg.rounds;
+        agg.seeds += static_cast<int64_t>(
+            record->numberOr("seeds", 0.0));
+        agg.attempts += static_cast<int64_t>(
+            record->numberOr("rounding_attempts", 0.0));
+        agg.invalid += static_cast<int64_t>(
+            record->numberOr("rounding_invalid", 0.0));
+        agg.wallMs += record->numberOr("wall_ms", 0.0);
+        double loss = record->numberOr("finetune_loss", -1.0);
+        if (loss >= 0.0) {
+            if (agg.firstLoss < 0.0)
+                agg.firstLoss = loss;
+            agg.lastLoss = loss;
+        }
+        if (const obs::JsonValue *cands =
+                record->find("candidates")) {
+            if (cands->isArray()) {
+                for (const obs::JsonValue &c : cands->asArray()) {
+                    ++agg.candidates;
+                    double pred = c.numberOr("predicted_sec", 0.0);
+                    double meas = c.numberOr("measured_sec", 0.0);
+                    if (pred > 0.0 && meas > 0.0) {
+                        agg.absLogErrorSum +=
+                            std::fabs(std::log(pred / meas));
+                        ++agg.errorCount;
+                    }
+                }
+            }
+        }
+    }
+
+    for (const auto &[strategy, agg] : byStrategy) {
+        std::printf("\n%s: %d rounds, %.1f ms real search+measure\n",
+                    strategy.c_str(), agg.rounds, agg.wallMs);
+        std::printf("  seeds launched      : %lld (%.1f/round)\n",
+                    static_cast<long long>(agg.seeds),
+                    agg.rounds ? static_cast<double>(agg.seeds) /
+                                     agg.rounds
+                               : 0.0);
+        std::printf("  rounding violations : %lld / %lld (%.1f%%)\n",
+                    static_cast<long long>(agg.invalid),
+                    static_cast<long long>(agg.attempts),
+                    agg.attempts ? 100.0 *
+                                       static_cast<double>(
+                                           agg.invalid) /
+                                       static_cast<double>(
+                                           agg.attempts)
+                                 : 0.0);
+        std::printf("  measured candidates : %lld\n",
+                    static_cast<long long>(agg.candidates));
+        if (agg.errorCount > 0) {
+            // exp(mean |log ratio|) reads as "x-fold off on average".
+            std::printf("  pred-vs-measured    : %.2fx mean "
+                        "latency-ratio error\n",
+                        std::exp(agg.absLogErrorSum /
+                                 static_cast<double>(
+                                     agg.errorCount)));
+        }
+        if (agg.lastLoss >= 0.0) {
+            std::printf("  finetune loss       : %.4f -> %.4f\n",
+                        agg.firstLoss, agg.lastLoss);
+        }
+    }
+
+    if (haveSnapshot) {
+        std::printf("\nfinal metrics snapshot:\n");
+        if (const obs::JsonValue *counters =
+                snapshotValue.find("counters")) {
+            for (const auto &[name, value] : counters->asObject()) {
+                if (value.isNumber()) {
+                    std::printf("  counter %-26s %.3f\n",
+                                name.c_str(), value.asNumber());
+                }
+            }
+        }
+        if (const obs::JsonValue *gauges =
+                snapshotValue.find("gauges")) {
+            for (const auto &[name, value] : gauges->asObject()) {
+                if (value.isNumber()) {
+                    std::printf("  gauge   %-26s %.3f\n",
+                                name.c_str(), value.asNumber());
+                }
+            }
+        }
+        if (const obs::JsonValue *histograms =
+                snapshotValue.find("histograms")) {
+            for (const auto &[name, value] :
+                 histograms->asObject()) {
+                double count = value.numberOr("count", 0.0);
+                double sum = value.numberOr("sum", 0.0);
+                std::printf("  histo   %-26s n=%.0f mean=%.3f\n",
+                            name.c_str(), count,
+                            count > 0.0 ? sum / count : 0.0);
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3 ||
+        std::string(argv[1]) == "--help") {
+        std::fprintf(
+            stderr,
+            "usage: felix-trace-summary TRACE.json [METRICS.jsonl]\n"
+            "  TRACE.json    from felix-tune --trace-out\n"
+            "  METRICS.jsonl from felix-tune --metrics-out\n");
+        return argc < 2 ? 1 : 0;
+    }
+    int rc = summarizeTrace(argv[1]);
+    if (rc != 0)
+        return rc;
+    if (argc == 3)
+        return summarizeRounds(argv[2]);
+    return 0;
+}

@@ -18,6 +18,9 @@
 #include "core/felix.h"
 #include "frameworks/frameworks.h"
 #include "models/models.h"
+#include "obs/metrics.h"
+#include "obs/round_log.h"
+#include "obs/trace.h"
 #include "sketch/sketch.h"
 #include "support/logging.h"
 
@@ -42,7 +45,15 @@ usage()
         "  --show-schedules N    print the bound loop nests of the\n"
         "                        N most time-consuming tasks\n"
         "  --log FILE  append every measurement as a replayable\n"
-        "              tuning record (Ansor-style tuning log)\n");
+        "              tuning record (Ansor-style tuning log)\n"
+        "  --trace-out FILE    write a Chrome trace_event JSON file\n"
+        "                      (open in chrome://tracing / Perfetto)\n"
+        "  --metrics-out FILE  write per-round telemetry records plus\n"
+        "                      a final metrics snapshot as JSONL\n"
+        "  --log-level L       debug | info | warn | error\n"
+        "                      (also via FELIX_LOG_LEVEL)\n"
+        "  --cache-dir DIR     pretrained cost-model cache directory\n"
+        "                      (default: pretrained)\n");
 }
 
 graph::Graph
@@ -75,7 +86,8 @@ main(int argc, char **argv)
     uint64_t seed = 1;
     bool compareFrameworks = false;
     int showSchedules = 0;
-    std::string logPath;
+    std::string logPath, traceOut, metricsOut;
+    std::string cacheDir = "pretrained";
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -100,7 +112,20 @@ main(int argc, char **argv)
             showSchedules = std::atoi(next().c_str());
         else if (arg == "--log")
             logPath = next();
-        else if (arg == "--help" || arg == "-h") {
+        else if (arg == "--trace-out")
+            traceOut = next();
+        else if (arg == "--metrics-out")
+            metricsOut = next();
+        else if (arg == "--cache-dir")
+            cacheDir = next();
+        else if (arg == "--log-level") {
+            std::string name = next();
+            auto level = parseLogLevel(name);
+            if (!level)
+                fatal("bad --log-level '" + name +
+                      "' (expected debug|info|warn|error)");
+            setLogLevel(*level);
+        } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
         } else {
@@ -112,6 +137,9 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+
+    if (!traceOut.empty())
+        obs::Tracer::instance().start(traceOut);
 
     auto device = Device::cuda(deviceName);
     auto dnn = buildNetwork(network, batch);
@@ -139,10 +167,12 @@ main(int argc, char **argv)
     OptimizerOptions options;
     options.tuner.seed = seed;
     options.tuner.recordLogPath = logPath;
+    options.tuner.roundLogPath = metricsOut;
     options.tuner.strategy = (strategy == "ansor")
                                  ? tuner::StrategyKind::AnsorTenSet
                                  : tuner::StrategyKind::FelixGradient;
-    Optimizer opt(tasks, pretrainedCostModel(device), device, options);
+    Optimizer opt(tasks, pretrainedCostModel(device, cacheDir),
+                  device, options);
     opt.optimizeFor(budget);
 
     auto module = opt.compileWithBestConfigs();
@@ -186,6 +216,24 @@ main(int argc, char **argv)
             auto program = tir::applySchedule(record.task.subgraph,
                                               bound);
             std::printf("%s", program.str().c_str());
+        }
+    }
+
+    if (!metricsOut.empty()) {
+        if (!obs::appendMetricsSnapshot(
+                metricsOut,
+                obs::MetricsRegistry::instance().snapshot()))
+            return 1;
+        std::printf("wrote per-round telemetry to %s\n",
+                    metricsOut.c_str());
+    }
+    if (!traceOut.empty()) {
+        if (obs::Tracer::instance().stop()) {
+            std::printf("wrote trace to %s (open in chrome://tracing "
+                        "or https://ui.perfetto.dev)\n",
+                        traceOut.c_str());
+        } else {
+            return 1;
         }
     }
     return 0;
