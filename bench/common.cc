@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 #include "support/string_util.h"
 
 namespace felix {
@@ -29,20 +30,27 @@ parseArgs(int argc, char **argv)
             options.seed = std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--device") {
             options.device = next();
+        } else if (arg == "--jobs") {
+            options.jobs = std::atoi(next().c_str());
+            FELIX_CHECK(options.jobs >= 1,
+                        "--jobs needs a positive thread count");
         } else if (arg == "--cache-dir") {
             options.cacheDir = next();
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options: [--full] [--budget SECONDS] [--seed N]\n"
-                "         [--device a10g|a5000|xavier-nx]\n"
+                "         [--jobs N] [--device a10g|a5000|xavier-nx]\n"
                 "         [--cache-dir DIR]\n"
                 "--full uses paper-scale search settings; defaults\n"
-                "are scaled down for a single CPU core.\n");
+                "are scaled down for a single CPU core. --jobs only\n"
+                "changes wall-clock time, never results.\n");
             std::exit(0);
         } else {
             fatal("unknown argument: " + arg);
         }
     }
+    if (options.jobs > 0)
+        setGlobalJobs(options.jobs);
     return options;
 }
 
@@ -52,6 +60,7 @@ felixOptions(const BenchOptions &options)
     tuner::TunerOptions tuner;
     tuner.strategy = tuner::StrategyKind::FelixGradient;
     tuner.seed = options.seed;
+    tuner.numThreads = options.jobs;
     // Paper defaults (§5): nSeeds 8, nSteps 200, nMeasure 16 — cheap
     // enough to keep even in the scaled-down runs.
     tuner.grad.nSeeds = 8;
@@ -66,6 +75,7 @@ ansorOptions(const BenchOptions &options)
     tuner::TunerOptions tuner;
     tuner.strategy = tuner::StrategyKind::AnsorTenSet;
     tuner.seed = options.seed;
+    tuner.numThreads = options.jobs;
     // Paper (§5): population 2048, 4 generations, 64 measurements.
     // The scaled-down default keeps the prediction ratio to Felix
     // (~5x) while fitting the CPU budget.
@@ -103,6 +113,8 @@ phaseTimings()
     auto &registry = obs::MetricsRegistry::instance();
     PhaseTimings t;
     t.sketchMs = registry.counter("sketch.generate_ms").value();
+    t.compileTapesMs =
+        registry.counter("search.compile_tapes_ms").value();
     t.searchMs = registry.counter("tuner.search_ms").value();
     t.measureMs = registry.counter("tuner.measure_ms").value();
     t.finetuneMs = registry.counter("tuner.finetune_ms").value();
@@ -114,6 +126,7 @@ phaseDelta(const PhaseTimings &before, const PhaseTimings &after)
 {
     PhaseTimings d;
     d.sketchMs = after.sketchMs - before.sketchMs;
+    d.compileTapesMs = after.compileTapesMs - before.compileTapesMs;
     d.searchMs = after.searchMs - before.searchMs;
     d.measureMs = after.measureMs - before.measureMs;
     d.finetuneMs = after.finetuneMs - before.finetuneMs;
@@ -123,10 +136,11 @@ phaseDelta(const PhaseTimings &before, const PhaseTimings &after)
 void
 printPhaseBreakdown(const PhaseTimings &delta)
 {
-    std::printf("    phases (real): sketch %.2fs | search %.2fs | "
-                "measure %.2fs | finetune %.2fs\n",
-                delta.sketchMs * 1e-3, delta.searchMs * 1e-3,
-                delta.measureMs * 1e-3, delta.finetuneMs * 1e-3);
+    std::printf("    phases (real): sketch %.2fs | tapes %.2fs | "
+                "search %.2fs | measure %.2fs | finetune %.2fs\n",
+                delta.sketchMs * 1e-3, delta.compileTapesMs * 1e-3,
+                delta.searchMs * 1e-3, delta.measureMs * 1e-3,
+                delta.finetuneMs * 1e-3);
 }
 
 std::unique_ptr<tuner::GraphTuner>

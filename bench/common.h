@@ -30,6 +30,7 @@ struct BenchOptions
     bool full = false;            ///< paper-scale settings
     double budgetSec = 0.0;       ///< virtual tuning budget override
     uint64_t seed = 1;
+    int jobs = 0;                 ///< worker threads (0 = hardware)
     std::string device;           ///< restrict to one device ("")
     std::string cacheDir = "pretrained";
 };
@@ -56,13 +57,15 @@ costmodel::CostModel modelFor(sim::DeviceKind device,
 /**
  * Real (wall-clock) milliseconds spent per pipeline phase, read from
  * the telemetry metrics registry (src/obs/metrics.h). "Sketch"
- * covers sketch generation plus tape compilation, "search" the
- * candidate search rounds, "measure" the simulated hardware
- * measurements, and "finetune" the cost-model updates.
+ * covers sketch generation, "tapes" the feature-formula tape
+ * compilation, "search" the candidate search rounds, "measure" the
+ * simulated hardware measurements, and "finetune" the cost-model
+ * updates.
  */
 struct PhaseTimings
 {
     double sketchMs = 0.0;
+    double compileTapesMs = 0.0;
     double searchMs = 0.0;
     double measureMs = 0.0;
     double finetuneMs = 0.0;

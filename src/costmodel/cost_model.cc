@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 
 namespace felix {
 namespace costmodel {
@@ -221,11 +222,12 @@ CostModel::validate(const std::vector<Sample> &samples) const
     ModelMetrics metrics;
     if (samples.empty())
         return metrics;
-    std::vector<double> preds, targets;
-    for (const Sample &sample : samples) {
-        preds.push_back(predict(sample.rawFeatures));
-        targets.push_back(targetOf(sample.latencySec));
-    }
+    std::vector<double> preds(samples.size());
+    std::vector<double> targets(samples.size());
+    parallelFor("costmodel.validate", samples.size(), [&](size_t i) {
+        preds[i] = predict(samples[i].rawFeatures);
+        targets[i] = targetOf(samples[i].latencySec);
+    });
     for (size_t i = 0; i < preds.size(); ++i) {
         double err = preds[i] - targets[i];
         metrics.mse += err * err;

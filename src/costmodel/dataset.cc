@@ -8,6 +8,7 @@
 #include "sketch/sampling.h"
 #include "sketch/sketch.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 #include "support/string_util.h"
 #include "tir/ops.h"
 
@@ -148,23 +149,36 @@ synthesizeDataset(const sim::DeviceConfig &device,
     Rng rng(options.seed);
     auto pool = datasetSubgraphPool(options.numSubgraphs, rng);
 
-    std::vector<Sample> samples;
-    for (const tir::SubgraphDef &subgraph : pool) {
+    // Subgraphs synthesize independently — sketch generation, tape
+    // compilation (concurrent interning) and sampling from a forked
+    // per-subgraph stream — then concatenate in pool order.
+    std::vector<Rng> subgraphRngs = rng.forkStreams(pool.size());
+    std::vector<std::vector<Sample>> perSubgraph(pool.size());
+    parallelFor("dataset.subgraph", pool.size(), [&](size_t si) {
+        const tir::SubgraphDef &subgraph = pool[si];
+        Rng &subRng = subgraphRngs[si];
+        std::vector<Sample> &out = perSubgraph[si];
         for (const auto &sched : sketch::generateSketches(subgraph)) {
             std::vector<std::string> names;
             for (const auto &domain : sched.vars)
                 names.push_back(domain.name);
             auto formulas = features::extractFeatures(sched.program);
             expr::CompiledExprs compiled(formulas, names);
+            expr::EvalState state;
             for (int i = 0; i < options.schedulesPerSketch; ++i) {
-                auto x = sketch::sampleValid(sched, rng);
+                auto x = sketch::sampleValid(sched, subRng);
                 Sample sample;
-                sample.rawFeatures = compiled.eval(x);
+                sample.rawFeatures = compiled.eval(x, state);
                 sample.latencySec = sim::measureKernel(
                     sample.rawFeatures, device, /*noise_seed=*/0);
-                samples.push_back(std::move(sample));
+                out.push_back(std::move(sample));
             }
         }
+    });
+    std::vector<Sample> samples;
+    for (std::vector<Sample> &part : perSubgraph) {
+        for (Sample &sample : part)
+            samples.push_back(std::move(sample));
     }
     inform("synthesized ", samples.size(), " dataset samples for ",
            device.name);

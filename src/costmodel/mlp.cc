@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 
 namespace felix {
 namespace costmodel {
@@ -141,64 +142,99 @@ Mlp::trainBatch(const std::vector<std::vector<double>> &xs,
     }
     const double invBatch = 1.0 / static_cast<double>(xs.size());
 
-    // Accumulated parameter gradients.
+    // Per-sample gradients accumulate into per-chunk partials with a
+    // FIXED chunk size, then reduce in chunk order on this thread —
+    // the floating-point summation order depends only on the batch,
+    // never on --jobs, so training is bit-identical at any pool size.
+    constexpr size_t kChunk = 16;
+    const size_t numChunks = (xs.size() + kChunk - 1) / kChunk;
+    struct ChunkGrads
+    {
+        std::vector<std::vector<double>> gWeight, gBias;
+        double loss = 0.0;
+    };
+    std::vector<ChunkGrads> chunkGrads(numChunks);
+
+    parallelForChunks(
+        "costmodel.train_chunk", xs.size(), kChunk,
+        [&](size_t begin, size_t end) {
+            ChunkGrads &chunk = chunkGrads[begin / kChunk];
+            chunk.gWeight.resize(layers_.size());
+            chunk.gBias.resize(layers_.size());
+            for (size_t li = 0; li < layers_.size(); ++li) {
+                chunk.gWeight[li].assign(layers_[li].weight.size(),
+                                         0.0);
+                chunk.gBias[li].assign(layers_[li].bias.size(), 0.0);
+            }
+            std::vector<std::vector<double>> acts;
+            for (size_t si = begin; si < end; ++si) {
+                // Forward with stored activations.
+                acts.clear();
+                acts.push_back(xs[si]);
+                for (size_t li = 0; li < layers_.size(); ++li) {
+                    const Layer &layer = layers_[li];
+                    std::vector<double> out(layer.out, 0.0);
+                    const std::vector<double> &cur = acts.back();
+                    for (int o = 0; o < layer.out; ++o) {
+                        double acc = layer.bias[o];
+                        const double *row =
+                            layer.weight.data() +
+                            static_cast<size_t>(o) * layer.in;
+                        for (int i = 0; i < layer.in; ++i)
+                            acc += row[i] * cur[i];
+                        if (li + 1 < layers_.size() && acc < 0.0)
+                            acc = 0.0;
+                        out[o] = acc;
+                    }
+                    acts.push_back(std::move(out));
+                }
+                const double pred = acts.back()[0];
+                const double err = pred - ys[si];
+                chunk.loss += err * err;
+
+                // Backward.
+                std::vector<double> adj = {2.0 * err * invBatch};
+                for (size_t li = layers_.size(); li-- > 0;) {
+                    const Layer &layer = layers_[li];
+                    const std::vector<double> &out = acts[li + 1];
+                    const std::vector<double> &in = acts[li];
+                    std::vector<double> prev(layer.in, 0.0);
+                    for (int o = 0; o < layer.out; ++o) {
+                        if (li + 1 < layers_.size() && out[o] <= 0.0)
+                            continue;
+                        const double a = adj[o];
+                        double *gw =
+                            chunk.gWeight[li].data() +
+                            static_cast<size_t>(o) * layer.in;
+                        const double *row =
+                            layer.weight.data() +
+                            static_cast<size_t>(o) * layer.in;
+                        for (int i = 0; i < layer.in; ++i) {
+                            gw[i] += a * in[i];
+                            prev[i] += a * row[i];
+                        }
+                        chunk.gBias[li][o] += a;
+                    }
+                    adj.swap(prev);
+                }
+            }
+        });
+
+    // Deterministic chunk-order reduction.
     std::vector<std::vector<double>> gWeight(layers_.size());
     std::vector<std::vector<double>> gBias(layers_.size());
     for (size_t li = 0; li < layers_.size(); ++li) {
         gWeight[li].assign(layers_[li].weight.size(), 0.0);
         gBias[li].assign(layers_[li].bias.size(), 0.0);
     }
-
     double loss = 0.0;
-    std::vector<std::vector<double>> acts;
-    for (size_t si = 0; si < xs.size(); ++si) {
-        // Forward with stored activations.
-        acts.clear();
-        acts.push_back(xs[si]);
+    for (const ChunkGrads &chunk : chunkGrads) {
+        loss += chunk.loss;
         for (size_t li = 0; li < layers_.size(); ++li) {
-            const Layer &layer = layers_[li];
-            std::vector<double> out(layer.out, 0.0);
-            const std::vector<double> &cur = acts.back();
-            for (int o = 0; o < layer.out; ++o) {
-                double acc = layer.bias[o];
-                const double *row =
-                    layer.weight.data() +
-                    static_cast<size_t>(o) * layer.in;
-                for (int i = 0; i < layer.in; ++i)
-                    acc += row[i] * cur[i];
-                if (li + 1 < layers_.size() && acc < 0.0)
-                    acc = 0.0;
-                out[o] = acc;
-            }
-            acts.push_back(std::move(out));
-        }
-        const double pred = acts.back()[0];
-        const double err = pred - ys[si];
-        loss += err * err;
-
-        // Backward.
-        std::vector<double> adj = {2.0 * err * invBatch};
-        for (size_t li = layers_.size(); li-- > 0;) {
-            const Layer &layer = layers_[li];
-            const std::vector<double> &out = acts[li + 1];
-            const std::vector<double> &in = acts[li];
-            std::vector<double> prev(layer.in, 0.0);
-            for (int o = 0; o < layer.out; ++o) {
-                if (li + 1 < layers_.size() && out[o] <= 0.0)
-                    continue;
-                const double a = adj[o];
-                double *gw = gWeight[li].data() +
-                             static_cast<size_t>(o) * layer.in;
-                const double *row =
-                    layer.weight.data() +
-                    static_cast<size_t>(o) * layer.in;
-                for (int i = 0; i < layer.in; ++i) {
-                    gw[i] += a * in[i];
-                    prev[i] += a * row[i];
-                }
-                gBias[li][o] += a;
-            }
-            adj.swap(prev);
+            for (size_t i = 0; i < gWeight[li].size(); ++i)
+                gWeight[li][i] += chunk.gWeight[li][i];
+            for (size_t i = 0; i < gBias[li].size(); ++i)
+                gBias[li][i] += chunk.gBias[li][i];
         }
     }
 
@@ -235,11 +271,21 @@ Mlp::evaluate(const std::vector<std::vector<double>> &xs,
     FELIX_CHECK(xs.size() == ys.size());
     if (xs.empty())
         return 0.0;
+    constexpr size_t kChunk = 16;
+    std::vector<double> chunkLoss((xs.size() + kChunk - 1) / kChunk,
+                                  0.0);
+    parallelForChunks("costmodel.evaluate_chunk", xs.size(), kChunk,
+                      [&](size_t begin, size_t end) {
+                          double local = 0.0;
+                          for (size_t i = begin; i < end; ++i) {
+                              double err = forward(xs[i]) - ys[i];
+                              local += err * err;
+                          }
+                          chunkLoss[begin / kChunk] = local;
+                      });
     double loss = 0.0;
-    for (size_t i = 0; i < xs.size(); ++i) {
-        double err = forward(xs[i]) - ys[i];
-        loss += err * err;
-    }
+    for (double l : chunkLoss)
+        loss += l;
     return loss / static_cast<double>(xs.size());
 }
 

@@ -34,7 +34,12 @@ struct MlpConfig
 
 /**
  * Fully connected ReLU network with a linear head.
- * Not thread-safe (training state is internal).
+ *
+ * forward()/forwardInputGrad() are const and safe to call from many
+ * threads at once. trainBatch() mutates parameters (not reentrant)
+ * but internally fans the per-sample gradient accumulation out over
+ * the global pool in fixed-size chunks, reduced in chunk order, so
+ * training results are identical for any --jobs value.
  */
 class Mlp
 {

@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "support/logging.h"
 #include "support/math_util.h"
+#include "support/parallel.h"
 
 namespace felix {
 namespace evolutionary {
@@ -41,24 +42,29 @@ EvolutionarySearch::EvolutionarySearch(const tir::SubgraphDef &subgraph,
                                       options_.sketchOptions))
 {
     obs::ScopedTimerMs timer(obs::MetricsRegistry::instance().counter(
-        "sketch.generate_ms"));
+        "search.compile_tapes_ms"));
     FELIX_SPAN("search.compile_tapes", "search");
-    for (const sketch::SymbolicSchedule &sched : sketches_) {
-        SketchContext context;
-        context.sched = &sched;
-        for (const auto &domain : sched.vars)
-            context.varNames.push_back(domain.name);
-        context.rawFeatures = std::make_unique<expr::CompiledExprs>(
-            features::extractFeatures(sched.program),
-            context.varNames);
-        context.checker =
-            std::make_unique<sketch::ConstraintChecker>(sched);
-        contexts_.push_back(std::move(context));
-    }
+    contexts_.resize(sketches_.size());
+    parallelFor("search.compile_tape", sketches_.size(),
+                [&](size_t si) {
+                    const sketch::SymbolicSchedule &sched =
+                        sketches_[si];
+                    SketchContext context;
+                    context.sched = &sched;
+                    for (const auto &domain : sched.vars)
+                        context.varNames.push_back(domain.name);
+                    context.rawFeatures =
+                        std::make_unique<expr::CompiledExprs>(
+                            features::extractFeatures(sched.program),
+                            context.varNames);
+                    context.checker = std::make_unique<
+                        sketch::ConstraintChecker>(sched);
+                    contexts_[si] = std::move(context);
+                });
 }
 
 EvolutionarySearch::Individual
-EvolutionarySearch::randomIndividual(Rng &rng)
+EvolutionarySearch::randomIndividual(Rng &rng) const
 {
     Individual individual;
     individual.sketchIndex =
@@ -69,7 +75,7 @@ EvolutionarySearch::randomIndividual(Rng &rng)
 }
 
 EvolutionarySearch::Individual
-EvolutionarySearch::mutate(const Individual &parent, Rng &rng)
+EvolutionarySearch::mutate(const Individual &parent, Rng &rng) const
 {
     Individual child = parent;
     const sketch::SymbolicSchedule &sched =
@@ -125,7 +131,7 @@ EvolutionarySearch::mutate(const Individual &parent, Rng &rng)
 
 EvolutionarySearch::Individual
 EvolutionarySearch::crossover(const Individual &a, const Individual &b,
-                              Rng &rng)
+                              Rng &rng) const
 {
     // Only individuals from the same sketch can recombine; mix whole
     // split groups so divisibility is preserved.
@@ -153,18 +159,19 @@ EvolutionarySearch::crossover(const Individual &a, const Individual &b,
 }
 
 bool
-EvolutionarySearch::valid(const Individual &individual)
+EvolutionarySearch::valid(const Individual &individual) const
 {
-    SketchContext &context = contexts_[individual.sketchIndex];
+    const SketchContext &context = contexts_[individual.sketchIndex];
     return context.checker->feasible(individual.x);
 }
 
 double
 EvolutionarySearch::evaluate(Individual &individual,
-                             const costmodel::CostModel &model)
+                             const costmodel::CostModel &model) const
 {
-    SketchContext &context = contexts_[individual.sketchIndex];
-    auto raw = context.rawFeatures->eval(individual.x);
+    const SketchContext &context = contexts_[individual.sketchIndex];
+    expr::EvalState state;
+    auto raw = context.rawFeatures->eval(individual.x, state);
     individual.score = model.predict(raw);
     return individual.score;
 }
@@ -179,15 +186,29 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
     result.trace.seedsLaunched = options_.population;
 
     // Initialize: elites from previous rounds + fresh random
-    // schedules up to the population size.
+    // schedules up to the population size. Each fresh slot samples
+    // from its own forked stream so the fill parallelizes without
+    // perturbing the parent stream.
     std::vector<Individual> population = elites_;
-    while (static_cast<int>(population.size()) < options_.population)
-        population.push_back(randomIndividual(rng));
+    const size_t fillStart = population.size();
+    if (static_cast<int>(fillStart) < options_.population) {
+        const size_t fill = options_.population - fillStart;
+        std::vector<Rng> fillRngs = rng.forkStreams(fill);
+        population.resize(options_.population);
+        parallelFor("evo.random_init", fill, [&](size_t i) {
+            population[fillStart + i] = randomIndividual(fillRngs[i]);
+        });
+    }
 
     std::map<std::pair<int, std::vector<double>>, Individual> best;
     auto scoreAndRecord = [&](std::vector<Individual> &pop) {
+        // Scoring is the hot part: each individual writes only its
+        // own score slot. Bookkeeping stays sequential, in index
+        // order, so trace and dedup are --jobs invariant.
+        parallelFor("evo.evaluate", pop.size(), [&](size_t i) {
+            evaluate(pop[i], model);
+        });
         for (Individual &individual : pop) {
-            evaluate(individual, model);
             ++result.trace.numPredictions;
             result.trace.visitedScores.push_back(individual.score);
             auto key = std::make_pair(individual.sketchIndex,
@@ -212,35 +233,65 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
                 std::exp(individual.score - maxScore));
         }
 
+        // Generate children in waves of `population` attempts. Every
+        // attempt owns a forked stream and a result slot, so a wave
+        // is embarrassingly parallel; consumption then walks the
+        // slots in attempt order, keeping exactly the prefix needed
+        // to fill the next generation — the same child sequence for
+        // any --jobs value. Caps at 8 waves like the sequential
+        // guard (population * 8 attempts).
         std::vector<Individual> next;
         next.reserve(population.size());
-        int guard = 0;
-        while (static_cast<int>(next.size()) < options_.population &&
-               guard < options_.population * 8) {
-            ++guard;
-            const Individual &parentA =
-                population[rng.weightedIndex(weights)];
-            Individual child;
-            if (rng.bernoulli(options_.crossoverProb)) {
-                const Individual &parentB =
-                    population[rng.weightedIndex(weights)];
-                child = crossover(parentA, parentB, rng);
-            } else if (rng.bernoulli(options_.mutationProb)) {
-                child = mutate(parentA, rng);
-            } else {
-                child = parentA;
+        for (int wave = 0;
+             wave < 8 &&
+             static_cast<int>(next.size()) < options_.population;
+             ++wave) {
+            const size_t attempts = population.size();
+            std::vector<Rng> childRngs = rng.forkStreams(attempts);
+            std::vector<Individual> children(attempts);
+            std::vector<char> childValid(attempts, 0);
+            parallelFor("evo.generate", attempts, [&](size_t i) {
+                Rng &childRng = childRngs[i];
+                const Individual &parentA =
+                    population[childRng.weightedIndex(weights)];
+                Individual child;
+                if (childRng.bernoulli(options_.crossoverProb)) {
+                    const Individual &parentB =
+                        population[childRng.weightedIndex(weights)];
+                    child = crossover(parentA, parentB, childRng);
+                } else if (childRng.bernoulli(
+                               options_.mutationProb)) {
+                    child = mutate(parentA, childRng);
+                } else {
+                    child = parentA;
+                }
+                // The evolutionary analogue of Felix's rounding
+                // step: every generated child is checked against the
+                // legality constraints; infeasible ones are
+                // discarded at consumption.
+                childValid[i] = valid(child) ? 1 : 0;
+                children[i] = std::move(child);
+            });
+            for (size_t i = 0;
+                 i < attempts &&
+                 static_cast<int>(next.size()) < options_.population;
+                 ++i) {
+                ++result.trace.roundingAttempts;
+                if (childValid[i])
+                    next.push_back(std::move(children[i]));
+                else
+                    ++result.trace.roundingInvalid;
             }
-            // The evolutionary analogue of Felix's rounding step:
-            // every generated child is checked against the legality
-            // constraints and infeasible ones are discarded.
-            ++result.trace.roundingAttempts;
-            if (valid(child))
-                next.push_back(std::move(child));
-            else
-                ++result.trace.roundingInvalid;
         }
-        while (static_cast<int>(next.size()) < options_.population)
-            next.push_back(randomIndividual(rng));
+        if (static_cast<int>(next.size()) < options_.population) {
+            const size_t start = next.size();
+            const size_t fill = options_.population - start;
+            std::vector<Rng> fillRngs = rng.forkStreams(fill);
+            next.resize(options_.population);
+            parallelFor("evo.random_fill", fill, [&](size_t i) {
+                next[start + i] = randomIndividual(fillRngs[i]);
+            });
+        }
         population = std::move(next);
         scoreAndRecord(population);
     }
@@ -285,16 +336,19 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
     }
     if (static_cast<int>(picked.size()) > options_.nMeasure)
         picked.resize(options_.nMeasure);
-    for (const Individual *individual : picked) {
+    result.toMeasure.resize(picked.size());
+    parallelFor("evo.features", picked.size(), [&](size_t i) {
+        const Individual *individual = picked[i];
         Candidate candidate;
         candidate.sketchIndex = individual->sketchIndex;
         candidate.x = individual->x;
+        expr::EvalState state;
         candidate.rawFeatures =
             contexts_[candidate.sketchIndex].rawFeatures->eval(
-                candidate.x);
+                candidate.x, state);
         candidate.predictedScore = individual->score;
-        result.toMeasure.push_back(std::move(candidate));
-    }
+        result.toMeasure[i] = std::move(candidate);
+    });
     registry.counter("search.seeds").add(options_.population);
     registry.counter("evo.generations").add(options_.generations);
     registry.counter("search.rounding_attempts")

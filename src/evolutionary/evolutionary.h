@@ -62,19 +62,21 @@ class EvolutionarySearch : public optim::SearchStrategy
 
     struct SketchContext
     {
-        const sketch::SymbolicSchedule *sched;
+        const sketch::SymbolicSchedule *sched = nullptr;
         std::vector<std::string> varNames;
         std::unique_ptr<expr::CompiledExprs> rawFeatures;
         std::unique_ptr<sketch::ConstraintChecker> checker;
     };
 
-    Individual randomIndividual(Rng &rng);
-    Individual mutate(const Individual &parent, Rng &rng);
+    // All const: callable concurrently from pool workers (evaluation
+    // scratch is per-call, randomness comes in via the Rng argument).
+    Individual randomIndividual(Rng &rng) const;
+    Individual mutate(const Individual &parent, Rng &rng) const;
     Individual crossover(const Individual &a, const Individual &b,
-                         Rng &rng);
-    bool valid(const Individual &individual);
+                         Rng &rng) const;
+    bool valid(const Individual &individual) const;
     double evaluate(Individual &individual,
-                    const costmodel::CostModel &model);
+                    const costmodel::CostModel &model) const;
 
     EvoSearchOptions options_;
     std::vector<sketch::SymbolicSchedule> sketches_;

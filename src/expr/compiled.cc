@@ -67,17 +67,18 @@ CompiledExprs::CompiledExprs(std::vector<Expr> roots,
     }
     for (const Expr &root : roots)
         outputSlots_.push_back(slotOf.at(root.get()));
-    values_.resize(tape_.size(), 0.0);
-    adjoints_.resize(tape_.size(), 0.0);
 }
 
 void
 CompiledExprs::forward(const std::vector<double> &inputs,
-                       std::vector<double> &outputs)
+                       std::vector<double> &outputs,
+                       EvalState &state) const
 {
     FELIX_CHECK(inputs.size() == varNames_.size(),
                 "expected ", varNames_.size(), " inputs, got ",
                 inputs.size());
+    std::vector<double> &values_ = state.values;
+    values_.resize(tape_.size());
     for (size_t i = 0; i < tape_.size(); ++i) {
         const Instr &instr = tape_[i];
         switch (instr.op) {
@@ -102,18 +103,21 @@ CompiledExprs::forward(const std::vector<double> &inputs,
     outputs.resize(outputSlots_.size());
     for (size_t k = 0; k < outputSlots_.size(); ++k)
         outputs[k] = values_[outputSlots_[k]];
-    forwardDone_ = true;
+    state.forwardDone = true;
 }
 
 void
 CompiledExprs::backward(const std::vector<double> &output_grads,
-                        std::vector<double> &input_grads)
+                        std::vector<double> &input_grads,
+                        EvalState &state) const
 {
-    FELIX_CHECK(forwardDone_, "backward() before forward()");
+    FELIX_CHECK(state.forwardDone, "backward() before forward()");
     FELIX_CHECK(output_grads.size() == outputSlots_.size(),
                 "expected ", outputSlots_.size(), " output grads");
 
-    std::fill(adjoints_.begin(), adjoints_.end(), 0.0);
+    const std::vector<double> &values_ = state.values;
+    std::vector<double> &adjoints_ = state.adjoints;
+    adjoints_.assign(tape_.size(), 0.0);
     for (size_t k = 0; k < outputSlots_.size(); ++k)
         adjoints_[outputSlots_[k]] += output_grads[k];
 
@@ -231,11 +235,32 @@ CompiledExprs::backward(const std::vector<double> &output_grads,
 }
 
 std::vector<double>
-CompiledExprs::eval(const std::vector<double> &inputs)
+CompiledExprs::eval(const std::vector<double> &inputs,
+                    EvalState &state) const
 {
     std::vector<double> outputs;
-    forward(inputs, outputs);
+    forward(inputs, outputs, state);
     return outputs;
+}
+
+void
+CompiledExprs::forward(const std::vector<double> &inputs,
+                       std::vector<double> &outputs)
+{
+    forward(inputs, outputs, state_);
+}
+
+void
+CompiledExprs::backward(const std::vector<double> &output_grads,
+                        std::vector<double> &input_grads)
+{
+    backward(output_grads, input_grads, state_);
+}
+
+std::vector<double>
+CompiledExprs::eval(const std::vector<double> &inputs)
+{
+    return eval(inputs, state_);
 }
 
 double

@@ -25,10 +25,25 @@ namespace felix {
 namespace expr {
 
 /**
+ * Per-thread scratch buffers for evaluating one CompiledExprs tape:
+ * forward values and adjoints, sized lazily on first use. A compiled
+ * tape is immutable after construction, so any number of workers can
+ * share one CompiledExprs as long as each brings its own EvalState.
+ */
+struct EvalState
+{
+    std::vector<double> values;    ///< forward value per tape slot
+    std::vector<double> adjoints;  ///< adjoint per tape slot
+    bool forwardDone = false;
+};
+
+/**
  * A set of expressions compiled to a shared evaluation tape.
  *
- * The instance owns mutable forward/adjoint buffers, so it is not
- * const-callable nor thread-safe; create one per search context.
+ * The tape itself is immutable after construction. The const
+ * overloads taking an EvalState are thread-safe (one state per
+ * thread); the stateless convenience overloads use a member state
+ * and keep the historical single-threaded interface.
  */
 class CompiledExprs
 {
@@ -57,12 +72,14 @@ class CompiledExprs
      *
      * @param inputs One value per variable, in varNames() order.
      * @param outputs Receives numOutputs() values.
+     * @param state Per-thread scratch buffers.
      */
     void forward(const std::vector<double> &inputs,
-                 std::vector<double> &outputs);
+                 std::vector<double> &outputs, EvalState &state) const;
 
     /**
-     * Reverse-mode sweep using the values of the last forward().
+     * Reverse-mode sweep using the values of the last forward() on
+     * the same @p state.
      *
      * Computes d(sum_k output_grads[k] * output_k)/d(input_j).
      * Non-differentiable ops (min/max/select/abs) use the standard
@@ -71,11 +88,21 @@ class CompiledExprs
      *
      * @param output_grads Adjoint seed per output.
      * @param input_grads Receives numVars() gradients.
+     * @param state The state forward() ran on.
      */
     void backward(const std::vector<double> &output_grads,
-                  std::vector<double> &input_grads);
+                  std::vector<double> &input_grads,
+                  EvalState &state) const;
 
     /** Convenience: forward then return a copy of the outputs. */
+    std::vector<double> eval(const std::vector<double> &inputs,
+                             EvalState &state) const;
+
+    // Single-threaded convenience overloads on a member state.
+    void forward(const std::vector<double> &inputs,
+                 std::vector<double> &outputs);
+    void backward(const std::vector<double> &output_grads,
+                  std::vector<double> &input_grads);
     std::vector<double> eval(const std::vector<double> &inputs);
 
   private:
@@ -91,9 +118,7 @@ class CompiledExprs
     std::vector<std::string> varNames_;
     std::vector<Instr> tape_;
     std::vector<int32_t> outputSlots_;
-    std::vector<double> values_;    ///< forward value per tape slot
-    std::vector<double> adjoints_;  ///< adjoint per tape slot
-    bool forwardDone_ = false;
+    EvalState state_;   ///< backs the stateless overloads only
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -77,9 +78,23 @@ ExprNode::ExprNode(OpCode op, double value, std::string var_name,
 
 namespace {
 
+uint64_t
+constBits(double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
 /**
- * Global hash-consing table. Felix is single-threaded by design
- * (one search process per device); no locking is performed.
+ * Global hash-consing table, sharded into lock-striped sub-tables so
+ * Expr construction is thread-safe (parallel tape compilation and
+ * dataset synthesis intern concurrently). A node's hash is purely
+ * structural — combined from its children's hashes, never from
+ * intern order — so the shard an expression lands in, and every
+ * canonicalization decision, is identical no matter which thread
+ * interns it first.
  */
 class Interner
 {
@@ -96,36 +111,57 @@ class Interner
            std::vector<Expr> args)
     {
         uint64_t h = hashKey(op, value, var_name, args);
-        auto range = table_.equal_range(h);
+        Shard &shard = shards_[h % kShards];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto range = shard.table.equal_range(h);
         for (auto it = range.first; it != range.second; ++it) {
             const ExprNode &node = *it->second;
             if (equalKey(node, op, value, var_name, args))
                 return Expr(it->second);
         }
+        // Ids are unique (shard-tagged) but NOT ordering-stable
+        // across thread interleavings; nothing may depend on their
+        // order.
+        uint64_t id = shard.nextId++ * kShards + h % kShards;
         auto node = std::make_shared<const ExprNode>(
-            op, value, var_name, std::move(args), h, nextId_++);
-        table_.emplace(h, node);
+            op, value, var_name, std::move(args), h, id);
+        shard.table.emplace(h, node);
         return Expr(node);
     }
 
-    size_t size() const { return table_.size(); }
+    size_t
+    size() const
+    {
+        size_t total = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            total += shard.table.size();
+        }
+        return total;
+    }
 
   private:
+    static constexpr size_t kShards = 64;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_multimap<uint64_t, ExprNodePtr> table;
+        uint64_t nextId = 0;
+    };
+
     static uint64_t
     hashKey(OpCode op, double value, const std::string &var_name,
             const std::vector<Expr> &args)
     {
         uint64_t h = hashCombine(0x5f3759df, static_cast<uint64_t>(op));
         if (op == OpCode::ConstOp) {
-            uint64_t bits;
-            static_assert(sizeof(bits) == sizeof(value));
-            std::memcpy(&bits, &value, sizeof(bits));
-            h = hashCombine(h, bits);
+            h = hashCombine(h, constBits(value));
         } else if (op == OpCode::VarOp) {
             h = hashCombine(h, std::hash<std::string>{}(var_name));
         }
         for (const Expr &arg : args)
-            h = hashCombine(h, arg->id());
+            h = hashCombine(h, arg->hash());
         return h;
     }
 
@@ -138,11 +174,7 @@ class Interner
         if (op == OpCode::ConstOp) {
             // Bitwise comparison so -0.0 and 0.0 stay distinct and
             // NaN constants intern consistently.
-            uint64_t a, b;
-            double nv = node.value();
-            std::memcpy(&a, &nv, sizeof(a));
-            std::memcpy(&b, &value, sizeof(b));
-            if (a != b)
+            if (constBits(node.value()) != constBits(value))
                 return false;
         }
         if (op == OpCode::VarOp && node.varName() != var_name)
@@ -154,8 +186,7 @@ class Interner
         return true;
     }
 
-    std::unordered_multimap<uint64_t, ExprNodePtr> table_;
-    uint64_t nextId_ = 0;
+    Shard shards_[kShards];
 };
 
 bool
@@ -174,6 +205,53 @@ isCommutative(OpCode op)
     }
 }
 
+/** Leaf-kind rank: variables before constants before compounds. */
+int
+canonicalRank(const ExprNode *node)
+{
+    if (node->op() == OpCode::VarOp)
+        return 0;
+    if (node->op() == OpCode::ConstOp)
+        return 1;
+    return 2;
+}
+
+/**
+ * Deterministic structural order for commutative canonicalization.
+ * Depends only on the expressions themselves (never on intern order),
+ * so every thread — and every --jobs value — canonicalizes "a + b"
+ * to the same operand order.
+ */
+bool
+canonicalBefore(const ExprNode *a, const ExprNode *b)
+{
+    if (a == b)
+        return false;
+    int ra = canonicalRank(a), rb = canonicalRank(b);
+    if (ra != rb)
+        return ra < rb;
+    if (a->op() == OpCode::VarOp)
+        return a->varName() < b->varName();
+    if (a->op() == OpCode::ConstOp)
+        return constBits(a->value()) < constBits(b->value());
+    if (a->hash() != b->hash())
+        return a->hash() < b->hash();
+    // Hash collision between distinct structures: fall back to a
+    // full structural comparison (astronomically rare; equal
+    // structures are the same node and returned above).
+    if (a->op() != b->op())
+        return a->op() < b->op();
+    if (a->args().size() != b->args().size())
+        return a->args().size() < b->args().size();
+    for (size_t i = 0; i < a->args().size(); ++i) {
+        const ExprNode *ca = a->args()[i].get();
+        const ExprNode *cb = b->args()[i].get();
+        if (ca != cb)
+            return canonicalBefore(ca, cb);
+    }
+    return false;
+}
+
 Expr
 makeNode(OpCode op, std::vector<Expr> args)
 {
@@ -181,7 +259,7 @@ makeNode(OpCode op, std::vector<Expr> args)
         FELIX_CHECK(arg.defined(), "undefined operand to ", opName(op));
     // Canonicalize commutative operand order for better sharing.
     if (isCommutative(op) && args.size() == 2 &&
-        args[0]->id() > args[1]->id()) {
+        canonicalBefore(args[1].get(), args[0].get())) {
         std::swap(args[0], args[1]);
     }
     return Interner::instance().intern(op, 0.0, {}, std::move(args));

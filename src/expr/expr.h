@@ -12,6 +12,11 @@
  * Construction performs constant folding and a small set of local
  * algebraic simplifications (x+0, x*1, log(exp x), ...), which keeps
  * feature formulas compact without a separate normalization pass.
+ *
+ * Construction is thread-safe: the intern table is sharded into
+ * lock-striped sub-tables and node hashes are purely structural, so
+ * concurrent interning from pool workers yields the same canonical
+ * nodes as a single-threaded run (see docs/parallelism.md).
  */
 #ifndef FELIX_EXPR_EXPR_H_
 #define FELIX_EXPR_EXPR_H_
@@ -117,9 +122,13 @@ class ExprNode
     double value() const { return value_; }
     const std::string &varName() const { return varName_; }
     const std::vector<Expr> &args() const { return args_; }
+
+    /** Structural hash (combined from child hashes; intern-order
+     * independent, identical across threads and runs). */
     uint64_t hash() const { return hash_; }
 
-    /** Unique, monotonically increasing intern id (stable ordering). */
+    /** Unique intern id. NOT ordering-stable under concurrent
+     * interning; use only as an opaque identity, never for order. */
     uint64_t id() const { return id_; }
 
   private:

@@ -10,6 +10,7 @@
 #include "rewrite/smoothing.h"
 #include "rewrite/transforms.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 
 namespace felix {
 namespace optim {
@@ -58,9 +59,14 @@ GradientSearch::GradientSearch(const tir::SubgraphDef &subgraph,
                                       options_.sketchOptions))
 {
     obs::ScopedTimerMs timer(obs::MetricsRegistry::instance().counter(
-        "sketch.generate_ms"));
+        "search.compile_tapes_ms"));
     FELIX_SPAN("search.compile_tapes", "search");
-    for (const sketch::SymbolicSchedule &sched : sketches_) {
+    // Sketches compile independently; interning the rewritten
+    // formulas is thread-safe (sharded intern table).
+    contexts_.resize(sketches_.size());
+    parallelFor("search.compile_tape", sketches_.size(), [&](size_t
+                                                                 si) {
+        const sketch::SymbolicSchedule &sched = sketches_[si];
         SketchContext context;
         context.sched = &sched;
         for (const auto &domain : sched.vars)
@@ -108,9 +114,23 @@ GradientSearch::GradientSearch(const tir::SubgraphDef &subgraph,
             outputs, context.varNames);
         context.checker =
             std::make_unique<sketch::ConstraintChecker>(sched);
-        contexts_.push_back(std::move(context));
-    }
+        contexts_[si] = std::move(context);
+    });
 }
+
+namespace {
+
+/** Everything one seed's descent produces, merged in seed order. */
+struct SeedOutcome
+{
+    std::vector<double> visitedScores;
+    /** Valid rounded points in visit order (x0 last). */
+    std::vector<std::vector<double>> validPoints;
+    int roundingAttempts = 0;
+    int roundingInvalid = 0;
+};
+
+} // namespace
 
 RoundResult
 GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
@@ -122,15 +142,20 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
     result.trace.seedsLaunched = options_.nSeeds;
     const int numFeatures = features::kNumFeatures;
 
-    // Deduplicated valid candidates across all seeds and steps.
-    std::map<std::pair<int, std::vector<double>>, Candidate> seen;
+    // Each seed descends independently: forked rng, private Adam
+    // state and eval scratch, results merged below in seed order so
+    // --jobs N matches --jobs 1 bit for bit.
+    std::vector<Rng> seedRngs = rng.forkStreams(options_.nSeeds);
+    std::vector<SeedOutcome> outcomes(options_.nSeeds);
 
-    for (int seed = 0; seed < options_.nSeeds; ++seed) {
-        FELIX_SPAN("search.seed_descent", "search");
+    parallelFor("search.seed_descent", options_.nSeeds, [&](size_t
+                                                                seed) {
         const int sketchIdx =
-            seed % static_cast<int>(contexts_.size());
-        SketchContext &context = contexts_[sketchIdx];
+            static_cast<int>(seed % contexts_.size());
+        const SketchContext &context = contexts_[sketchIdx];
         const size_t numVars = context.varNames.size();
+        Rng &seedRng = seedRngs[seed];
+        SeedOutcome &outcome = outcomes[seed];
 
         // RandomInitSchedVars: rejection-sample a valid start; with
         // the e^y substitution the iterate lives in log space. One
@@ -142,7 +167,7 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
             bestMeasured_.sketchIndex == sketchIdx) {
             x0 = bestMeasured_.x;
         } else {
-            x0 = sketch::sampleValid(*context.sched, rng);
+            x0 = sketch::sampleValid(*context.sched, seedRng);
         }
         std::vector<double> y(numVars);
         for (size_t i = 0; i < numVars; ++i) {
@@ -152,18 +177,18 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
         }
 
         Adam adam(numVars, options_.adam);
+        expr::EvalState evalState;
         std::vector<double> outputs, outputGrads, inputGrads;
         std::vector<double> modelInputs(numFeatures);
         std::vector<double> modelGrad;
 
         for (int step = 0; step < options_.nSteps; ++step) {
-            context.objective->forward(y, outputs);
+            context.objective->forward(y, outputs, evalState);
             for (int k = 0; k < numFeatures; ++k)
                 modelInputs[k] = outputs[k];
             const double score = model.predictTransformedWithGrad(
                 modelInputs, modelGrad);
-            ++result.trace.numPredictions;
-            result.trace.visitedScores.push_back(score);
+            outcome.visitedScores.push_back(score);
 
             // d(O)/d(outputs): -dC/dz for the features, and
             // lambda * 2 * max(g, 0) for each penalty term.
@@ -177,7 +202,8 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
                         options_.lambda * 2.0 * g;
                 }
             }
-            context.objective->backward(outputGrads, inputGrads);
+            context.objective->backward(outputGrads, inputGrads,
+                                        evalState);
             adam.step(y, inputGrads);
 
             // Round the newly visited point to a valid schedule and
@@ -189,18 +215,36 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
             }
             auto rounded = sketch::roundToValid(
                 *context.sched, logPoint, *context.checker);
-            ++result.trace.roundingAttempts;
+            ++outcome.roundingAttempts;
             if (rounded) {
-                seen.emplace(
-                    std::make_pair(sketchIdx, *rounded),
-                    Candidate{sketchIdx, *rounded, {}, 0.0});
+                outcome.validPoints.push_back(std::move(*rounded));
             } else {
-                ++result.trace.roundingInvalid;
+                ++outcome.roundingInvalid;
             }
         }
         // The starting point is a valid schedule too.
-        seen.emplace(std::make_pair(sketchIdx, x0),
-                     Candidate{sketchIdx, x0, {}, 0.0});
+        outcome.validPoints.push_back(std::move(x0));
+    });
+
+    // Deduplicated valid candidates across all seeds and steps. The
+    // map is keyed by value, so insertion order cannot change it.
+    std::map<std::pair<int, std::vector<double>>, Candidate> seen;
+    for (int seed = 0; seed < options_.nSeeds; ++seed) {
+        const int sketchIdx =
+            static_cast<int>(seed % contexts_.size());
+        SeedOutcome &outcome = outcomes[seed];
+        result.trace.visitedScores.insert(
+            result.trace.visitedScores.end(),
+            outcome.visitedScores.begin(),
+            outcome.visitedScores.end());
+        result.trace.numPredictions +=
+            static_cast<int>(outcome.visitedScores.size());
+        result.trace.roundingAttempts += outcome.roundingAttempts;
+        result.trace.roundingInvalid += outcome.roundingInvalid;
+        for (std::vector<double> &x : outcome.validPoints) {
+            seen.emplace(std::make_pair(sketchIdx, x),
+                         Candidate{sketchIdx, x, {}, 0.0});
+        }
     }
     registry.counter("search.seeds").add(options_.nSeeds);
     registry.counter("search.adam_steps")
@@ -212,20 +256,25 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
 
     // Rank all valid rounded schedules by predicted performance
     // (exact features, not the smoothed surrogate) and keep the top
-    // nMeasure.
+    // nMeasure. Each candidate scores into its own slot.
     FELIX_SPAN("search.rank_candidates", "search");
     std::vector<Candidate> candidates;
     candidates.reserve(seen.size());
-    for (auto &entry : seen) {
-        Candidate candidate = std::move(entry.second);
-        SketchContext &context = contexts_[candidate.sketchIndex];
-        candidate.rawFeatures =
-            context.rawFeatures->eval(candidate.x);
-        candidate.predictedScore =
-            model.predict(candidate.rawFeatures);
-        ++result.trace.numPredictions;
-        candidates.push_back(std::move(candidate));
-    }
+    for (auto &entry : seen)
+        candidates.push_back(std::move(entry.second));
+    parallelFor("search.rank_candidate", candidates.size(),
+                [&](size_t i) {
+                    Candidate &candidate = candidates[i];
+                    const SketchContext &context =
+                        contexts_[candidate.sketchIndex];
+                    expr::EvalState evalState;
+                    candidate.rawFeatures = context.rawFeatures->eval(
+                        candidate.x, evalState);
+                    candidate.predictedScore =
+                        model.predict(candidate.rawFeatures);
+                });
+    result.trace.numPredictions +=
+        static_cast<int>(candidates.size());
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate &a, const Candidate &b) {
                   return a.predictedScore > b.predictedScore;

@@ -142,7 +142,7 @@ class GradientSearch : public SearchStrategy
   private:
     struct SketchContext
     {
-        const sketch::SymbolicSchedule *sched;
+        const sketch::SymbolicSchedule *sched = nullptr;
         std::vector<std::string> varNames;
         /** Tape: 82 smoothed model-input formulas + penalty g's. */
         std::unique_ptr<expr::CompiledExprs> objective;

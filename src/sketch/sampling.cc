@@ -22,17 +22,19 @@ ConstraintChecker::ConstraintChecker(const SymbolicSchedule &sched)
 }
 
 bool
-ConstraintChecker::feasible(const std::vector<double> &x, double tol)
+ConstraintChecker::feasible(const std::vector<double> &x,
+                            double tol) const
 {
     return maxViolation(x) <= tol;
 }
 
 double
-ConstraintChecker::maxViolation(const std::vector<double> &x)
+ConstraintChecker::maxViolation(const std::vector<double> &x) const
 {
     if (sched_.constraints.empty())
         return 0.0;
-    std::vector<double> values = compiled_->eval(x);
+    expr::EvalState state;
+    std::vector<double> values = compiled_->eval(x, state);
     double worst = -1e300;
     for (double g : values)
         worst = std::max(worst, g);
@@ -121,7 +123,7 @@ roundToValid(const SymbolicSchedule &sched, const std::vector<double> &y)
 
 std::optional<std::vector<double>>
 roundToValid(const SymbolicSchedule &sched, const std::vector<double> &y,
-             ConstraintChecker &checker)
+             const ConstraintChecker &checker)
 {
     FELIX_CHECK(y.size() == sched.vars.size(),
                 "roundToValid: wrong variable count");

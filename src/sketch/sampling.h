@@ -27,7 +27,9 @@ namespace sketch {
 
 /**
  * Evaluates a symbolic schedule's constraints at concrete values.
- * Compiles the constraint expressions once; reusable across calls.
+ * Compiles the constraint expressions once; reusable across calls
+ * and safely shareable across pool workers (evaluation scratch is
+ * per-call).
  */
 class ConstraintChecker
 {
@@ -35,10 +37,11 @@ class ConstraintChecker
     explicit ConstraintChecker(const SymbolicSchedule &sched);
 
     /** All g_i(x) <= tolerance? (x-space values, one per variable) */
-    bool feasible(const std::vector<double> &x, double tol = 1e-6);
+    bool feasible(const std::vector<double> &x,
+                  double tol = 1e-6) const;
 
     /** Largest constraint violation max_i g_i(x) (<= 0 = feasible). */
-    double maxViolation(const std::vector<double> &x);
+    double maxViolation(const std::vector<double> &x) const;
 
   private:
     const SymbolicSchedule &sched_;
@@ -68,7 +71,7 @@ std::optional<std::vector<double>> roundToValid(
 /** As above, reusing a compiled ConstraintChecker (hot loops). */
 std::optional<std::vector<double>> roundToValid(
     const SymbolicSchedule &sched, const std::vector<double> &y,
-    ConstraintChecker &checker);
+    const ConstraintChecker &checker);
 
 /** Exact validity of an integer x-space assignment. */
 bool isValidAssignment(const SymbolicSchedule &sched,

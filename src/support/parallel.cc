@@ -1,0 +1,240 @@
+#include "support/parallel.h"
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace felix {
+
+namespace {
+
+/** Set while a thread is executing pool items; nested loops inline. */
+thread_local bool tInParallelRegion = false;
+
+obs::Counter &
+tasksExecutedCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::instance().counter(
+            "threads.tasks_executed");
+    return counter;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
+{
+    workers_.reserve(jobs_ - 1);
+    for (int w = 1; w < jobs_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cvStart_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tInParallelRegion = true;
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cvStart_.wait(lock, [&] {
+                return shutdown_ ||
+                       (task_ != nullptr && generation_ != seen);
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            // Registered under the same lock as the predicate: run()
+            // cannot retire this generation (and reuse the job slots)
+            // until every registered drainer has left drainItems().
+            ++activeDrainers_;
+        }
+        drainItems();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--activeDrainers_ == 0)
+                cvDone_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::drainItems()
+{
+    // Job state is stable for the whole generation: the dispatching
+    // thread keeps it alive until every item completed.
+    const std::function<void(size_t)> *task = task_;
+    const char *span = spanName_;
+    const size_t n = jobSize_;
+    size_t executed = 0;
+    for (;;) {
+        const size_t i =
+            nextIndex_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        if (!hasError_.load(std::memory_order_relaxed)) {
+            obs::ScopedSpan itemSpan(span, "threads");
+            try {
+                (*task)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+                hasError_.store(true, std::memory_order_relaxed);
+            }
+        }
+        ++executed;
+        // The final acq_rel increment publishes every item's writes
+        // to the dispatcher's acquire load in run().
+        if (itemsCompleted_.fetch_add(1, std::memory_order_acq_rel) +
+                1 ==
+            n) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cvDone_.notify_all();
+        }
+    }
+    if (executed > 0)
+        tasksExecutedCounter().add(static_cast<double>(executed));
+}
+
+void
+ThreadPool::run(size_t n, const std::function<void(size_t)> &task,
+                const char *span_name)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1 || tInParallelRegion) {
+        for (size_t i = 0; i < n; ++i) {
+            obs::ScopedSpan itemSpan(span_name, "threads");
+            task(i);
+        }
+        tasksExecutedCounter().add(static_cast<double>(n));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        spanName_ = span_name;
+        jobSize_ = n;
+        nextIndex_.store(0, std::memory_order_relaxed);
+        itemsCompleted_.store(0, std::memory_order_relaxed);
+        firstError_ = nullptr;
+        hasError_.store(false, std::memory_order_relaxed);
+        ++generation_;
+    }
+    cvStart_.notify_all();
+    tInParallelRegion = true;
+    drainItems();
+    tInParallelRegion = false;
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // Wait for completion of every item AND departure of every
+        // worker that entered this generation's drain loop: a worker
+        // still inside drainItems() could otherwise fetch from the
+        // reset nextIndex_ of the *next* loop while holding this
+        // loop's (dangling) task pointer.
+        cvDone_.wait(lock, [&] {
+            return itemsCompleted_.load(std::memory_order_acquire) >=
+                       jobSize_ &&
+                   activeDrainers_ == 0;
+        });
+        task_ = nullptr;
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+int
+hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+std::mutex &
+globalPoolMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::unique_ptr<ThreadPool> &
+globalPoolSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex());
+    auto &slot = globalPoolSlot();
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(1);
+    return *slot;
+}
+
+} // namespace
+
+void
+setGlobalJobs(int jobs)
+{
+    if (jobs <= 0)
+        jobs = hardwareThreads();
+    std::lock_guard<std::mutex> lock(globalPoolMutex());
+    auto &slot = globalPoolSlot();
+    if (slot && slot->jobs() == jobs)
+        return;
+    slot = std::make_unique<ThreadPool>(jobs);
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.gauge("threads.pool_size")
+        .set(static_cast<double>(jobs));
+    registry.counter("threads.tasks_executed").add(0.0);
+}
+
+int
+globalJobs()
+{
+    return globalPool().jobs();
+}
+
+void
+parallelFor(const char *span_name, size_t n,
+            const std::function<void(size_t)> &fn)
+{
+    globalPool().run(n, fn, span_name);
+}
+
+void
+parallelForChunks(const char *span_name, size_t n, size_t chunk,
+                  const std::function<void(size_t, size_t)> &fn)
+{
+    FELIX_CHECK(chunk > 0, "parallelForChunks: zero chunk size");
+    const size_t numChunks = (n + chunk - 1) / chunk;
+    parallelFor(span_name, numChunks, [&](size_t c) {
+        const size_t begin = c * chunk;
+        const size_t end = begin + chunk < n ? begin + chunk : n;
+        fn(begin, end);
+    });
+}
+
+} // namespace felix

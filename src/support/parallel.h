@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic parallel runtime: a fixed-size thread pool with an
+ * index-space `parallelFor`.
+ *
+ * Every parallel phase in Felix follows the same contract so that a
+ * run with `--jobs N` is bit-for-bit identical to `--jobs 1`:
+ *
+ *  - work is expressed as an index space [0, n) of *independent*
+ *    items; item i writes only to slot i of pre-sized output arrays;
+ *  - any randomness is drawn from a per-item Rng forked *before*
+ *    dispatch on the calling thread (Rng::fork(key) /
+ *    Rng::forkStreams), never from a shared stream inside a worker;
+ *  - reductions happen on the calling thread after the loop, in
+ *    index order, with chunk boundaries that do not depend on the
+ *    number of threads.
+ *
+ * The pool is process-global and sized once per run (the
+ * `felix-tune --jobs` flag, TunerOptions::numThreads, or
+ * setGlobalJobs()). With jobs == 1 no worker threads exist and
+ * parallelFor degenerates to a plain loop, so single-threaded runs
+ * pay nothing. Worker execution is traced (one span per item under
+ * the caller-supplied name) and counted in the metrics registry
+ * (threads.pool_size gauge, threads.tasks_executed counter). See
+ * docs/parallelism.md for the full determinism contract.
+ */
+#ifndef FELIX_SUPPORT_PARALLEL_H_
+#define FELIX_SUPPORT_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace felix {
+
+/**
+ * Fixed-size worker pool executing index-space loops.
+ *
+ * `jobs` counts the total parallelism including the calling thread,
+ * so a pool of size J owns J-1 worker threads and the caller
+ * participates in every loop. Loops are dispatched one at a time
+ * (run() is not reentrant from multiple external threads; nested
+ * run() calls from inside a task execute inline).
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int jobs);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Execute task(i) for every i in [0, n), distributing items
+     * dynamically over the pool; blocks until all items finished.
+     * The first exception thrown by a task is rethrown here after
+     * the loop drains. @p span_name must be a static string; when
+     * tracing is enabled each item is recorded as one span under it,
+     * so parallel phases show up as per-thread lanes in Perfetto.
+     */
+    void run(size_t n, const std::function<void(size_t)> &task,
+             const char *span_name);
+
+  private:
+    void workerLoop();
+    void drainItems();
+
+    const int jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    bool shutdown_ = false;
+    uint64_t generation_ = 0;
+
+    // State of the in-flight loop; stable from dispatch in run()
+    // until every item completed.
+    const std::function<void(size_t)> *task_ = nullptr;
+    const char *spanName_ = nullptr;
+    size_t jobSize_ = 0;
+    size_t activeDrainers_ = 0;   ///< workers inside drainItems()
+    std::atomic<size_t> nextIndex_{0};
+    std::atomic<size_t> itemsCompleted_{0};
+    std::atomic<bool> hasError_{false};
+    std::exception_ptr firstError_;
+};
+
+/** Number of hardware threads (>= 1). */
+int hardwareThreads();
+
+/**
+ * Resize the process-global pool. jobs <= 0 selects
+ * hardwareThreads(); jobs == 1 (the default) runs everything inline
+ * on the calling thread. Also publishes the threads.pool_size gauge.
+ * Not thread-safe against concurrent parallelFor calls; size the
+ * pool at startup / tuner construction.
+ */
+void setGlobalJobs(int jobs);
+
+/** Current size of the process-global pool (>= 1). */
+int globalJobs();
+
+/**
+ * Run fn(i) for i in [0, n) on the global pool. Blocking;
+ * deterministic given the contract in the file comment. Safe to call
+ * from inside another parallelFor (the nested loop runs inline).
+ */
+void parallelFor(const char *span_name, size_t n,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * Chunked variant for fine-grained items: fn(begin, end) over
+ * consecutive ranges of at most @p chunk items. Chunk boundaries
+ * depend only on (n, chunk), never on the pool size, so per-chunk
+ * partial reductions combined in chunk order are bit-identical for
+ * any --jobs value.
+ */
+void parallelForChunks(const char *span_name, size_t n, size_t chunk,
+                       const std::function<void(size_t, size_t)> &fn);
+
+} // namespace felix
+
+#endif // FELIX_SUPPORT_PARALLEL_H_

@@ -132,6 +132,23 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+Rng::fork(uint64_t key)
+{
+    return Rng(hashCombine(next(), key));
+}
+
+std::vector<Rng>
+Rng::forkStreams(size_t n)
+{
+    const uint64_t base = next();
+    std::vector<Rng> children;
+    children.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        children.emplace_back(hashCombine(base, i));
+    return children;
+}
+
 uint64_t
 hashCombine(uint64_t a, uint64_t b)
 {

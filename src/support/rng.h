@@ -69,6 +69,22 @@ class Rng
     /** Derive an independent child stream (for parallel components). */
     Rng fork();
 
+    /**
+     * Derive an independent child stream keyed by @p key. Advances
+     * this stream once; distinct keys (e.g. seed indices) give
+     * decorrelated children from the same parent draw.
+     */
+    Rng fork(uint64_t key);
+
+    /**
+     * Derive @p n independent child streams with one draw from this
+     * stream. Child i is seeded from (draw, i), so the parent
+     * advances identically no matter how many children are taken —
+     * the basis of --jobs-invariant parallel loops: fork the streams
+     * sequentially before dispatch, then hand child i to item i.
+     */
+    std::vector<Rng> forkStreams(size_t n);
+
   private:
     uint64_t state_[4];
     bool hasSpareNormal_ = false;

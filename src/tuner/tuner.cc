@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "sim/gpu_model.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 #include "tuner/records.h"
 
 namespace felix {
@@ -31,6 +32,8 @@ GraphTuner::GraphTuner(std::vector<graph::Task> tasks,
       roundLogger_(options_.roundLogPath)
 {
     FELIX_CHECK(!tasks.empty(), "tuner needs at least one task");
+    if (options_.numThreads > 0)
+        setGlobalJobs(options_.numThreads);
     FELIX_SPAN("tuner.setup", "tuner");
     for (graph::Task &task : tasks) {
         TaskRecord record;
@@ -98,17 +101,6 @@ GraphTuner::selectNextTask()
     return best;
 }
 
-double
-GraphTuner::measureCandidate(const optim::Candidate &candidate)
-{
-    ++totalMeasurements_;
-    obs::MetricsRegistry::instance()
-        .counter("tuner.measurements")
-        .add(1.0);
-    return sim::measureKernel(candidate.rawFeatures, device_,
-                              measureSeed_++);
-}
-
 void
 GraphTuner::tuneOneRound()
 {
@@ -154,8 +146,26 @@ GraphTuner::tuneOneRound()
         FELIX_SPAN("tuner.measure", "tuner");
         obs::ScopedTimerMs timer(
             registry.counter("tuner.measure_ms"));
-        for (const optim::Candidate &candidate : result.toMeasure) {
-            double latency = measureCandidate(candidate);
+        // Measurements are pure given (features, device, seed), so
+        // preassign one seed per candidate and measure in parallel;
+        // the bookkeeping below replays the results in candidate
+        // order, keeping logs and model updates jobs-invariant.
+        const size_t numCandidates = result.toMeasure.size();
+        const uint64_t seedBase = measureSeed_;
+        measureSeed_ += numCandidates;
+        std::vector<double> latencies(numCandidates, 0.0);
+        parallelFor("tuner.measure_candidate", numCandidates,
+                    [&](size_t i) {
+                        latencies[i] = sim::measureKernel(
+                            result.toMeasure[i].rawFeatures, device_,
+                            seedBase + i);
+                    });
+        totalMeasurements_ += static_cast<int>(numCandidates);
+        registry.counter("tuner.measurements")
+            .add(static_cast<double>(numCandidates));
+        for (size_t i = 0; i < numCandidates; ++i) {
+            const optim::Candidate &candidate = result.toMeasure[i];
+            const double latency = latencies[i];
             clockSec_ += options_.clock.secPerMeasurement;
             record.strategy->observe(candidate, latency);
             roundRecord.candidates.push_back(

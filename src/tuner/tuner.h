@@ -58,6 +58,11 @@ struct TunerOptions
     evolutionary::EvoSearchOptions evo;
     ClockConfig clock;
     uint64_t seed = 1;
+    /** Worker threads for every parallel phase (search, measurement,
+     *  fine-tuning). 0 inherits the current global pool; > 0 resizes
+     *  it. Results are bit-identical for any value
+     *  (docs/parallelism.md); only wall-clock time changes. */
+    int numThreads = 0;
     /** TVM-style compiled-graph runtime overhead per inference. */
     double graphExecOverheadSec = 15e-6;
     int finetuneSteps = 16;
@@ -124,7 +129,6 @@ class GraphTuner
   private:
     int selectNextTask();
     void tuneOneRound();
-    double measureCandidate(const optim::Candidate &candidate);
 
     std::vector<TaskRecord> tasks_;
     /** Replay buffer of all measured samples (model fine-tuning). */

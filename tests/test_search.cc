@@ -225,21 +225,10 @@ TEST(Fig8Property, GradientPopulationConcentratesFaster)
     // The qualitative claim behind Fig. 8: after an equal number of
     // schedules searched, the *spread* between the best and the
     // 64th-best predicted score is much smaller for Felix than for
-    // the evolutionary baseline.
+    // the evolutionary baseline. The spread of one run is a noisy
+    // statistic, so the claim is checked across several seeds and
+    // must hold in the majority.
     auto subgraph = tir::dense(512, 512, 512, false);
-    Rng rngA(53), rngB(53);
-
-    GradSearchOptions gradOptions;
-    gradOptions.nSeeds = 8;
-    gradOptions.nSteps = 64;   // 512 schedules searched
-    GradientSearch grad(subgraph, gradOptions);
-    auto gradResult = grad.round(testModel(), rngA);
-
-    evolutionary::EvoSearchOptions evoOptions;
-    evoOptions.population = 128;
-    evoOptions.generations = 4;   // 512 schedules searched
-    evolutionary::EvolutionarySearch evo(subgraph, evoOptions);
-    auto evoResult = evo.round(testModel(), rngB);
 
     auto spread = [](std::vector<double> scores) {
         // Distinct schedules only: the evolutionary population
@@ -256,10 +245,32 @@ TEST(Fig8Property, GradientPopulationConcentratesFaster)
         return std::vector<double>(
             scores.begin() + 3 * scores.size() / 4, scores.end());
     };
-    double gradSpread = spread(tail(gradResult.trace.visitedScores));
-    double evoSpread = spread(tail(evoResult.trace.visitedScores));
-    EXPECT_LT(gradSpread, evoSpread)
-        << "grad spread " << gradSpread << " evo " << evoSpread;
+
+    int gradWins = 0;
+    const std::vector<uint64_t> seeds = {53, 54, 55, 56, 57};
+    for (uint64_t seed : seeds) {
+        Rng rngA(seed), rngB(seed);
+
+        GradSearchOptions gradOptions;
+        gradOptions.nSeeds = 8;
+        gradOptions.nSteps = 64;   // 512 schedules searched
+        GradientSearch grad(subgraph, gradOptions);
+        auto gradResult = grad.round(testModel(), rngA);
+
+        evolutionary::EvoSearchOptions evoOptions;
+        evoOptions.population = 128;
+        evoOptions.generations = 4;   // 512 schedules searched
+        evolutionary::EvolutionarySearch evo(subgraph, evoOptions);
+        auto evoResult = evo.round(testModel(), rngB);
+
+        double gradSpread =
+            spread(tail(gradResult.trace.visitedScores));
+        double evoSpread = spread(tail(evoResult.trace.visitedScores));
+        gradWins += (gradSpread < evoSpread);
+    }
+    EXPECT_GE(gradWins * 2, static_cast<int>(seeds.size()) + 1)
+        << "gradient search concentrated faster in only " << gradWins
+        << " of " << seeds.size() << " seeds";
 }
 
 } // namespace

@@ -97,6 +97,63 @@ TEST(Rng, ForkIsIndependent)
     EXPECT_LT(same, 4);
 }
 
+TEST(Rng, ForkWithKeyIsDeterministicAndKeyed)
+{
+    Rng a(9), b(9);
+    Rng childA = a.fork(3);
+    Rng childB = b.fork(3);
+    // Same parent state + same key => same child stream.
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(childA.next(), childB.next());
+    // Different keys from the same parent state => different streams.
+    Rng c(9), d(9);
+    Rng childC = c.fork(3);
+    Rng childD = d.fork(4);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (childC.next() == childD.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ForkStreamsAreMutuallyIndependent)
+{
+    Rng parent(21);
+    auto streams = parent.forkStreams(4);
+    ASSERT_EQ(streams.size(), 4u);
+    for (size_t a = 0; a < streams.size(); ++a) {
+        for (size_t b = a + 1; b < streams.size(); ++b) {
+            Rng x = streams[a], y = streams[b];
+            int same = 0;
+            for (int i = 0; i < 64; ++i)
+                same += (x.next() == y.next());
+            EXPECT_LT(same, 4) << "streams " << a << " and " << b;
+        }
+    }
+}
+
+TEST(Rng, ForkStreamsAdvanceParentIndependentlyOfCount)
+{
+    // The parallel determinism contract (docs/parallelism.md): the
+    // parent stream consumes exactly one draw regardless of how many
+    // children are forked, so downstream randomness does not depend
+    // on the parallel fan-out width.
+    Rng a(5), b(5);
+    (void)a.forkStreams(3);
+    (void)b.forkStreams(17);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkStreamsMatchRepeatedRuns)
+{
+    Rng a(31), b(31);
+    auto sa = a.forkStreams(5);
+    auto sb = b.forkStreams(5);
+    for (size_t s = 0; s < sa.size(); ++s)
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(sa[s].next(), sb[s].next());
+}
+
 TEST(Rng, ShuffleIsPermutation)
 {
     Rng rng(13);

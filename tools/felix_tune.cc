@@ -23,6 +23,7 @@
 #include "obs/trace.h"
 #include "sketch/sketch.h"
 #include "support/logging.h"
+#include "support/parallel.h"
 
 using namespace felix;
 
@@ -40,6 +41,8 @@ usage()
         "  --budget    virtual tuning seconds     (default 600)\n"
         "  --strategy  felix | ansor              (default felix)\n"
         "  --seed      RNG seed                   (default 1)\n"
+        "  --jobs      worker threads (default 1; results are\n"
+        "              bit-identical for any value)\n"
         "  --out       save best schedules to a module file\n"
         "  --compare-frameworks  also report library latencies\n"
         "  --show-schedules N    print the bound loop nests of the\n"
@@ -84,6 +87,7 @@ main(int argc, char **argv)
     int batch = 1;
     double budget = 600.0;
     uint64_t seed = 1;
+    int jobs = 0;
     bool compareFrameworks = false;
     int showSchedules = 0;
     std::string logPath, traceOut, metricsOut;
@@ -105,6 +109,11 @@ main(int argc, char **argv)
         else if (arg == "--strategy") strategy = next();
         else if (arg == "--seed")
             seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--jobs") {
+            jobs = std::atoi(next().c_str());
+            if (jobs < 1)
+                fatal("--jobs needs a positive thread count");
+        }
         else if (arg == "--out") outPath = next();
         else if (arg == "--compare-frameworks")
             compareFrameworks = true;
@@ -138,6 +147,11 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Resize the pool before any parallel work (cost-model pretrain
+    // on a cache miss runs before the tuner is constructed).
+    if (jobs > 0)
+        setGlobalJobs(jobs);
+
     if (!traceOut.empty())
         obs::Tracer::instance().start(traceOut);
 
@@ -166,6 +180,7 @@ main(int argc, char **argv)
 
     OptimizerOptions options;
     options.tuner.seed = seed;
+    options.tuner.numThreads = jobs;
     options.tuner.recordLogPath = logPath;
     options.tuner.roundLogPath = metricsOut;
     options.tuner.strategy = (strategy == "ansor")
