@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tape-engine throughput microbenchmark: points/second through a
+ * production feature tape (a dense-matmul sketch's 82 feature
+ * formulas), scalar vs. batched SoA, forward-only and
+ * forward+backward, plus the batched MLP inference the points feed.
+ * Instruction counts before/after the tape optimizer are reported
+ * as counters. Results are recorded in EXPERIMENTS.md; the batched
+ * path must clear 2x the scalar points/sec.
+ */
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "costmodel/mlp.h"
+#include "expr/compiled.h"
+#include "features/features.h"
+#include "rewrite/smoothing.h"
+#include "rewrite/transforms.h"
+#include "sketch/sampling.h"
+#include "sketch/sketch.h"
+#include "support/batch.h"
+#include "support/rng.h"
+#include "tir/ops.h"
+
+namespace {
+
+using namespace felix;
+
+const sketch::SymbolicSchedule &
+denseSketch()
+{
+    static const auto sketches =
+        sketch::generateSketches(tir::dense(512, 512, 512, true));
+    return sketches[0];
+}
+
+std::vector<std::string>
+varNames(const sketch::SymbolicSchedule &sched)
+{
+    std::vector<std::string> names;
+    for (const auto &domain : sched.vars)
+        names.push_back(domain.name);
+    return names;
+}
+
+/** The exact-feature ranking tape (forward-only optimizer passes). */
+const expr::CompiledExprs &
+featureTape()
+{
+    static const expr::CompiledExprs compiled(
+        features::extractFeatures(denseSketch().program),
+        varNames(denseSketch()), /*forward_only=*/true);
+    return compiled;
+}
+
+/**
+ * The smoothed log-space descent tape, built exactly the way the
+ * gradient search builds its objective (gradient-safe optimizer
+ * passes only).
+ */
+const expr::CompiledExprs &
+objectiveTape()
+{
+    static const expr::CompiledExprs compiled = [] {
+        const auto &sched = denseSketch();
+        auto names = varNames(sched);
+        std::vector<expr::Expr> outputs;
+        for (const expr::Expr &feature :
+             features::extractFeatures(sched.program)) {
+            expr::Expr smooth = rewrite::makeSmooth(
+                feature, rewrite::Kernel::Algebraic);
+            expr::Expr logged = rewrite::logExpand(smooth);
+            logged = rewrite::expSubstituteVars(logged, names);
+            outputs.push_back(rewrite::smoothMax0(
+                logged, rewrite::Kernel::Algebraic));
+        }
+        return expr::CompiledExprs(outputs, names);
+    }();
+    return compiled;
+}
+
+/**
+ * SoA input rows: kBatchLanes valid schedule points, in x space for
+ * the feature tape or log space for the objective tape.
+ */
+std::vector<double>
+samplePoints(const expr::CompiledExprs &tape, bool log_space)
+{
+    Rng rng(42);
+    constexpr size_t L = kBatchLanes;
+    const size_t numVars = tape.numVars();
+    std::vector<double> inputs(numVars * L);
+    for (size_t l = 0; l < L; ++l) {
+        auto x = sketch::sampleValid(denseSketch(), rng);
+        for (size_t v = 0; v < numVars; ++v) {
+            inputs[v * L + l] =
+                log_space ? std::log(std::max(1.0, x[v])) : x[v];
+        }
+    }
+    return inputs;
+}
+
+void
+reportTapeCounters(benchmark::State &state,
+                   const expr::CompiledExprs &tape)
+{
+    state.counters["instrs_raw"] =
+        static_cast<double>(tape.tapeSize());
+    state.counters["instrs_optimized"] =
+        static_cast<double>(tape.optimizedSize());
+    state.counters["points_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_TapeForwardScalar(benchmark::State &state)
+{
+    const auto &tape = featureTape();
+    constexpr size_t L = kBatchLanes;
+    auto inputs = samplePoints(tape, false);
+    expr::EvalState evalState;
+    std::vector<double> x(tape.numVars()), out;
+    size_t lane = 0;
+    for (auto _ : state) {
+        for (size_t v = 0; v < tape.numVars(); ++v)
+            x[v] = inputs[v * L + lane];
+        tape.forward(x, out, evalState);
+        benchmark::DoNotOptimize(out.data());
+        lane = (lane + 1) % L;
+    }
+    reportTapeCounters(state, tape);
+}
+BENCHMARK(BM_TapeForwardScalar);
+
+void
+BM_TapeForwardBatch(benchmark::State &state)
+{
+    const auto &tape = featureTape();
+    constexpr size_t L = kBatchLanes;
+    auto inputs = samplePoints(tape, false);
+    expr::BatchEvalState evalState;
+    std::vector<double> outputs(tape.numOutputs() * L);
+    for (auto _ : state) {
+        tape.forwardBatch(inputs.data(), L, outputs.data(),
+                          evalState);
+        benchmark::DoNotOptimize(outputs.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(L));
+    state.counters["instrs_raw"] =
+        static_cast<double>(tape.tapeSize());
+    state.counters["instrs_optimized"] =
+        static_cast<double>(tape.optimizedSize());
+    state.counters["points_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(L),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TapeForwardBatch);
+
+void
+BM_TapeForwardBackwardScalar(benchmark::State &state)
+{
+    const auto &tape = objectiveTape();
+    constexpr size_t L = kBatchLanes;
+    auto inputs = samplePoints(tape, true);
+    expr::EvalState evalState;
+    std::vector<double> x(tape.numVars()), out;
+    std::vector<double> seeds(tape.numOutputs(), 1.0), grad;
+    size_t lane = 0;
+    for (auto _ : state) {
+        for (size_t v = 0; v < tape.numVars(); ++v)
+            x[v] = inputs[v * L + lane];
+        tape.forward(x, out, evalState);
+        tape.backward(seeds, grad, evalState);
+        benchmark::DoNotOptimize(grad.data());
+        lane = (lane + 1) % L;
+    }
+    reportTapeCounters(state, tape);
+}
+BENCHMARK(BM_TapeForwardBackwardScalar);
+
+void
+BM_TapeForwardBackwardBatch(benchmark::State &state)
+{
+    const auto &tape = objectiveTape();
+    constexpr size_t L = kBatchLanes;
+    auto inputs = samplePoints(tape, true);
+    expr::BatchEvalState evalState;
+    std::vector<double> outputs(tape.numOutputs() * L);
+    std::vector<double> seeds(tape.numOutputs() * L, 1.0);
+    std::vector<double> grads(tape.numVars() * L);
+    for (auto _ : state) {
+        tape.forwardBatch(inputs.data(), L, outputs.data(),
+                          evalState);
+        tape.backwardBatch(seeds.data(), grads.data(), evalState);
+        benchmark::DoNotOptimize(grads.data());
+    }
+    state.counters["instrs_raw"] =
+        static_cast<double>(tape.tapeSize());
+    state.counters["instrs_optimized"] =
+        static_cast<double>(tape.optimizedSize());
+    state.counters["points_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(L),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TapeForwardBackwardBatch);
+
+void
+BM_MlpInputGradScalar(benchmark::State &state)
+{
+    Rng rng(7);
+    costmodel::MlpConfig config;   // default 82-input network
+    costmodel::Mlp mlp(config, rng);
+    costmodel::MlpScratch scratch;
+    std::vector<double> x(82);
+    for (double &v : x)
+        v = rng.uniform(-2.0, 2.0);
+    std::vector<double> dx;
+    for (auto _ : state) {
+        double y = mlp.forwardInputGrad(x, dx, scratch);
+        benchmark::DoNotOptimize(y);
+        benchmark::DoNotOptimize(dx.data());
+    }
+    state.counters["points_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MlpInputGradScalar);
+
+void
+BM_MlpInputGradBatch(benchmark::State &state)
+{
+    Rng rng(7);
+    costmodel::MlpConfig config;
+    costmodel::Mlp mlp(config, rng);
+    costmodel::MlpBatchScratch scratch;
+    constexpr size_t L = kBatchLanes;
+    std::vector<double> x(82 * L);
+    for (double &v : x)
+        v = rng.uniform(-2.0, 2.0);
+    double y[kBatchLanes];
+    std::vector<double> dx(82 * L);
+    for (auto _ : state) {
+        mlp.forwardInputGradBatch(x.data(), y, dx.data(), scratch);
+        benchmark::DoNotOptimize(dx.data());
+    }
+    state.counters["points_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(L),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MlpInputGradBatch);
+
+} // namespace
+
+BENCHMARK_MAIN();

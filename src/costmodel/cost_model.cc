@@ -216,6 +216,62 @@ CostModel::predictTransformedWithGrad(
     return targetMean_ + score;
 }
 
+void
+CostModel::predictBatch(const double *raw, double *scores,
+                        PredictScratch &scratch) const
+{
+    FELIX_CHECK(scaler_.fitted(), "cost model not fitted");
+    constexpr size_t L = kBatchLanes;
+    const size_t dim = scaler_.means().size();
+    const double *means = scaler_.means().data();
+    const double *stds = scaler_.stddevs().data();
+    std::vector<double> &scaled = scratch.scaled;
+    scaled.resize(dim * L);
+    // phi + standardization per lane, elementwise — the identical
+    // scalar expressions predict() evaluates.
+    for (size_t i = 0; i < dim; ++i) {
+        const double *in = &raw[i * L];
+        double *out = &scaled[i * L];
+        for (size_t l = 0; l < L; ++l)
+            out[l] = (inputTransform(in[l]) - means[i]) / stds[i];
+    }
+    double y[L];
+    mlp_.forwardBatch(scaled.data(), y, scratch.mlp);
+    for (size_t l = 0; l < L; ++l)
+        scores[l] = targetMean_ + y[l];
+}
+
+void
+CostModel::predictTransformedWithGradBatch(
+    const double *transformed, double *scores, double *grads,
+    PredictScratch &scratch) const
+{
+    FELIX_CHECK(scaler_.fitted(), "cost model not fitted");
+    constexpr size_t L = kBatchLanes;
+    const size_t dim = scaler_.means().size();
+    const double *means = scaler_.means().data();
+    const double *stds = scaler_.stddevs().data();
+    std::vector<double> &scaled = scratch.scaled;
+    scaled.resize(dim * L);
+    for (size_t i = 0; i < dim; ++i) {
+        const double *in = &transformed[i * L];
+        double *out = &scaled[i * L];
+        for (size_t l = 0; l < L; ++l)
+            out[l] = (in[l] - means[i]) / stds[i];
+    }
+    double y[L];
+    mlp_.forwardInputGradBatch(scaled.data(), y, grads,
+                               scratch.mlp);
+    // Chain through standardization: d/dz = d/dz' / sigma.
+    for (size_t i = 0; i < dim; ++i) {
+        double *g = &grads[i * L];
+        for (size_t l = 0; l < L; ++l)
+            g[l] /= stds[i];
+    }
+    for (size_t l = 0; l < L; ++l)
+        scores[l] = targetMean_ + y[l];
+}
+
 ModelMetrics
 CostModel::validate(const std::vector<Sample> &samples) const
 {

@@ -36,6 +36,7 @@ class Scaler
   public:
     void fit(const std::vector<std::vector<double>> &transformed);
     std::vector<double> apply(const std::vector<double> &x) const;
+    const std::vector<double> &means() const { return mean_; }
     const std::vector<double> &stddevs() const { return std_; }
     bool fitted() const { return !mean_.empty(); }
 
@@ -44,6 +45,17 @@ class Scaler
 
   private:
     std::vector<double> mean_, std_;
+};
+
+/**
+ * Reusable buffers for the batched predict paths: one per worker,
+ * allocated on first use and reused so steady-state batched
+ * inference performs no allocation.
+ */
+struct PredictScratch
+{
+    MlpBatchScratch mlp;
+    std::vector<double> scaled;   ///< inputSize rows of kBatchLanes
 };
 
 /** Quality metrics of a cost model on a held-out set. */
@@ -100,6 +112,26 @@ class CostModel
     double predictTransformedWithGrad(
         const std::vector<double> &transformed,
         std::vector<double> &grad) const;
+
+    /**
+     * Batched predict() over kBatchLanes raw feature vectors in SoA
+     * rows (raw[i * kBatchLanes + lane] = feature i of point
+     * `lane`); scores is one row. Lanes are independent and each is
+     * bit-identical to the scalar predict() of that point; pad
+     * unused lanes with any finite values.
+     */
+    void predictBatch(const double *raw, double *scores,
+                      PredictScratch &scratch) const;
+
+    /**
+     * Batched predictTransformedWithGrad(): scores is one row,
+     * grads is inputSize rows of d(score)/d(transformed feature).
+     * Per lane bit-identical to the scalar overload.
+     */
+    void predictTransformedWithGradBatch(const double *transformed,
+                                         double *scores,
+                                         double *grads,
+                                         PredictScratch &scratch) const;
 
     ModelMetrics validate(const std::vector<Sample> &samples) const;
 

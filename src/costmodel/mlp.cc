@@ -1,5 +1,6 @@
 #include "costmodel/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -52,11 +53,13 @@ Mlp::parameterCount() const
 }
 
 double
-Mlp::forward(const std::vector<double> &x) const
+Mlp::forward(const std::vector<double> &x, MlpScratch &scratch) const
 {
     FELIX_CHECK(static_cast<int>(x.size()) == inputSize(),
                 "MLP forward: wrong input size");
-    std::vector<double> cur = x, next;
+    std::vector<double> &cur = scratch.cur;
+    std::vector<double> &next = scratch.next;
+    cur.assign(x.begin(), x.end());
     for (size_t li = 0; li < layers_.size(); ++li) {
         const Layer &layer = layers_[li];
         next.assign(layer.out, 0.0);
@@ -79,17 +82,20 @@ Mlp::forward(const std::vector<double> &x) const
 
 double
 Mlp::forwardInputGrad(const std::vector<double> &x,
-                      std::vector<double> &dx) const
+                      std::vector<double> &dx,
+                      MlpScratch &scratch) const
 {
     FELIX_CHECK(static_cast<int>(x.size()) == inputSize(),
                 "MLP forwardInputGrad: wrong input size");
     // Forward, storing activations per layer.
-    std::vector<std::vector<double>> acts;
-    acts.push_back(x);
+    std::vector<std::vector<double>> &acts = scratch.acts;
+    acts.resize(layers_.size() + 1);
+    acts[0].assign(x.begin(), x.end());
     for (size_t li = 0; li < layers_.size(); ++li) {
         const Layer &layer = layers_[li];
-        std::vector<double> out(layer.out, 0.0);
-        const std::vector<double> &cur = acts.back();
+        std::vector<double> &out = acts[li + 1];
+        out.assign(layer.out, 0.0);
+        const std::vector<double> &cur = acts[li];
         for (int o = 0; o < layer.out; ++o) {
             double acc = layer.bias[o];
             const double *row =
@@ -101,16 +107,17 @@ Mlp::forwardInputGrad(const std::vector<double> &x,
                 acc = 0.0;
             out[o] = acc;
         }
-        acts.push_back(std::move(out));
     }
     const double result = acts.back()[0];
 
     // Backward: adjoint of the scalar output wrt activations.
-    std::vector<double> adj = {1.0};
+    std::vector<double> &adj = scratch.adj;
+    std::vector<double> &prev = scratch.prev;
+    adj.assign(1, 1.0);
     for (size_t li = layers_.size(); li-- > 0;) {
         const Layer &layer = layers_[li];
         const std::vector<double> &out = acts[li + 1];
-        std::vector<double> prev(layer.in, 0.0);
+        prev.assign(layer.in, 0.0);
         for (int o = 0; o < layer.out; ++o) {
             double a = adj[o];
             // ReLU gate (hidden layers only).
@@ -124,8 +131,176 @@ Mlp::forwardInputGrad(const std::vector<double> &x,
         }
         adj.swap(prev);
     }
-    dx = std::move(adj);
+    dx.assign(adj.begin(), adj.end());
     return result;
+}
+
+double
+Mlp::forward(const std::vector<double> &x) const
+{
+    MlpScratch scratch;
+    return forward(x, scratch);
+}
+
+double
+Mlp::forwardInputGrad(const std::vector<double> &x,
+                      std::vector<double> &dx) const
+{
+    MlpScratch scratch;
+    return forwardInputGrad(x, dx, scratch);
+}
+
+void
+Mlp::forwardLayerBatch(const Layer &layer, bool hidden,
+                       const std::vector<double> &cur,
+                       std::vector<double> &out)
+{
+    constexpr size_t L = kBatchLanes;
+    out.resize(static_cast<size_t>(layer.out) * L);
+    const double *__restrict curBase = cur.data();
+    const double *__restrict weights = layer.weight.data();
+    // Blocks of four neurons share each input-row load instead of
+    // refetching it per neuron. Each lane still accumulates in the
+    // scalar order (bias first, then inputs 0..in-1), so per lane
+    // the result is bit-identical to forward().
+    constexpr int kBlock = 4;
+    const int fullEnd = layer.out - layer.out % kBlock;
+    for (int ob = 0; ob < fullEnd; ob += kBlock) {
+        double acc[kBlock][L];
+        for (int b = 0; b < kBlock; ++b)
+            for (size_t l = 0; l < L; ++l)
+                acc[b][l] = layer.bias[ob + b];
+        for (int i = 0; i < layer.in; ++i) {
+            const double *curRow =
+                curBase + static_cast<size_t>(i) * L;
+            for (int b = 0; b < kBlock; ++b) {
+                const double w =
+                    weights[static_cast<size_t>(ob + b) * layer.in +
+                            i];
+                for (size_t l = 0; l < L; ++l)
+                    acc[b][l] += w * curRow[l];
+            }
+        }
+        for (int b = 0; b < kBlock; ++b) {
+            double *__restrict outRow =
+                &out[static_cast<size_t>(ob + b) * L];
+            for (size_t l = 0; l < L; ++l)
+                outRow[l] =
+                    hidden && acc[b][l] < 0.0 ? 0.0 : acc[b][l];
+        }
+    }
+    for (int o = fullEnd; o < layer.out; ++o) {
+        double acc[L];
+        for (size_t l = 0; l < L; ++l)
+            acc[l] = layer.bias[o];
+        const double *__restrict row =
+            weights + static_cast<size_t>(o) * layer.in;
+        for (int i = 0; i < layer.in; ++i) {
+            const double w = row[i];
+            const double *curRow =
+                curBase + static_cast<size_t>(i) * L;
+            for (size_t l = 0; l < L; ++l)
+                acc[l] += w * curRow[l];
+        }
+        double *__restrict outRow = &out[static_cast<size_t>(o) * L];
+        for (size_t l = 0; l < L; ++l)
+            outRow[l] = hidden && acc[l] < 0.0 ? 0.0 : acc[l];
+    }
+}
+
+void
+Mlp::forwardBatch(const double *x, double *y,
+                  MlpBatchScratch &scratch) const
+{
+    constexpr size_t L = kBatchLanes;
+    std::vector<double> &cur = scratch.cur;
+    std::vector<double> &next = scratch.next;
+    cur.assign(x, x + static_cast<size_t>(inputSize()) * L);
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        forwardLayerBatch(layers_[li], li + 1 < layers_.size(), cur,
+                          next);
+        cur.swap(next);
+    }
+    for (size_t l = 0; l < L; ++l)
+        y[l] = cur[l];
+}
+
+void
+Mlp::forwardInputGradBatch(const double *x, double *y, double *dx,
+                           MlpBatchScratch &scratch) const
+{
+    constexpr size_t L = kBatchLanes;
+    std::vector<std::vector<double>> &acts = scratch.acts;
+    acts.resize(layers_.size() + 1);
+    acts[0].assign(x, x + static_cast<size_t>(inputSize()) * L);
+    for (size_t li = 0; li < layers_.size(); ++li)
+        forwardLayerBatch(layers_[li], li + 1 < layers_.size(),
+                          acts[li], acts[li + 1]);
+    for (size_t l = 0; l < L; ++l)
+        y[l] = acts.back()[l];
+
+    std::vector<double> &adj = scratch.adj;
+    std::vector<double> &prev = scratch.prev;
+    std::vector<double> &madj = scratch.madj;
+    adj.assign(L, 1.0);
+    for (size_t li = layers_.size(); li-- > 0;) {
+        const Layer &layer = layers_[li];
+        const bool hidden = li + 1 < layers_.size();
+        const std::vector<double> &out = acts[li + 1];
+
+        // The scalar path skips a neuron entirely when its ReLU gate
+        // is closed. Selecting a 0.0 adjoint for closed lanes BEFORE
+        // the multiplies reproduces that bit for bit with
+        // branch-free inner loops: a NaN/inf adjoint on a closed
+        // lane never touches the products, the masked terms are
+        // exact +/-0.0 (finite weights), and an accumulator row can
+        // never hold -0.0 (IEEE addition yields -0.0 only for
+        // (-0)+(-0), and rows start at +0.0), so adding them never
+        // changes a bit.
+        madj.resize(static_cast<size_t>(layer.out) * L);
+        for (int o = 0; o < layer.out; ++o) {
+            const double *outRow =
+                &out[static_cast<size_t>(o) * L];
+            const double *aRow =
+                &adj[static_cast<size_t>(o) * L];
+            double *mRow = &madj[static_cast<size_t>(o) * L];
+            for (size_t l = 0; l < L; ++l)
+                mRow[l] =
+                    !hidden || outRow[l] > 0.0 ? aRow[l] : 0.0;
+        }
+
+        // Accumulate blocks of neurons per sweep over the input
+        // rows: each prev row is read and written once per BLOCK
+        // instead of once per neuron (8x less traffic), and the
+        // block's weight rows stay resident across the i sweep. Per
+        // (input, lane) the additions still run in ascending neuron
+        // order — exactly the scalar order.
+        prev.assign(static_cast<size_t>(layer.in) * L, 0.0);
+        constexpr int kBlock = 8;
+        const double *__restrict weights = layer.weight.data();
+        const double *__restrict madjBase = madj.data();
+        double *__restrict prevBase = prev.data();
+        for (int ob = 0; ob < layer.out; ob += kBlock) {
+            const int oe = std::min(layer.out, ob + kBlock);
+            for (int i = 0; i < layer.in; ++i) {
+                double *pRow =
+                    prevBase + static_cast<size_t>(i) * L;
+                for (int o = ob; o < oe; ++o) {
+                    const double w =
+                        weights[static_cast<size_t>(o) * layer.in +
+                                i];
+                    const double *mRow =
+                        madjBase + static_cast<size_t>(o) * L;
+                    for (size_t l = 0; l < L; ++l)
+                        pRow[l] += mRow[l] * w;
+                }
+            }
+        }
+        adj.swap(prev);
+    }
+    const size_t inRows = static_cast<size_t>(inputSize()) * L;
+    for (size_t i = 0; i < inRows; ++i)
+        dx[i] = adj[i];
 }
 
 double

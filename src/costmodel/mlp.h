@@ -18,10 +18,37 @@
 #include <iosfwd>
 #include <vector>
 
+#include "support/batch.h"
 #include "support/rng.h"
 
 namespace felix {
 namespace costmodel {
+
+/**
+ * Reusable buffers for the scalar forward/forwardInputGrad paths.
+ * Hot loops (gradient descent, candidate ranking) keep one of these
+ * per worker so steady-state inference performs no allocation; the
+ * buffers grow to the network's working-set size on first use and
+ * are reused verbatim afterwards.
+ */
+struct MlpScratch
+{
+    std::vector<double> cur, next;          ///< forward activations
+    std::vector<std::vector<double>> acts;  ///< per-layer (input grad)
+    std::vector<double> adj, prev;          ///< backward adjoints
+};
+
+/**
+ * Scratch for the batched entry points: the same buffers with one
+ * row of kBatchLanes doubles per neuron, lane-major within the row.
+ */
+struct MlpBatchScratch
+{
+    std::vector<double> cur, next;
+    std::vector<std::vector<double>> acts;
+    std::vector<double> adj, prev;
+    std::vector<double> madj;  ///< ReLU-masked adjoint rows
+};
 
 /** MLP shape: sizes of every layer including input and output. */
 struct MlpConfig
@@ -50,14 +77,44 @@ class Mlp
     size_t parameterCount() const;
 
     /** Forward pass; input size must equal inputSize(). */
-    double forward(const std::vector<double> &x) const;
+    double forward(const std::vector<double> &x,
+                   MlpScratch &scratch) const;
 
     /**
      * Forward pass plus the gradient of the output with respect to
      * the input vector (the path Felix's gradient descent uses).
      */
     double forwardInputGrad(const std::vector<double> &x,
+                            std::vector<double> &dx,
+                            MlpScratch &scratch) const;
+
+    // Allocating convenience overloads (thin wrappers over the
+    // scratch versions; construct a throwaway scratch per call).
+    double forward(const std::vector<double> &x) const;
+    double forwardInputGrad(const std::vector<double> &x,
                             std::vector<double> &dx) const;
+
+    /**
+     * Evaluate kBatchLanes inputs in lockstep. All buffers are SoA
+     * rows of kBatchLanes doubles: x[i * kBatchLanes + lane] is
+     * feature i of point `lane`, y is one row of scores. Lanes are
+     * fully independent (the ReLU gates are per lane), so each
+     * lane's score is bit-identical to a scalar forward() of that
+     * point; callers with partial batches pad the unused lanes with
+     * any finite values.
+     */
+    void forwardBatch(const double *x, double *y,
+                      MlpBatchScratch &scratch) const;
+
+    /**
+     * Batched forward plus input gradient: y is one row of scores,
+     * dx is inputSize() rows of d(score)/d(input). Per lane
+     * bit-identical to forwardInputGrad() (row-major GEMM-style
+     * loops over the same accumulation order).
+     */
+    void forwardInputGradBatch(const double *x, double *y,
+                               double *dx,
+                               MlpBatchScratch &scratch) const;
 
     /**
      * One Adam step on a mini-batch with MSE loss.
@@ -84,6 +141,10 @@ class Mlp
         // Adam state
         std::vector<double> mWeight, vWeight, mBias, vBias;
     };
+
+    static void forwardLayerBatch(const Layer &layer, bool hidden,
+                                  const std::vector<double> &cur,
+                                  std::vector<double> &out);
 
     MlpConfig config_;
     std::vector<Layer> layers_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <unordered_map>
 
 #include "features/features.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optim/dedup.h"
+#include "support/batch.h"
 #include "support/logging.h"
 #include "support/math_util.h"
 #include "support/parallel.h"
@@ -33,6 +35,25 @@ generateSketchesTimed(const tir::SubgraphDef &subgraph,
     return sketches;
 }
 
+/**
+ * Per-worker scratch for batched population scoring: tape + model
+ * buffers plus the SoA staging rows, allocated once per worker
+ * thread and reused across batches, generations and rounds.
+ */
+struct EvoBatchScratch
+{
+    expr::BatchEvalState tape;
+    costmodel::PredictScratch predict;
+    std::vector<double> inputs, outputs;
+};
+
+EvoBatchScratch &
+workerScratch()
+{
+    static thread_local EvoBatchScratch scratch;
+    return scratch;
+}
+
 } // namespace
 
 EvolutionarySearch::EvolutionarySearch(const tir::SubgraphDef &subgraph,
@@ -53,10 +74,14 @@ EvolutionarySearch::EvolutionarySearch(const tir::SubgraphDef &subgraph,
                     context.sched = &sched;
                     for (const auto &domain : sched.vars)
                         context.varNames.push_back(domain.name);
+                    // Population scoring never differentiates the
+                    // features, so the tape opts into the
+                    // forward-only optimizer passes.
                     context.rawFeatures =
                         std::make_unique<expr::CompiledExprs>(
                             features::extractFeatures(sched.program),
-                            context.varNames);
+                            context.varNames,
+                            /*forward_only=*/true);
                     context.checker = std::make_unique<
                         sketch::ConstraintChecker>(sched);
                     contexts_[si] = std::move(context);
@@ -170,7 +195,9 @@ EvolutionarySearch::evaluate(Individual &individual,
                              const costmodel::CostModel &model) const
 {
     const SketchContext &context = contexts_[individual.sketchIndex];
-    expr::EvalState state;
+    // One eval state per worker, reused across individuals and
+    // rounds (it rebinds itself when the sketch tape changes).
+    static thread_local expr::EvalState state;
     auto raw = context.rawFeatures->eval(individual.x, state);
     individual.score = model.predict(raw);
     return individual.score;
@@ -200,22 +227,70 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
         });
     }
 
-    std::map<std::pair<int, std::vector<double>>, Individual> best;
+    std::unordered_map<optim::CandidateKey, Individual,
+                       optim::CandidateKeyHash>
+        best;
     auto scoreAndRecord = [&](std::vector<Individual> &pop) {
-        // Scoring is the hot part: each individual writes only its
-        // own score slot. Bookkeeping stays sequential, in index
-        // order, so trace and dedup are --jobs invariant.
-        parallelFor("evo.evaluate", pop.size(), [&](size_t i) {
-            evaluate(pop[i], model);
+        // Scoring is the hot part: individuals sharing a sketch are
+        // grouped (in population-index order, so the grouping never
+        // depends on --jobs) into lockstep batches of up to
+        // kBatchLanes lanes through the shared feature tape and the
+        // batched MLP; each lane writes only its own score slot.
+        // Bookkeeping stays sequential, in index order, so trace and
+        // dedup are --jobs invariant.
+        struct EvalBatch
+        {
+            int sketchIdx = 0;
+            std::vector<size_t> members;
+        };
+        std::vector<std::vector<size_t>> bySketch(contexts_.size());
+        for (size_t i = 0; i < pop.size(); ++i)
+            bySketch[pop[i].sketchIndex].push_back(i);
+        std::vector<EvalBatch> batches;
+        for (size_t sk = 0; sk < bySketch.size(); ++sk) {
+            const std::vector<size_t> &members = bySketch[sk];
+            for (size_t b = 0; b < members.size(); b += kBatchLanes) {
+                EvalBatch batch;
+                batch.sketchIdx = static_cast<int>(sk);
+                batch.members.assign(
+                    members.begin() + b,
+                    members.begin() +
+                        std::min(members.size(), b + kBatchLanes));
+                batches.push_back(std::move(batch));
+            }
+        }
+        parallelFor("evo.evaluate", batches.size(), [&](size_t bi) {
+            const EvalBatch &batch = batches[bi];
+            const SketchContext &context =
+                contexts_[batch.sketchIdx];
+            const size_t numVars = context.varNames.size();
+            const size_t numOutputs =
+                context.rawFeatures->numOutputs();
+            const size_t width = batch.members.size();
+            constexpr size_t L = kBatchLanes;
+            EvoBatchScratch &ws = workerScratch();
+            ws.inputs.resize(numVars * L);
+            ws.outputs.resize(numOutputs * L);
+            for (size_t l = 0; l < width; ++l)
+                for (size_t v = 0; v < numVars; ++v)
+                    ws.inputs[v * L + l] =
+                        pop[batch.members[l]].x[v];
+            context.rawFeatures->forwardBatch(
+                ws.inputs.data(), width, ws.outputs.data(), ws.tape);
+            double scores[kBatchLanes];
+            model.predictBatch(ws.outputs.data(), scores,
+                               ws.predict);
+            for (size_t l = 0; l < width; ++l)
+                pop[batch.members[l]].score = scores[l];
         });
         for (Individual &individual : pop) {
             ++result.trace.numPredictions;
             result.trace.visitedScores.push_back(individual.score);
-            auto key = std::make_pair(individual.sketchIndex,
-                                      individual.x);
+            optim::CandidateKey key{individual.sketchIndex,
+                                    individual.x};
             auto it = best.find(key);
             if (it == best.end())
-                best.emplace(key, individual);
+                best.emplace(std::move(key), individual);
         }
     };
     scoreAndRecord(population);
@@ -296,11 +371,20 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
         scoreAndRecord(population);
     }
 
-    // Keep the global best as next round's elites.
+    // Keep the global best as next round's elites. The hash map has
+    // no deterministic iteration order, so sort ONCE by key — the
+    // iteration order of the ordered map this replaced — before the
+    // (unstable) score sort, keeping the ranking byte-identical.
     std::vector<Individual> ranked;
     ranked.reserve(best.size());
     for (auto &entry : best)
         ranked.push_back(entry.second);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Individual &a, const Individual &b) {
+                  if (a.sketchIndex != b.sketchIndex)
+                      return a.sketchIndex < b.sketchIndex;
+                  return a.x < b.x;
+              });
     std::sort(ranked.begin(), ranked.end(),
               [](const Individual &a, const Individual &b) {
                   return a.score > b.score;
@@ -342,7 +426,8 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
         Candidate candidate;
         candidate.sketchIndex = individual->sketchIndex;
         candidate.x = individual->x;
-        expr::EvalState state;
+        // One eval state per worker, reused across picks and rounds.
+        static thread_local expr::EvalState state;
         candidate.rawFeatures =
             contexts_[candidate.sketchIndex].rawFeatures->eval(
                 candidate.x, state);

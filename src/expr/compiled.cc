@@ -1,72 +1,70 @@
 #include "expr/compiled.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <unordered_set>
 
+#include "expr/op_kernels.h"
+#include "obs/metrics.h"
 #include "support/logging.h"
 
 namespace felix {
 namespace expr {
 
+namespace {
+
+uint64_t
+nextTapeId()
+{
+    // Starts at 1 so a default-constructed state (boundTape == 0)
+    // never matches a live tape.
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
 CompiledExprs::CompiledExprs(std::vector<Expr> roots,
-                             std::vector<std::string> var_order)
+                             std::vector<std::string> var_order,
+                             bool forward_only)
+    : tapeId_(nextTapeId())
 {
     if (var_order.empty())
         varNames_ = collectVars(roots);
     else
         varNames_ = std::move(var_order);
 
-    std::unordered_map<std::string, int32_t> varSlot;
-    for (size_t i = 0; i < varNames_.size(); ++i)
-        varSlot.emplace(varNames_[i], static_cast<int32_t>(i));
+    RawTape raw = buildRawTape(roots, varNames_);
+    program_ = optimizeTape(raw, forward_only, &optStats_);
 
-    // Topologically order the distinct nodes via iterative DFS and
-    // assign each a tape slot.
-    std::unordered_map<const ExprNode *, int32_t> slotOf;
-    std::vector<std::pair<Expr, size_t>> stack;
-    for (const Expr &root : roots) {
-        FELIX_CHECK(root.defined(), "compiling undefined expression");
-        if (slotOf.count(root.get()))
-            continue;
-        stack.emplace_back(root, 0);
-        while (!stack.empty()) {
-            auto &[node, child] = stack.back();
-            if (slotOf.count(node.get())) {
-                stack.pop_back();
-                continue;
-            }
-            if (child < node->args().size()) {
-                Expr next = node->args()[child++];
-                if (!slotOf.count(next.get()))
-                    stack.emplace_back(next, 0);
-                continue;
-            }
-            Instr instr;
-            instr.op = node->op();
-            if (node.isConst()) {
-                instr.payload = node.constValue();
-            } else if (node.isVar()) {
-                auto it = varSlot.find(node.varName());
-                FELIX_CHECK(it != varSlot.end(),
-                            "variable not in slot order: ",
-                            node.varName());
-                instr.payload = static_cast<double>(it->second);
-            } else {
-                const auto &args = node->args();
-                instr.a0 = slotOf.at(args[0].get());
-                if (args.size() > 1)
-                    instr.a1 = slotOf.at(args[1].get());
-                if (args.size() > 2)
-                    instr.a2 = slotOf.at(args[2].get());
-            }
-            slotOf.emplace(node.get(), static_cast<int32_t>(tape_.size()));
-            tape_.push_back(instr);
-            stack.pop_back();
-        }
-    }
-    for (const Expr &root : roots)
-        outputSlots_.push_back(slotOf.at(root.get()));
+    auto &reg = obs::MetricsRegistry::instance();
+    reg.counter("tape.instrs_raw")
+        .add(static_cast<double>(program_.rawSize));
+    reg.counter("tape.instrs_optimized")
+        .add(static_cast<double>(program_.instrs.size()));
+    reg.counter("tape.leaves_hoisted")
+        .add(static_cast<double>(optStats_.leavesHoisted));
+    reg.counter("tape.const_folded")
+        .add(static_cast<double>(optStats_.constFolded));
+    reg.counter("tape.identity_forwarded")
+        .add(static_cast<double>(optStats_.identityForwarded));
+    reg.counter("tape.dead_removed")
+        .add(static_cast<double>(optStats_.deadRemoved));
+}
+
+void
+CompiledExprs::bind(EvalState &state) const
+{
+    if (state.boundTape == tapeId_)
+        return;
+    // Constant slots are filled once per binding; forward only ever
+    // writes variable and instruction slots after this.
+    state.values.assign(program_.numSlots(), 0.0);
+    std::copy(program_.constants.begin(), program_.constants.end(),
+              state.values.begin());
+    state.adjoints.clear();
+    state.forwardDone = false;
+    state.boundTape = tapeId_;
 }
 
 void
@@ -77,32 +75,23 @@ CompiledExprs::forward(const std::vector<double> &inputs,
     FELIX_CHECK(inputs.size() == varNames_.size(),
                 "expected ", varNames_.size(), " inputs, got ",
                 inputs.size());
-    std::vector<double> &values_ = state.values;
-    values_.resize(tape_.size());
-    for (size_t i = 0; i < tape_.size(); ++i) {
-        const Instr &instr = tape_[i];
-        switch (instr.op) {
-          case OpCode::ConstOp:
-            values_[i] = instr.payload;
-            break;
-          case OpCode::VarOp:
-            values_[i] = inputs[static_cast<size_t>(instr.payload)];
-            break;
-          default: {
-            double args[3] = {0, 0, 0};
-            args[0] = values_[instr.a0];
-            if (instr.a1 >= 0)
-                args[1] = values_[instr.a1];
-            if (instr.a2 >= 0)
-                args[2] = values_[instr.a2];
-            values_[i] = evalOp(instr.op, args);
-            break;
-          }
-        }
+    bind(state);
+    std::vector<double> &values = state.values;
+    std::copy(inputs.begin(), inputs.end(),
+              values.begin() + program_.firstVarSlot());
+    size_t slot = program_.firstOpSlot();
+    for (const TapeInstr &instr : program_.instrs) {
+        double args[3] = {0, 0, 0};
+        args[0] = values[instr.a0];
+        if (instr.a1 >= 0)
+            args[1] = values[instr.a1];
+        if (instr.a2 >= 0)
+            args[2] = values[instr.a2];
+        values[slot++] = opk::evalOpInline(instr.op, args);
     }
-    outputs.resize(outputSlots_.size());
-    for (size_t k = 0; k < outputSlots_.size(); ++k)
-        outputs[k] = values_[outputSlots_[k]];
+    outputs.resize(program_.outputSlots.size());
+    for (size_t k = 0; k < program_.outputSlots.size(); ++k)
+        outputs[k] = values[program_.outputSlots[k]];
     state.forwardDone = true;
 }
 
@@ -111,126 +100,226 @@ CompiledExprs::backward(const std::vector<double> &output_grads,
                         std::vector<double> &input_grads,
                         EvalState &state) const
 {
-    FELIX_CHECK(state.forwardDone, "backward() before forward()");
-    FELIX_CHECK(output_grads.size() == outputSlots_.size(),
-                "expected ", outputSlots_.size(), " output grads");
+    FELIX_CHECK(!program_.forwardOnly,
+                "backward() on a tape compiled forward-only");
+    FELIX_CHECK(state.forwardDone && state.boundTape == tapeId_,
+                "backward() before forward()");
+    FELIX_CHECK(output_grads.size() == program_.outputSlots.size(),
+                "expected ", program_.outputSlots.size(),
+                " output grads");
 
-    const std::vector<double> &values_ = state.values;
-    std::vector<double> &adjoints_ = state.adjoints;
-    adjoints_.assign(tape_.size(), 0.0);
-    for (size_t k = 0; k < outputSlots_.size(); ++k)
-        adjoints_[outputSlots_[k]] += output_grads[k];
+    const std::vector<double> &values = state.values;
+    std::vector<double> &adjoints = state.adjoints;
+    adjoints.assign(program_.numSlots(), 0.0);
+    for (size_t k = 0; k < program_.outputSlots.size(); ++k)
+        adjoints[program_.outputSlots[k]] += output_grads[k];
 
-    input_grads.assign(varNames_.size(), 0.0);
-
-    for (size_t idx = tape_.size(); idx-- > 0;) {
-        const Instr &instr = tape_[idx];
-        double adj = adjoints_[idx];
+    double dummy = 0.0;
+    for (size_t i = program_.instrs.size(); i-- > 0;) {
+        const TapeInstr &instr = program_.instrs[i];
+        size_t slot = program_.firstOpSlot() + i;
+        double adj = adjoints[slot];
         if (adj == 0.0)
             continue;
+        double a0 = values[instr.a0];
+        double a1 = instr.a1 >= 0 ? values[instr.a1] : 0.0;
+        opk::backpropOp(instr.op, adj, values[slot], a0, a1,
+                        &adjoints[instr.a0],
+                        instr.a1 >= 0 ? &adjoints[instr.a1] : &dummy,
+                        instr.a2 >= 0 ? &adjoints[instr.a2] : &dummy);
+    }
+    // Variable adjoints accumulate via += from +0.0 and can never
+    // become -0.0, so a plain copy reproduces the historical
+    // "+= only when nonzero" extraction bit for bit.
+    input_grads.resize(varNames_.size());
+    std::copy(adjoints.begin() + program_.firstVarSlot(),
+              adjoints.begin() + program_.firstVarSlot() +
+                  varNames_.size(),
+              input_grads.begin());
+}
+
+void
+CompiledExprs::bind(BatchEvalState &state) const
+{
+    if (state.boundTape == tapeId_)
+        return;
+    state.values.assign(program_.numSlots() * kBatchLanes, 0.0);
+    for (size_t c = 0; c < program_.constants.size(); ++c) {
+        double *row = &state.values[c * kBatchLanes];
+        for (size_t l = 0; l < kBatchLanes; ++l)
+            row[l] = program_.constants[c];
+    }
+    state.adjoints.clear();
+    state.forwardDone = false;
+    state.width = 0;
+    state.boundTape = tapeId_;
+}
+
+void
+CompiledExprs::forwardBatch(const double *inputs, size_t width,
+                            double *outputs,
+                            BatchEvalState &state) const
+{
+    FELIX_CHECK(width >= 1 && width <= kBatchLanes,
+                "forwardBatch width ", width, " out of [1, ",
+                kBatchLanes, "]");
+    bind(state);
+    double *vals = state.values.data();
+
+    // Variable rows. Padding lanes replicate lane 0 so every lane
+    // computes on real, finite inputs (no NaN surprises, no denormal
+    // slowdowns) while the lane loops keep their fixed trip count.
+    const size_t varBase = program_.firstVarSlot();
+    for (size_t v = 0; v < program_.numVars; ++v) {
+        double *row = &vals[(varBase + v) * kBatchLanes];
+        const double *in = &inputs[v * kBatchLanes];
+        for (size_t l = 0; l < kBatchLanes; ++l)
+            row[l] = in[l < width ? l : 0];
+    }
+
+    size_t slot = program_.firstOpSlot();
+    for (const TapeInstr &instr : program_.instrs) {
+        // Tape slots are SSA: operands always live in strictly
+        // earlier slots, so the destination row never aliases them.
+        const double *a = &vals[static_cast<size_t>(instr.a0) *
+                                kBatchLanes];
+        const double *b =
+            instr.a1 >= 0
+                ? &vals[static_cast<size_t>(instr.a1) * kBatchLanes]
+                : a;
+        const double *c =
+            instr.a2 >= 0
+                ? &vals[static_cast<size_t>(instr.a2) * kBatchLanes]
+                : a;
+        double *__restrict out = &vals[slot++ * kBatchLanes];
+
+#define FELIX_LANES_1(KER)                                             \
+    for (size_t l = 0; l < kBatchLanes; ++l)                           \
+        out[l] = opk::KER(a[l]);                                       \
+    break
+#define FELIX_LANES_2(KER)                                             \
+    for (size_t l = 0; l < kBatchLanes; ++l)                           \
+        out[l] = opk::KER(a[l], b[l]);                                 \
+    break
+
         switch (instr.op) {
-          case OpCode::ConstOp:
-            break;
-          case OpCode::VarOp:
-            input_grads[static_cast<size_t>(instr.payload)] += adj;
-            break;
-          case OpCode::Add:
-            adjoints_[instr.a0] += adj;
-            adjoints_[instr.a1] += adj;
-            break;
-          case OpCode::Sub:
-            adjoints_[instr.a0] += adj;
-            adjoints_[instr.a1] -= adj;
-            break;
-          case OpCode::Mul:
-            adjoints_[instr.a0] += adj * values_[instr.a1];
-            adjoints_[instr.a1] += adj * values_[instr.a0];
-            break;
-          case OpCode::Div: {
-            double b = values_[instr.a1];
-            if (b != 0.0) {
-                adjoints_[instr.a0] += adj / b;
-                adjoints_[instr.a1] -=
-                    adj * values_[instr.a0] / (b * b);
-            }
-            // At b == 0 the totalized forward value is a huge
-            // surrogate; propagating its "gradient" would only
-            // destabilize the search, so we drop it (the penalty
-            // terms steer the optimizer back into the feasible box).
-            break;
-          }
-          case OpCode::Pow: {
-            double a = values_[instr.a0];
-            double b = values_[instr.a1];
-            double v = values_[idx];
-            if (a > 0.0) {
-                adjoints_[instr.a0] += adj * b * std::pow(a, b - 1.0);
-                adjoints_[instr.a1] += adj * v * std::log(a);
-            } else if (a < 0.0) {
-                adjoints_[instr.a0] += adj * b * std::pow(a, b - 1.0);
-            }
-            break;
-          }
-          case OpCode::Min:
-            if (values_[instr.a0] <= values_[instr.a1])
-                adjoints_[instr.a0] += adj;
-            else
-                adjoints_[instr.a1] += adj;
-            break;
-          case OpCode::Max:
-            if (values_[instr.a0] >= values_[instr.a1])
-                adjoints_[instr.a0] += adj;
-            else
-                adjoints_[instr.a1] += adj;
-            break;
-          case OpCode::Neg:
-            adjoints_[instr.a0] -= adj;
-            break;
-          case OpCode::Log:
-            adjoints_[instr.a0] +=
-                adj / std::max(values_[instr.a0], 1e-300);
-            break;
-          case OpCode::Exp:
-            adjoints_[instr.a0] += adj * values_[idx];
-            break;
-          case OpCode::Sqrt: {
-            double a = values_[instr.a0];
-            if (a > 0.0)
-                adjoints_[instr.a0] += adj * 0.5 / std::sqrt(a);
-            break;
-          }
-          case OpCode::Abs:
-            adjoints_[instr.a0] +=
-                values_[instr.a0] >= 0.0 ? adj : -adj;
-            break;
-          case OpCode::Floor:
-            break;    // piecewise-constant: zero derivative
-          case OpCode::Atan: {
-            double x = values_[instr.a0];
-            adjoints_[instr.a0] += adj / (1.0 + x * x);
-            break;
-          }
-          case OpCode::Sigmoid: {
-            // d/dx [ (1 + x/sqrt(1+x^2)) / 2 ] = (1+x^2)^(-3/2) / 2
-            double x = values_[instr.a0];
-            double t = 1.0 + x * x;
-            adjoints_[instr.a0] += adj * 0.5 / (t * std::sqrt(t));
-            break;
-          }
-          case OpCode::Lt:
-          case OpCode::Le:
-          case OpCode::Gt:
-          case OpCode::Ge:
-          case OpCode::Eq:
-          case OpCode::Ne:
-            break;    // step functions: zero derivative a.e.
+          case OpCode::Add: FELIX_LANES_2(fwdAdd);
+          case OpCode::Sub: FELIX_LANES_2(fwdSub);
+          case OpCode::Mul: FELIX_LANES_2(fwdMul);
+          case OpCode::Div: FELIX_LANES_2(fwdDiv);
+          case OpCode::Pow: FELIX_LANES_2(fwdPow);
+          case OpCode::Min: FELIX_LANES_2(fwdMin);
+          case OpCode::Max: FELIX_LANES_2(fwdMax);
+          case OpCode::Neg: FELIX_LANES_1(fwdNeg);
+          case OpCode::Log: FELIX_LANES_1(fwdLog);
+          case OpCode::Exp: FELIX_LANES_1(fwdExp);
+          case OpCode::Sqrt: FELIX_LANES_1(fwdSqrt);
+          case OpCode::Abs: FELIX_LANES_1(fwdAbs);
+          case OpCode::Floor: FELIX_LANES_1(fwdFloor);
+          case OpCode::Atan: FELIX_LANES_1(fwdAtan);
+          case OpCode::Sigmoid: FELIX_LANES_1(fwdSigmoid);
+          case OpCode::Lt: FELIX_LANES_2(fwdLt);
+          case OpCode::Le: FELIX_LANES_2(fwdLe);
+          case OpCode::Gt: FELIX_LANES_2(fwdGt);
+          case OpCode::Ge: FELIX_LANES_2(fwdGe);
+          case OpCode::Eq: FELIX_LANES_2(fwdEq);
+          case OpCode::Ne: FELIX_LANES_2(fwdNe);
           case OpCode::Select:
-            if (values_[instr.a0] != 0.0)
-                adjoints_[instr.a1] += adj;
-            else
-                adjoints_[instr.a2] += adj;
+            for (size_t l = 0; l < kBatchLanes; ++l)
+                out[l] = opk::fwdSelect(a[l], b[l], c[l]);
             break;
+          case OpCode::ConstOp:
+          case OpCode::VarOp:
+            // Leaves are hoisted to slots by the optimizer; they
+            // cannot appear in the instruction stream.
+            panic("leaf opcode in optimized tape");
         }
+
+#undef FELIX_LANES_1
+#undef FELIX_LANES_2
+    }
+
+    for (size_t k = 0; k < program_.outputSlots.size(); ++k) {
+        const double *row =
+            &vals[static_cast<size_t>(program_.outputSlots[k]) *
+                  kBatchLanes];
+        double *outRow = &outputs[k * kBatchLanes];
+        for (size_t l = 0; l < kBatchLanes; ++l)
+            outRow[l] = row[l];
+    }
+    state.width = width;
+    state.forwardDone = true;
+}
+
+void
+CompiledExprs::backwardBatch(const double *output_grads,
+                             double *input_grads,
+                             BatchEvalState &state) const
+{
+    FELIX_CHECK(!program_.forwardOnly,
+                "backwardBatch() on a tape compiled forward-only");
+    FELIX_CHECK(state.forwardDone && state.boundTape == tapeId_,
+                "backwardBatch() before forwardBatch()");
+    const size_t width = state.width;
+
+    const double *vals = state.values.data();
+    state.adjoints.assign(program_.numSlots() * kBatchLanes, 0.0);
+    double *adjs = state.adjoints.data();
+
+    // Seed active lanes only; padding lanes keep zero adjoints, so
+    // the per-lane zero-skip below short-circuits all their work.
+    for (size_t k = 0; k < program_.outputSlots.size(); ++k) {
+        double *row =
+            &adjs[static_cast<size_t>(program_.outputSlots[k]) *
+                  kBatchLanes];
+        const double *g = &output_grads[k * kBatchLanes];
+        for (size_t l = 0; l < width; ++l)
+            row[l] += g[l];
+    }
+
+    // The reverse sweep stays scalar within each lane: the zero-skip
+    // and the data-dependent branches in backpropOp are part of the
+    // bit-exactness contract, so lanes cannot be blended. Locality
+    // still wins: all eight lanes of an instruction share its rows.
+    double dummy = 0.0;
+    for (size_t i = program_.instrs.size(); i-- > 0;) {
+        const TapeInstr &instr = program_.instrs[i];
+        size_t slot = program_.firstOpSlot() + i;
+        double *adjRow = &adjs[slot * kBatchLanes];
+        const double *valRow = &vals[slot * kBatchLanes];
+        const double *a0Row =
+            &vals[static_cast<size_t>(instr.a0) * kBatchLanes];
+        double *adj0Row =
+            &adjs[static_cast<size_t>(instr.a0) * kBatchLanes];
+        const double *a1Row =
+            instr.a1 >= 0
+                ? &vals[static_cast<size_t>(instr.a1) * kBatchLanes]
+                : nullptr;
+        double *adj1Row =
+            instr.a1 >= 0
+                ? &adjs[static_cast<size_t>(instr.a1) * kBatchLanes]
+                : nullptr;
+        double *adj2Row =
+            instr.a2 >= 0
+                ? &adjs[static_cast<size_t>(instr.a2) * kBatchLanes]
+                : nullptr;
+        for (size_t l = 0; l < kBatchLanes; ++l) {
+            double adj = adjRow[l];
+            if (adj == 0.0)
+                continue;
+            opk::backpropOp(instr.op, adj, valRow[l], a0Row[l],
+                            a1Row ? a1Row[l] : 0.0, &adj0Row[l],
+                            adj1Row ? &adj1Row[l] : &dummy,
+                            adj2Row ? &adj2Row[l] : &dummy);
+        }
+    }
+
+    const size_t varBase = program_.firstVarSlot();
+    for (size_t v = 0; v < program_.numVars; ++v) {
+        const double *row = &adjs[(varBase + v) * kBatchLanes];
+        double *g = &input_grads[v * kBatchLanes];
+        for (size_t l = 0; l < kBatchLanes; ++l)
+            g[l] = row[l];
     }
 }
 

@@ -5,11 +5,17 @@
  * Gradient descent evaluates the same feature formulas thousands of
  * times at different variable values. CompiledExprs lowers a set of
  * expression roots into a linear instruction tape (one instruction
- * per distinct DAG node, topologically ordered) so that
- *  - forward evaluation is a tight loop over flat arrays, and
+ * per distinct DAG node, topologically ordered) and then runs the
+ * tape optimizer (expr/tape.h) over it at construction, so that
+ *  - forward evaluation is a tight loop over flat arrays whose
+ *    per-eval instruction stream contains only real operations
+ *    (constant and variable leaves live in dedicated slots),
  *  - reverse-mode differentiation replays the tape backwards,
  *    accumulating adjoints (the same trick PyTorch's autograd tape
- *    uses, which the paper relies on for back-propagation).
+ *    uses, which the paper relies on for back-propagation), and
+ *  - up to kBatchLanes points can be evaluated in lockstep through
+ *    the batched structure-of-arrays entry points, bit-identically
+ *    to the scalar path per point (docs/tape_engine.md).
  */
 #ifndef FELIX_EXPR_COMPILED_H_
 #define FELIX_EXPR_COMPILED_H_
@@ -20,6 +26,8 @@
 #include <vector>
 
 #include "expr/expr.h"
+#include "expr/tape.h"
+#include "support/batch.h"
 
 namespace felix {
 namespace expr {
@@ -29,21 +37,41 @@ namespace expr {
  * forward values and adjoints, sized lazily on first use. A compiled
  * tape is immutable after construction, so any number of workers can
  * share one CompiledExprs as long as each brings its own EvalState.
+ *
+ * A state binds to the tape it was last used with (constant slots
+ * are prefilled at bind time) and rebinds transparently when handed
+ * to a different tape, so long-lived per-worker states can be reused
+ * across tapes and rounds without reallocation in steady state.
  */
 struct EvalState
 {
     std::vector<double> values;    ///< forward value per tape slot
     std::vector<double> adjoints;  ///< adjoint per tape slot
     bool forwardDone = false;
+    uint64_t boundTape = 0;        ///< id of the tape values are for
+};
+
+/**
+ * Scratch for the batched SoA entry points: the same buffers as
+ * EvalState but with one row of kBatchLanes doubles per tape slot,
+ * lane-major within the row. Allocate once per worker and reuse.
+ */
+struct BatchEvalState
+{
+    std::vector<double> values;    ///< numSlots x kBatchLanes
+    std::vector<double> adjoints;  ///< numSlots x kBatchLanes
+    size_t width = 0;              ///< active lanes of last forward
+    bool forwardDone = false;
+    uint64_t boundTape = 0;
 };
 
 /**
  * A set of expressions compiled to a shared evaluation tape.
  *
  * The tape itself is immutable after construction. The const
- * overloads taking an EvalState are thread-safe (one state per
- * thread); the stateless convenience overloads use a member state
- * and keep the historical single-threaded interface.
+ * overloads taking an EvalState/BatchEvalState are thread-safe (one
+ * state per thread); the stateless convenience overloads use a
+ * member state and keep the historical single-threaded interface.
  */
 class CompiledExprs
 {
@@ -54,18 +82,32 @@ class CompiledExprs
      * @param roots Output expressions (e.g. 82 features + penalties).
      * @param var_order Variable slot order; when empty, the distinct
      *        variables are collected and sorted by name.
+     * @param forward_only Promise that backward() will never run on
+     *        this tape; unlocks the identity-forwarding optimizer
+     *        pass (which is forward-bit-exact but not
+     *        backward-bit-exact, see expr/tape.h).
      */
     explicit CompiledExprs(std::vector<Expr> roots,
-                           std::vector<std::string> var_order = {});
+                           std::vector<std::string> var_order = {},
+                           bool forward_only = false);
 
     /** Variable slot order expected by forward(). */
     const std::vector<std::string> &varNames() const { return varNames_; }
 
     size_t numVars() const { return varNames_.size(); }
-    size_t numOutputs() const { return outputSlots_.size(); }
+    size_t numOutputs() const { return program_.outputSlots.size(); }
 
-    /** Number of tape instructions (== distinct DAG nodes). */
-    size_t tapeSize() const { return tape_.size(); }
+    /** Number of raw tape instructions (== distinct DAG nodes). */
+    size_t tapeSize() const { return program_.rawSize; }
+
+    /** Number of per-eval instructions after the optimizer pass. */
+    size_t optimizedSize() const { return program_.instrs.size(); }
+
+    /** What the optimizer did to this tape. */
+    const TapeOptStats &optStats() const { return optStats_; }
+
+    /** The optimized program (tests and the microbenchmark). */
+    const TapeProgram &program() const { return program_; }
 
     /**
      * Evaluate all roots at the given variable values.
@@ -94,6 +136,40 @@ class CompiledExprs
                   std::vector<double> &input_grads,
                   EvalState &state) const;
 
+    /**
+     * Evaluate @p width points (1..kBatchLanes) in lockstep.
+     *
+     * All buffers are SoA rows of kBatchLanes doubles:
+     * inputs[v * kBatchLanes + lane] is variable v of point `lane`,
+     * outputs[k * kBatchLanes + lane] likewise. Lanes >= width are
+     * padding; the engine evaluates them on copies of lane 0 so the
+     * hot loops keep their fixed trip count, and their outputs are
+     * unspecified. Each active lane's outputs are bit-identical to a
+     * scalar forward() of the same point.
+     *
+     * @param inputs numVars() rows.
+     * @param width Active lane count, 1..kBatchLanes.
+     * @param outputs Receives numOutputs() rows.
+     * @param state Per-thread batched scratch.
+     */
+    void forwardBatch(const double *inputs, size_t width,
+                      double *outputs, BatchEvalState &state) const;
+
+    /**
+     * Batched reverse sweep over the values of the last
+     * forwardBatch() on @p state. Seeds lanes >= width with zero
+     * adjoints, so padding contributes nothing. Each active lane's
+     * gradients are bit-identical to a scalar backward() of the same
+     * point.
+     *
+     * @param output_grads numOutputs() rows (adjoint seeds).
+     * @param input_grads Receives numVars() rows.
+     * @param state The state forwardBatch() ran on.
+     */
+    void backwardBatch(const double *output_grads,
+                       double *input_grads,
+                       BatchEvalState &state) const;
+
     /** Convenience: forward then return a copy of the outputs. */
     std::vector<double> eval(const std::vector<double> &inputs,
                              EvalState &state) const;
@@ -106,18 +182,13 @@ class CompiledExprs
     std::vector<double> eval(const std::vector<double> &inputs);
 
   private:
-    struct Instr
-    {
-        OpCode op;
-        int32_t a0 = -1;    ///< operand slots into the value buffer
-        int32_t a1 = -1;
-        int32_t a2 = -1;
-        double payload = 0; ///< constant value / variable input slot
-    };
+    void bind(EvalState &state) const;
+    void bind(BatchEvalState &state) const;
 
     std::vector<std::string> varNames_;
-    std::vector<Instr> tape_;
-    std::vector<int32_t> outputSlots_;
+    TapeProgram program_;
+    TapeOptStats optStats_;
+    uint64_t tapeId_;   ///< process-unique, guards state rebinding
     EvalState state_;   ///< backs the stateless overloads only
 };
 

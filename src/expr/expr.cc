@@ -1,5 +1,7 @@
 #include "expr/expr.h"
 
+#include "expr/op_kernels.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -340,45 +342,12 @@ Expr::varName() const
 double
 evalOp(OpCode op, const double *a)
 {
-    switch (op) {
-      case OpCode::Add: return a[0] + a[1];
-      case OpCode::Sub: return a[0] - a[1];
-      case OpCode::Mul: return a[0] * a[1];
-      case OpCode::Div:
-        // Totalized division: sizes are >= 1 in valid schedules; an
-        // optimizer probing near 0 must still get a finite value.
-        if (a[1] == 0.0)
-            return a[0] >= 0.0 ? a[0] * 1e18 : a[0] * -1e18;
-        return a[0] / a[1];
-      case OpCode::Pow: return std::pow(a[0], a[1]);
-      case OpCode::Min: return std::min(a[0], a[1]);
-      case OpCode::Max: return std::max(a[0], a[1]);
-      case OpCode::Neg: return -a[0];
-      case OpCode::Log:
-        // Safe log keeps the surrogate finite when the optimizer
-        // probes infeasible points; the penalty terms pull it back.
-        return std::log(std::max(a[0], 1e-300));
-      case OpCode::Exp: return std::exp(std::min(a[0], 700.0));
-      case OpCode::Sqrt: return std::sqrt(std::max(a[0], 0.0));
-      case OpCode::Abs: return std::abs(a[0]);
-      case OpCode::Floor: return std::floor(a[0]);
-      case OpCode::Atan: return std::atan(a[0]);
-      case OpCode::Sigmoid:
-        // Smooth step from the algebraic kernel 1/sqrt(1+t^2):
-        // S(x) = (1 + x/sqrt(1+x^2)) / 2, heavy-tailed vs. logistic.
-        return 0.5 * (1.0 + a[0] / std::sqrt(1.0 + a[0] * a[0]));
-      case OpCode::Lt: return a[0] < a[1] ? 1.0 : 0.0;
-      case OpCode::Le: return a[0] <= a[1] ? 1.0 : 0.0;
-      case OpCode::Gt: return a[0] > a[1] ? 1.0 : 0.0;
-      case OpCode::Ge: return a[0] >= a[1] ? 1.0 : 0.0;
-      case OpCode::Eq: return a[0] == a[1] ? 1.0 : 0.0;
-      case OpCode::Ne: return a[0] != a[1] ? 1.0 : 0.0;
-      case OpCode::Select: return a[0] != 0.0 ? a[1] : a[2];
-      case OpCode::ConstOp:
-      case OpCode::VarOp:
-        break;
-    }
-    panic("evalOp on leaf opcode");
+    // The per-op semantics live in expr/op_kernels.h so the scalar
+    // walk, the batched SoA lanes, and the reference interpreters
+    // all inline the identical floating-point sequence.
+    if (op == OpCode::ConstOp || op == OpCode::VarOp)
+        panic("evalOp on leaf opcode");
+    return opk::evalOpInline(op, a);
 }
 
 Expr

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Single source of truth for the scalar semantics of every opcode —
+ * forward value and reverse-mode adjoint update — as small inline
+ * functions.
+ *
+ * Both the scalar tape walk and the batched SoA lanes (and the
+ * reference interpreters the tests compare against) call these same
+ * inlined kernels, so one point evaluated through any path executes
+ * the identical floating-point operation sequence and produces
+ * bit-identical results. Do not duplicate these formulas elsewhere:
+ * a reassociated copy would silently break the determinism contract
+ * (docs/tape_engine.md).
+ */
+#ifndef FELIX_EXPR_OP_KERNELS_H_
+#define FELIX_EXPR_OP_KERNELS_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/expr.h"
+
+namespace felix {
+namespace expr {
+namespace opk {
+
+// ---------------------------------------------------------------
+// Forward kernels. Semantics notes (totalized division, safe log,
+// clamped exp/sqrt, the algebraic sigmoid) are documented on evalOp
+// in expr.h; the bodies here are the authoritative definitions.
+// ---------------------------------------------------------------
+
+inline double fwdAdd(double a, double b) { return a + b; }
+inline double fwdSub(double a, double b) { return a - b; }
+inline double fwdMul(double a, double b) { return a * b; }
+
+inline double
+fwdDiv(double a, double b)
+{
+    // Totalized division: sizes are >= 1 in valid schedules; an
+    // optimizer probing near 0 must still get a finite value.
+    if (b == 0.0)
+        return a >= 0.0 ? a * 1e18 : a * -1e18;
+    return a / b;
+}
+
+inline double fwdPow(double a, double b) { return std::pow(a, b); }
+inline double fwdMin(double a, double b) { return std::min(a, b); }
+inline double fwdMax(double a, double b) { return std::max(a, b); }
+inline double fwdNeg(double a) { return -a; }
+
+inline double
+fwdLog(double a)
+{
+    // Safe log keeps the surrogate finite when the optimizer probes
+    // infeasible points; the penalty terms pull it back.
+    return std::log(std::max(a, 1e-300));
+}
+
+inline double fwdExp(double a) { return std::exp(std::min(a, 700.0)); }
+inline double fwdSqrt(double a) { return std::sqrt(std::max(a, 0.0)); }
+inline double fwdAbs(double a) { return std::abs(a); }
+inline double fwdFloor(double a) { return std::floor(a); }
+inline double fwdAtan(double a) { return std::atan(a); }
+
+inline double
+fwdSigmoid(double a)
+{
+    // Smooth step from the algebraic kernel 1/sqrt(1+t^2):
+    // S(x) = (1 + x/sqrt(1+x^2)) / 2, heavy-tailed vs. logistic.
+    return 0.5 * (1.0 + a / std::sqrt(1.0 + a * a));
+}
+
+inline double fwdLt(double a, double b) { return a < b ? 1.0 : 0.0; }
+inline double fwdLe(double a, double b) { return a <= b ? 1.0 : 0.0; }
+inline double fwdGt(double a, double b) { return a > b ? 1.0 : 0.0; }
+inline double fwdGe(double a, double b) { return a >= b ? 1.0 : 0.0; }
+inline double fwdEq(double a, double b) { return a == b ? 1.0 : 0.0; }
+inline double fwdNe(double a, double b) { return a != b ? 1.0 : 0.0; }
+
+inline double
+fwdSelect(double c, double t, double e)
+{
+    return c != 0.0 ? t : e;
+}
+
+/** Forward semantics of a non-leaf opcode on concrete operands. */
+inline double
+evalOpInline(OpCode op, const double *a)
+{
+    switch (op) {
+      case OpCode::Add: return fwdAdd(a[0], a[1]);
+      case OpCode::Sub: return fwdSub(a[0], a[1]);
+      case OpCode::Mul: return fwdMul(a[0], a[1]);
+      case OpCode::Div: return fwdDiv(a[0], a[1]);
+      case OpCode::Pow: return fwdPow(a[0], a[1]);
+      case OpCode::Min: return fwdMin(a[0], a[1]);
+      case OpCode::Max: return fwdMax(a[0], a[1]);
+      case OpCode::Neg: return fwdNeg(a[0]);
+      case OpCode::Log: return fwdLog(a[0]);
+      case OpCode::Exp: return fwdExp(a[0]);
+      case OpCode::Sqrt: return fwdSqrt(a[0]);
+      case OpCode::Abs: return fwdAbs(a[0]);
+      case OpCode::Floor: return fwdFloor(a[0]);
+      case OpCode::Atan: return fwdAtan(a[0]);
+      case OpCode::Sigmoid: return fwdSigmoid(a[0]);
+      case OpCode::Lt: return fwdLt(a[0], a[1]);
+      case OpCode::Le: return fwdLe(a[0], a[1]);
+      case OpCode::Gt: return fwdGt(a[0], a[1]);
+      case OpCode::Ge: return fwdGe(a[0], a[1]);
+      case OpCode::Eq: return fwdEq(a[0], a[1]);
+      case OpCode::Ne: return fwdNe(a[0], a[1]);
+      case OpCode::Select: return fwdSelect(a[0], a[1], a[2]);
+      case OpCode::ConstOp:
+      case OpCode::VarOp:
+        break;
+    }
+    return 0.0;   // leaves are handled by the caller
+}
+
+// ---------------------------------------------------------------
+// Reverse-mode kernel.
+//
+// Applies one instruction's adjoint update: given the node's adjoint
+// `adj` (caller guarantees adj != 0), its forward value `v`, and its
+// operand values a0/a1/a2, accumulates into the operand adjoint
+// slots. The conditional structure (which slots receive an update,
+// and when none do) is part of the bit-exactness contract: adding an
+// explicit 0.0 where the scalar path added nothing could flip the
+// sign of a -0.0 adjoint, so the conditions must stay exactly as
+// they are here. Non-differentiable ops use one-sided subgradients;
+// comparisons and floor have zero derivative (see
+// CompiledExprs::backward docs).
+// ---------------------------------------------------------------
+inline void
+backpropOp(OpCode op, double adj, double v, double a0, double a1,
+           double *adj0, double *adj1, double *adj2)
+{
+    switch (op) {
+      case OpCode::ConstOp:
+      case OpCode::VarOp:
+        break;    // leaves: handled by the engine
+      case OpCode::Add:
+        *adj0 += adj;
+        *adj1 += adj;
+        break;
+      case OpCode::Sub:
+        *adj0 += adj;
+        *adj1 -= adj;
+        break;
+      case OpCode::Mul:
+        *adj0 += adj * a1;
+        *adj1 += adj * a0;
+        break;
+      case OpCode::Div: {
+        if (a1 != 0.0) {
+            *adj0 += adj / a1;
+            *adj1 -= adj * a0 / (a1 * a1);
+        }
+        // At b == 0 the totalized forward value is a huge
+        // surrogate; propagating its "gradient" would only
+        // destabilize the search, so we drop it (the penalty
+        // terms steer the optimizer back into the feasible box).
+        break;
+      }
+      case OpCode::Pow: {
+        if (a0 > 0.0) {
+            *adj0 += adj * a1 * std::pow(a0, a1 - 1.0);
+            *adj1 += adj * v * std::log(a0);
+        } else if (a0 < 0.0) {
+            *adj0 += adj * a1 * std::pow(a0, a1 - 1.0);
+        }
+        break;
+      }
+      case OpCode::Min:
+        if (a0 <= a1)
+            *adj0 += adj;
+        else
+            *adj1 += adj;
+        break;
+      case OpCode::Max:
+        if (a0 >= a1)
+            *adj0 += adj;
+        else
+            *adj1 += adj;
+        break;
+      case OpCode::Neg:
+        *adj0 -= adj;
+        break;
+      case OpCode::Log:
+        *adj0 += adj / std::max(a0, 1e-300);
+        break;
+      case OpCode::Exp:
+        *adj0 += adj * v;
+        break;
+      case OpCode::Sqrt: {
+        if (a0 > 0.0)
+            *adj0 += adj * 0.5 / std::sqrt(a0);
+        break;
+      }
+      case OpCode::Abs:
+        *adj0 += a0 >= 0.0 ? adj : -adj;
+        break;
+      case OpCode::Floor:
+        break;    // piecewise-constant: zero derivative
+      case OpCode::Atan:
+        *adj0 += adj / (1.0 + a0 * a0);
+        break;
+      case OpCode::Sigmoid: {
+        // d/dx [ (1 + x/sqrt(1+x^2)) / 2 ] = (1+x^2)^(-3/2) / 2
+        double t = 1.0 + a0 * a0;
+        *adj0 += adj * 0.5 / (t * std::sqrt(t));
+        break;
+      }
+      case OpCode::Lt:
+      case OpCode::Le:
+      case OpCode::Gt:
+      case OpCode::Ge:
+      case OpCode::Eq:
+      case OpCode::Ne:
+        break;    // step functions: zero derivative a.e.
+      case OpCode::Select:
+        if (a0 != 0.0)
+            *adj1 += adj;
+        else
+            *adj2 += adj;
+        break;
+    }
+}
+
+} // namespace opk
+} // namespace expr
+} // namespace felix
+
+#endif // FELIX_EXPR_OP_KERNELS_H_

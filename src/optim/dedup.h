@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Hash key for deduplicating visited schedules (sketch index plus
+ * concrete variable assignment), shared by the gradient search and
+ * the evolutionary baseline.
+ *
+ * Both searches collect candidates into an unordered container
+ * during the round and sort ONCE by (sketch, lexicographic x)
+ * before ranking — reproducing the iteration order of the ordered
+ * map this replaced, so downstream results are deterministic and
+ * independent of insertion order (and of --jobs).
+ */
+#ifndef FELIX_OPTIM_DEDUP_H_
+#define FELIX_OPTIM_DEDUP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace felix {
+namespace optim {
+
+/** Identity of a visited schedule: (sketch, x). */
+struct CandidateKey
+{
+    int sketchIdx = 0;
+    std::vector<double> x;
+
+    bool operator==(const CandidateKey &other) const
+    {
+        return sketchIdx == other.sketchIdx && x == other.x;
+    }
+};
+
+/**
+ * Cheap canonical hash: folds the bit patterns of x, with signed
+ * zeros normalized so the hash is consistent with operator== (which
+ * treats -0.0 and +0.0 as equal, like the ordered-map comparison it
+ * replaced).
+ */
+struct CandidateKeyHash
+{
+    size_t operator()(const CandidateKey &key) const
+    {
+        uint64_t h = 0x9e3779b97f4a7c15ull ^
+                     static_cast<uint64_t>(key.sketchIdx);
+        for (double v : key.x) {
+            const double canon = v == 0.0 ? 0.0 : v;
+            uint64_t bits;
+            std::memcpy(&bits, &canon, sizeof(bits));
+            h ^= bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+} // namespace optim
+} // namespace felix
+
+#endif // FELIX_OPTIM_DEDUP_H_

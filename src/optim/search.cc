@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <unordered_set>
 
 #include "features/features.h"
+#include "optim/dedup.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/smoothing.h"
@@ -73,10 +74,12 @@ GradientSearch::GradientSearch(const tir::SubgraphDef &subgraph,
             context.varNames.push_back(domain.name);
 
         // Exact x-space feature formulas (candidate evaluation and
-        // hardware measurement path).
+        // hardware measurement path). Ranking never differentiates
+        // them, so the tape opts into the forward-only optimizer
+        // passes.
         auto raw = features::extractFeatures(sched.program);
         context.rawFeatures = std::make_unique<expr::CompiledExprs>(
-            raw, context.varNames);
+            raw, context.varNames, /*forward_only=*/true);
 
         // Differentiable objective tape: smoothed model inputs
         // log(max(f,1)) composed with the e^y substitution, plus the
@@ -130,6 +133,26 @@ struct SeedOutcome
     int roundingInvalid = 0;
 };
 
+/**
+ * Per-worker scratch for the batched descent and ranking paths:
+ * tape + model buffers plus the SoA staging rows, allocated once per
+ * worker thread and reused across batches and rounds.
+ */
+struct WorkerBatchScratch
+{
+    expr::BatchEvalState tape;
+    costmodel::PredictScratch predict;
+    std::vector<double> inputs, outputs, outputGrads, inputGrads;
+    std::vector<double> modelGrads, laneGrad, logPoint;
+};
+
+WorkerBatchScratch &
+workerScratch()
+{
+    static thread_local WorkerBatchScratch scratch;
+    return scratch;
+}
+
 } // namespace
 
 RoundResult
@@ -148,6 +171,146 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
     std::vector<Rng> seedRngs = rng.forkStreams(options_.nSeeds);
     std::vector<SeedOutcome> outcomes(options_.nSeeds);
 
+    if (options_.useBatch) {
+        // Seeds sharing a sketch descend in lockstep batches of up
+        // to kBatchLanes lanes through the batched tape and the
+        // batched MLP. Batch composition depends only on seed
+        // indices (never on --jobs), each lane carries exactly the
+        // per-seed state the scalar path would (rng, Adam, iterate),
+        // and every batched kernel is per-lane bit-identical to its
+        // scalar counterpart — so the outcome per seed is
+        // bit-identical to the scalar branch below.
+        struct SeedBatch
+        {
+            int sketchIdx = 0;
+            std::vector<int> seeds;
+        };
+        std::vector<SeedBatch> batches;
+        for (size_t sk = 0; sk < contexts_.size(); ++sk) {
+            SeedBatch cur{static_cast<int>(sk), {}};
+            for (int seed = 0; seed < options_.nSeeds; ++seed) {
+                if (seed % static_cast<int>(contexts_.size()) !=
+                    static_cast<int>(sk))
+                    continue;
+                cur.seeds.push_back(seed);
+                if (cur.seeds.size() == kBatchLanes) {
+                    batches.push_back(std::move(cur));
+                    cur = SeedBatch{static_cast<int>(sk), {}};
+                }
+            }
+            if (!cur.seeds.empty())
+                batches.push_back(std::move(cur));
+        }
+        registry.counter("search.seed_batches")
+            .add(static_cast<double>(batches.size()));
+
+        parallelFor("search.seed_batch", batches.size(), [&](size_t
+                                                                bi) {
+            const SeedBatch &batch = batches[bi];
+            const SketchContext &context = contexts_[batch.sketchIdx];
+            const size_t numVars = context.varNames.size();
+            const size_t width = batch.seeds.size();
+            const size_t numOutputs = context.objective->numOutputs();
+            constexpr size_t L = kBatchLanes;
+
+            std::vector<std::vector<double>> x0(width), y(width);
+            std::vector<Adam> adams;
+            adams.reserve(width);
+            for (size_t l = 0; l < width; ++l) {
+                const int seed = batch.seeds[l];
+                Rng &seedRng = seedRngs[seed];
+                if (seed == 0 && bestMeasuredLatency_ > 0.0 &&
+                    bestMeasured_.sketchIndex == batch.sketchIdx) {
+                    x0[l] = bestMeasured_.x;
+                } else {
+                    x0[l] =
+                        sketch::sampleValid(*context.sched, seedRng);
+                }
+                y[l].resize(numVars);
+                for (size_t i = 0; i < numVars; ++i) {
+                    y[l][i] = options_.applyLogExp
+                                  ? std::log(std::max(1.0, x0[l][i]))
+                                  : x0[l][i];
+                }
+                adams.emplace_back(numVars, options_.adam);
+            }
+
+            WorkerBatchScratch &ws = workerScratch();
+            ws.inputs.resize(numVars * L);
+            ws.outputs.resize(numOutputs * L);
+            ws.outputGrads.resize(numOutputs * L);
+            ws.inputGrads.resize(numVars * L);
+            ws.modelGrads.resize(
+                static_cast<size_t>(numFeatures) * L);
+            ws.laneGrad.resize(numVars);
+            double scores[kBatchLanes];
+
+            for (int step = 0; step < options_.nSteps; ++step) {
+                for (size_t l = 0; l < width; ++l)
+                    for (size_t v = 0; v < numVars; ++v)
+                        ws.inputs[v * L + l] = y[l][v];
+                context.objective->forwardBatch(
+                    ws.inputs.data(), width, ws.outputs.data(),
+                    ws.tape);
+                // The first numFeatures output rows are the smoothed
+                // model inputs, already in the SoA rows the batched
+                // cost model consumes — no repacking.
+                model.predictTransformedWithGradBatch(
+                    ws.outputs.data(), scores, ws.modelGrads.data(),
+                    ws.predict);
+                for (size_t l = 0; l < width; ++l)
+                    outcomes[batch.seeds[l]].visitedScores.push_back(
+                        scores[l]);
+
+                std::fill(ws.outputGrads.begin(),
+                          ws.outputGrads.end(), 0.0);
+                for (int k = 0; k < numFeatures; ++k) {
+                    const size_t row = static_cast<size_t>(k) * L;
+                    for (size_t l = 0; l < width; ++l)
+                        ws.outputGrads[row + l] =
+                            -ws.modelGrads[row + l];
+                }
+                for (size_t p = 0; p < context.numPenalties; ++p) {
+                    const size_t row = (numFeatures + p) * L;
+                    for (size_t l = 0; l < width; ++l) {
+                        const double g = ws.outputs[row + l];
+                        if (g > 0.0)
+                            ws.outputGrads[row + l] =
+                                options_.lambda * 2.0 * g;
+                    }
+                }
+                context.objective->backwardBatch(
+                    ws.outputGrads.data(), ws.inputGrads.data(),
+                    ws.tape);
+
+                for (size_t l = 0; l < width; ++l) {
+                    SeedOutcome &outcome = outcomes[batch.seeds[l]];
+                    for (size_t v = 0; v < numVars; ++v)
+                        ws.laneGrad[v] = ws.inputGrads[v * L + l];
+                    adams[l].step(y[l], ws.laneGrad);
+
+                    ws.logPoint = y[l];
+                    if (!options_.applyLogExp) {
+                        for (double &v : ws.logPoint)
+                            v = std::log(std::max(1e-9, v));
+                    }
+                    auto rounded = sketch::roundToValid(
+                        *context.sched, ws.logPoint,
+                        *context.checker);
+                    ++outcome.roundingAttempts;
+                    if (rounded) {
+                        outcome.validPoints.push_back(
+                            std::move(*rounded));
+                    } else {
+                        ++outcome.roundingInvalid;
+                    }
+                }
+            }
+            for (size_t l = 0; l < width; ++l)
+                outcomes[batch.seeds[l]].validPoints.push_back(
+                    std::move(x0[l]));
+        });
+    } else {
     parallelFor("search.seed_descent", options_.nSeeds, [&](size_t
                                                                 seed) {
         const int sketchIdx =
@@ -225,10 +388,21 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
         // The starting point is a valid schedule too.
         outcome.validPoints.push_back(std::move(x0));
     });
+    }
 
-    // Deduplicated valid candidates across all seeds and steps. The
-    // map is keyed by value, so insertion order cannot change it.
-    std::map<std::pair<int, std::vector<double>>, Candidate> seen;
+    // Deduplicated valid candidates across all seeds and steps,
+    // keyed by a cheap canonical hash of (sketch, x). The single
+    // sort below restores the (sketch, lexicographic x) order the
+    // ordered map historically provided, so the ranking input stays
+    // deterministic and identical to the old container for any
+    // insertion order.
+    std::unordered_set<CandidateKey, CandidateKeyHash> seen;
+    {
+        size_t totalPoints = 0;
+        for (const SeedOutcome &outcome : outcomes)
+            totalPoints += outcome.validPoints.size();
+        seen.reserve(totalPoints);
+    }
     for (int seed = 0; seed < options_.nSeeds; ++seed) {
         const int sketchIdx =
             static_cast<int>(seed % contexts_.size());
@@ -241,10 +415,8 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
             static_cast<int>(outcome.visitedScores.size());
         result.trace.roundingAttempts += outcome.roundingAttempts;
         result.trace.roundingInvalid += outcome.roundingInvalid;
-        for (std::vector<double> &x : outcome.validPoints) {
-            seen.emplace(std::make_pair(sketchIdx, x),
-                         Candidate{sketchIdx, x, {}, 0.0});
-        }
+        for (std::vector<double> &x : outcome.validPoints)
+            seen.insert(CandidateKey{sketchIdx, std::move(x)});
     }
     registry.counter("search.seeds").add(options_.nSeeds);
     registry.counter("search.adam_steps")
@@ -260,19 +432,83 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
     FELIX_SPAN("search.rank_candidates", "search");
     std::vector<Candidate> candidates;
     candidates.reserve(seen.size());
-    for (auto &entry : seen)
-        candidates.push_back(std::move(entry.second));
-    parallelFor("search.rank_candidate", candidates.size(),
-                [&](size_t i) {
-                    Candidate &candidate = candidates[i];
-                    const SketchContext &context =
-                        contexts_[candidate.sketchIndex];
-                    expr::EvalState evalState;
-                    candidate.rawFeatures = context.rawFeatures->eval(
-                        candidate.x, evalState);
-                    candidate.predictedScore =
-                        model.predict(candidate.rawFeatures);
-                });
+    for (const CandidateKey &key : seen)
+        candidates.push_back(Candidate{key.sketchIdx, key.x, {}, 0.0});
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.sketchIndex != b.sketchIndex)
+                      return a.sketchIndex < b.sketchIndex;
+                  return a.x < b.x;
+              });
+    if (options_.useBatch) {
+        // Same-sketch candidates are contiguous after the sort, so
+        // each batch shares one feature tape; the tape's output rows
+        // flow into the batched MLP without repacking.
+        struct RankBatch
+        {
+            size_t begin = 0, end = 0;
+        };
+        std::vector<RankBatch> rankBatches;
+        for (size_t i = 0; i < candidates.size();) {
+            size_t runEnd = i;
+            while (runEnd < candidates.size() &&
+                   candidates[runEnd].sketchIndex ==
+                       candidates[i].sketchIndex)
+                ++runEnd;
+            for (size_t b = i; b < runEnd; b += kBatchLanes)
+                rankBatches.push_back(
+                    RankBatch{b, std::min(runEnd, b + kBatchLanes)});
+            i = runEnd;
+        }
+        parallelFor(
+            "search.rank_batch", rankBatches.size(), [&](size_t bi) {
+                const RankBatch rb = rankBatches[bi];
+                const size_t width = rb.end - rb.begin;
+                const SketchContext &context =
+                    contexts_[candidates[rb.begin].sketchIndex];
+                const size_t numVars = context.varNames.size();
+                constexpr size_t L = kBatchLanes;
+                WorkerBatchScratch &ws = workerScratch();
+                ws.inputs.resize(numVars * L);
+                ws.outputs.resize(
+                    static_cast<size_t>(numFeatures) * L);
+                for (size_t l = 0; l < width; ++l)
+                    for (size_t v = 0; v < numVars; ++v)
+                        ws.inputs[v * L + l] =
+                            candidates[rb.begin + l].x[v];
+                context.rawFeatures->forwardBatch(
+                    ws.inputs.data(), width, ws.outputs.data(),
+                    ws.tape);
+                double scores[kBatchLanes];
+                model.predictBatch(ws.outputs.data(), scores,
+                                   ws.predict);
+                for (size_t l = 0; l < width; ++l) {
+                    Candidate &candidate = candidates[rb.begin + l];
+                    candidate.rawFeatures.resize(numFeatures);
+                    for (int k = 0; k < numFeatures; ++k)
+                        candidate.rawFeatures[k] =
+                            ws.outputs[static_cast<size_t>(k) * L +
+                                       l];
+                    candidate.predictedScore = scores[l];
+                }
+            });
+    } else {
+        parallelFor("search.rank_candidate", candidates.size(),
+                    [&](size_t i) {
+                        Candidate &candidate = candidates[i];
+                        const SketchContext &context =
+                            contexts_[candidate.sketchIndex];
+                        // One eval state per worker, reused across
+                        // candidates and rounds (it rebinds itself
+                        // when the sketch tape changes).
+                        static thread_local expr::EvalState evalState;
+                        candidate.rawFeatures =
+                            context.rawFeatures->eval(candidate.x,
+                                                      evalState);
+                        candidate.predictedScore =
+                            model.predict(candidate.rawFeatures);
+                    });
+    }
     result.trace.numPredictions +=
         static_cast<int>(candidates.size());
     std::sort(candidates.begin(), candidates.end(),

@@ -115,6 +115,13 @@ struct GradSearchOptions
     /** false: skip the log-feature + x = e^y rewrites and optimize
      *  the variables directly in x space. */
     bool applyLogExp = true;
+
+    /** false: per-seed scalar descent and per-candidate scalar
+     *  ranking instead of the lockstep SoA batches. Results are
+     *  bit-identical either way (the parity tests enforce it); the
+     *  scalar path exists as their reference and as the
+     *  microbenchmark baseline. */
+    bool useBatch = true;
 };
 
 /** Felix's gradient-descent schedule search for one subgraph. */

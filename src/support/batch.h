@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The process-wide SIMD lane width for batched (structure-of-arrays)
+ * evaluation: the tape engine (expr/compiled.h) and the MLP inference
+ * path (costmodel/mlp.h) evaluate up to kBatchLanes points in
+ * lockstep, with every per-point buffer laid out as rows of exactly
+ * kBatchLanes doubles.
+ *
+ * The width is a compile-time constant so the inner lane loops have a
+ * fixed trip count the compiler can fully unroll and vectorize (8
+ * doubles = one AVX-512 register, two AVX2 registers, four SSE2
+ * registers). Partial batches still allocate full rows; unused lanes
+ * are padded (see the respective engines) so the hot loops never
+ * carry a runtime trip count.
+ */
+#ifndef FELIX_SUPPORT_BATCH_H_
+#define FELIX_SUPPORT_BATCH_H_
+
+#include <cstddef>
+
+namespace felix {
+
+/** Lane count of every batched evaluation path (compile-time). */
+inline constexpr std::size_t kBatchLanes = 8;
+
+} // namespace felix
+
+#endif // FELIX_SUPPORT_BATCH_H_
