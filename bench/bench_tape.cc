@@ -3,22 +3,36 @@
  * Tape-engine throughput microbenchmark: points/second through a
  * production feature tape (a dense-matmul sketch's 82 feature
  * formulas), scalar vs. batched SoA, forward-only and
- * forward+backward, plus the batched MLP inference the points feed.
- * Instruction counts before/after the tape optimizer are reported
- * as counters. Results are recorded in EXPERIMENTS.md; the batched
- * path must clear 2x the scalar points/sec.
+ * forward+backward, plus the batched MLP kernels the points feed and
+ * the Adam parameter update. Every batched benchmark runs once per
+ * available SIMD backend (scalar fallback, SSE2, AVX2, AVX-512 —
+ * whatever this build and CPU support), so one run shows the whole
+ * width sweep. Instruction counts before/after the tape optimizer
+ * are reported as counters.
+ *
+ * Besides the console table, results are written machine-readable to
+ * BENCH_tape.json in the working directory (override with
+ * --json-out=FILE); datapoints are recorded in EXPERIMENTS.md. The
+ * widest batched backend must clear 2x the scalar points/sec.
  */
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "costmodel/mlp.h"
 #include "expr/compiled.h"
 #include "features/features.h"
+#include "obs/json.h"
+#include "optim/adam.h"
 #include "rewrite/smoothing.h"
 #include "rewrite/transforms.h"
+#include "simd/kernels.h"
 #include "sketch/sampling.h"
 #include "sketch/sketch.h"
 #include "support/batch.h"
@@ -105,16 +119,18 @@ samplePoints(const expr::CompiledExprs &tape, bool log_space)
 
 void
 reportTapeCounters(benchmark::State &state,
-                   const expr::CompiledExprs &tape)
+                   const expr::CompiledExprs &tape, double points)
 {
     state.counters["instrs_raw"] =
         static_cast<double>(tape.tapeSize());
     state.counters["instrs_optimized"] =
         static_cast<double>(tape.optimizedSize());
     state.counters["points_per_sec"] = benchmark::Counter(
-        static_cast<double>(state.iterations()),
+        static_cast<double>(state.iterations()) * points,
         benchmark::Counter::kIsRate);
 }
+
+// ---- benchmark bodies -------------------------------------------
 
 void
 BM_TapeForwardScalar(benchmark::State &state)
@@ -132,9 +148,8 @@ BM_TapeForwardScalar(benchmark::State &state)
         benchmark::DoNotOptimize(out.data());
         lane = (lane + 1) % L;
     }
-    reportTapeCounters(state, tape);
+    reportTapeCounters(state, tape, 1.0);
 }
-BENCHMARK(BM_TapeForwardScalar);
 
 void
 BM_TapeForwardBatch(benchmark::State &state)
@@ -149,18 +164,8 @@ BM_TapeForwardBatch(benchmark::State &state)
                           evalState);
         benchmark::DoNotOptimize(outputs.data());
     }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<int64_t>(L));
-    state.counters["instrs_raw"] =
-        static_cast<double>(tape.tapeSize());
-    state.counters["instrs_optimized"] =
-        static_cast<double>(tape.optimizedSize());
-    state.counters["points_per_sec"] = benchmark::Counter(
-        static_cast<double>(state.iterations()) *
-            static_cast<double>(L),
-        benchmark::Counter::kIsRate);
+    reportTapeCounters(state, tape, static_cast<double>(L));
 }
-BENCHMARK(BM_TapeForwardBatch);
 
 void
 BM_TapeForwardBackwardScalar(benchmark::State &state)
@@ -180,9 +185,8 @@ BM_TapeForwardBackwardScalar(benchmark::State &state)
         benchmark::DoNotOptimize(grad.data());
         lane = (lane + 1) % L;
     }
-    reportTapeCounters(state, tape);
+    reportTapeCounters(state, tape, 1.0);
 }
-BENCHMARK(BM_TapeForwardBackwardScalar);
 
 void
 BM_TapeForwardBackwardBatch(benchmark::State &state)
@@ -200,22 +204,36 @@ BM_TapeForwardBackwardBatch(benchmark::State &state)
         tape.backwardBatch(seeds.data(), grads.data(), evalState);
         benchmark::DoNotOptimize(grads.data());
     }
-    state.counters["instrs_raw"] =
-        static_cast<double>(tape.tapeSize());
-    state.counters["instrs_optimized"] =
-        static_cast<double>(tape.optimizedSize());
+    reportTapeCounters(state, tape, static_cast<double>(L));
+}
+
+void
+BM_MlpForwardBatch(benchmark::State &state)
+{
+    Rng rng(7);
+    costmodel::MlpConfig config;   // default 82-input network
+    costmodel::Mlp mlp(config, rng);
+    costmodel::MlpBatchScratch scratch;
+    constexpr size_t L = kBatchLanes;
+    std::vector<double> x(82 * L);
+    for (double &v : x)
+        v = rng.uniform(-2.0, 2.0);
+    double y[kBatchLanes];
+    for (auto _ : state) {
+        mlp.forwardBatch(x.data(), y, scratch);
+        benchmark::DoNotOptimize(&y[0]);
+    }
     state.counters["points_per_sec"] = benchmark::Counter(
         static_cast<double>(state.iterations()) *
             static_cast<double>(L),
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_TapeForwardBackwardBatch);
 
 void
 BM_MlpInputGradScalar(benchmark::State &state)
 {
     Rng rng(7);
-    costmodel::MlpConfig config;   // default 82-input network
+    costmodel::MlpConfig config;
     costmodel::Mlp mlp(config, rng);
     costmodel::MlpScratch scratch;
     std::vector<double> x(82);
@@ -231,7 +249,6 @@ BM_MlpInputGradScalar(benchmark::State &state)
         static_cast<double>(state.iterations()),
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_MlpInputGradScalar);
 
 void
 BM_MlpInputGradBatch(benchmark::State &state)
@@ -255,8 +272,184 @@ BM_MlpInputGradBatch(benchmark::State &state)
             static_cast<double>(L),
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_MlpInputGradBatch);
+
+void
+BM_AdamStep(benchmark::State &state)
+{
+    // A parameter vector the size of the default cost model's first
+    // layer (82x256 weights), a realistic Adam workload.
+    Rng rng(11);
+    const size_t n = 82 * 256;
+    std::vector<double> x(n), g(n);
+    for (size_t i = 0; i < n; ++i) {
+        x[i] = rng.uniform(-1.0, 1.0);
+        g[i] = rng.uniform(-0.1, 0.1);
+    }
+    optim::Adam adam(n);
+    for (auto _ : state) {
+        adam.step(x, g);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.counters["params_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(n),
+        benchmark::Counter::kIsRate);
+}
+
+// ---- per-width registration and JSON capture --------------------
+
+/** simd_width / backend attached to each registered benchmark. */
+struct BenchTag
+{
+    int simdWidth;         // 0 = per-point scalar engine (no SIMD)
+    std::string backend;   // dispatch backend name, "" for scalar
+};
+std::map<std::string, BenchTag> g_tags;
+
+/**
+ * Register `fn` once per SIMD backend this build AND this CPU
+ * support; each variant pins the dispatch override before running.
+ * The console/JSON name carries the backend, e.g.
+ * "tape_forward/batch/simd=avx512".
+ */
+void
+registerWidthVariants(const std::string &base,
+                      void (*fn)(benchmark::State &))
+{
+    for (int w : simd::availableWidths()) {
+        if (!simd::setPreferredWidth(w))
+            continue;   // compiled in, but the CPU lacks it
+        const std::string backend = simd::activeBackendName();
+        const std::string name = base + "/simd=" + backend;
+        g_tags[name] = {w, backend};
+        benchmark::RegisterBenchmark(
+            name.c_str(), [fn, w](benchmark::State &st) {
+                simd::setPreferredWidth(w);
+                fn(st);
+            });
+    }
+    simd::setPreferredWidth(0);
+}
+
+void
+registerScalarEngine(const std::string &name,
+                     void (*fn)(benchmark::State &))
+{
+    g_tags[name] = {0, ""};
+    benchmark::RegisterBenchmark(
+        name.c_str(), [fn](benchmark::State &st) {
+            // The per-point engine is SIMD-independent, but pin the
+            // default backend anyway so a preceding variant's
+            // override can't leak in.
+            simd::setPreferredWidth(0);
+            fn(st);
+        });
+}
+
+/** One captured benchmark run for the JSON report. */
+struct CapturedRun
+{
+    std::string name;
+    double realTimeNs;
+    std::map<std::string, double> counters;
+};
+std::vector<CapturedRun> g_runs;
+
+/** Console output plus capture for BENCH_tape.json. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            CapturedRun captured;
+            captured.name = run.benchmark_name();
+            captured.realTimeNs = run.GetAdjustedRealTime();
+            for (const auto &entry : run.counters)
+                captured.counters[entry.first] = entry.second.value;
+            g_runs.push_back(std::move(captured));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+bool
+writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_tape: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string out;
+    out += "{\n  \"bench\": \"tape\",\n";
+    out += "  \"batch_lanes\": " +
+           std::to_string(static_cast<int>(kBatchLanes)) + ",\n";
+    out += "  \"default_backend\": " +
+           std::string("\"") + simd::activeBackendName() + "\",\n";
+    out += "  \"results\": [\n";
+    for (size_t i = 0; i < g_runs.size(); ++i) {
+        const CapturedRun &run = g_runs[i];
+        const BenchTag tag = g_tags.count(run.name)
+                                 ? g_tags[run.name]
+                                 : BenchTag{0, ""};
+        out += "    {\"name\": " + obs::jsonEscape(run.name) +
+               ", \"simd_width\": " + std::to_string(tag.simdWidth) +
+               ", \"backend\": " + obs::jsonEscape(tag.backend) +
+               ", \"real_time_ns\": " + obs::jsonNumber(run.realTimeNs);
+        for (const auto &counter : run.counters)
+            out += ", " + obs::jsonEscape(counter.first) + ": " +
+                   obs::jsonNumber(counter.second);
+        out += i + 1 < g_runs.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) ==
+                    out.size();
+    std::fclose(f);
+    if (ok)
+        std::printf("wrote %s\n", path.c_str());
+    return ok;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath = "BENCH_tape.json";
+    // Peel off --json-out=FILE before google-benchmark sees argv.
+    int argOut = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json-out=", 11) == 0)
+            jsonPath = argv[i] + 11;
+        else
+            argv[argOut++] = argv[i];
+    }
+    argc = argOut;
+
+    registerScalarEngine("tape_forward/scalar", BM_TapeForwardScalar);
+    registerWidthVariants("tape_forward/batch", BM_TapeForwardBatch);
+    registerScalarEngine("tape_fwd_bwd/scalar",
+                         BM_TapeForwardBackwardScalar);
+    registerWidthVariants("tape_fwd_bwd/batch",
+                          BM_TapeForwardBackwardBatch);
+    registerWidthVariants("mlp_forward/batch", BM_MlpForwardBatch);
+    registerScalarEngine("mlp_input_grad/scalar",
+                         BM_MlpInputGradScalar);
+    registerWidthVariants("mlp_input_grad/batch",
+                          BM_MlpInputGradBatch);
+    registerWidthVariants("adam_step", BM_AdamStep);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    simd::setPreferredWidth(0);
+    return writeJson(jsonPath) ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "obs/metrics.h"
+#include "simd/kernels.h"
 #include "support/logging.h"
 #include "support/parallel.h"
 
@@ -152,60 +153,17 @@ Mlp::forwardInputGrad(const std::vector<double> &x,
 
 void
 Mlp::forwardLayerBatch(const Layer &layer, bool hidden,
-                       const std::vector<double> &cur,
-                       std::vector<double> &out)
+                       const AlignedRows &cur, AlignedRows &out)
 {
-    constexpr size_t L = kBatchLanes;
-    out.resize(static_cast<size_t>(layer.out) * L);
-    const double *__restrict curBase = cur.data();
-    const double *__restrict weights = layer.weight.data();
-    // Blocks of four neurons share each input-row load instead of
-    // refetching it per neuron. Each lane still accumulates in the
-    // scalar order (bias first, then inputs 0..in-1), so per lane
-    // the result is bit-identical to forward().
-    constexpr int kBlock = 4;
-    const int fullEnd = layer.out - layer.out % kBlock;
-    for (int ob = 0; ob < fullEnd; ob += kBlock) {
-        double acc[kBlock][L];
-        for (int b = 0; b < kBlock; ++b)
-            for (size_t l = 0; l < L; ++l)
-                acc[b][l] = layer.bias[ob + b];
-        for (int i = 0; i < layer.in; ++i) {
-            const double *curRow =
-                curBase + static_cast<size_t>(i) * L;
-            for (int b = 0; b < kBlock; ++b) {
-                const double w =
-                    weights[static_cast<size_t>(ob + b) * layer.in +
-                            i];
-                for (size_t l = 0; l < L; ++l)
-                    acc[b][l] += w * curRow[l];
-            }
-        }
-        for (int b = 0; b < kBlock; ++b) {
-            double *__restrict outRow =
-                &out[static_cast<size_t>(ob + b) * L];
-            for (size_t l = 0; l < L; ++l)
-                outRow[l] =
-                    hidden && acc[b][l] < 0.0 ? 0.0 : acc[b][l];
-        }
-    }
-    for (int o = fullEnd; o < layer.out; ++o) {
-        double acc[L];
-        for (size_t l = 0; l < L; ++l)
-            acc[l] = layer.bias[o];
-        const double *__restrict row =
-            weights + static_cast<size_t>(o) * layer.in;
-        for (int i = 0; i < layer.in; ++i) {
-            const double w = row[i];
-            const double *curRow =
-                curBase + static_cast<size_t>(i) * L;
-            for (size_t l = 0; l < L; ++l)
-                acc[l] += w * curRow[l];
-        }
-        double *__restrict outRow = &out[static_cast<size_t>(o) * L];
-        for (size_t l = 0; l < L; ++l)
-            outRow[l] = hidden && acc[l] < 0.0 ? 0.0 : acc[l];
-    }
+    // The blocked kernel (four neurons share each input-row load;
+    // per lane the accumulation order stays bias first, then inputs
+    // 0..in-1, so per lane the result is bit-identical to forward())
+    // lives in src/simd/kernels_impl.h, compiled per SIMD backend
+    // and dispatched at runtime.
+    out.resize(static_cast<size_t>(layer.out) * kBatchLanes);
+    simd::activeKernels().mlpForwardLayer(
+        layer.weight.data(), layer.bias.data(), layer.in, layer.out,
+        hidden, cur.data(), out.data());
 }
 
 void
@@ -213,8 +171,8 @@ Mlp::forwardBatch(const double *x, double *y,
                   MlpBatchScratch &scratch) const
 {
     constexpr size_t L = kBatchLanes;
-    std::vector<double> &cur = scratch.cur;
-    std::vector<double> &next = scratch.next;
+    AlignedRows &cur = scratch.cur;
+    AlignedRows &next = scratch.next;
     cur.assign(x, x + static_cast<size_t>(inputSize()) * L);
     for (size_t li = 0; li < layers_.size(); ++li) {
         forwardLayerBatch(layers_[li], li + 1 < layers_.size(), cur,
@@ -230,7 +188,7 @@ Mlp::forwardInputGradBatch(const double *x, double *y, double *dx,
                            MlpBatchScratch &scratch) const
 {
     constexpr size_t L = kBatchLanes;
-    std::vector<std::vector<double>> &acts = scratch.acts;
+    std::vector<AlignedRows> &acts = scratch.acts;
     acts.resize(layers_.size() + 1);
     acts[0].assign(x, x + static_cast<size_t>(inputSize()) * L);
     for (size_t li = 0; li < layers_.size(); ++li)
@@ -239,63 +197,31 @@ Mlp::forwardInputGradBatch(const double *x, double *y, double *dx,
     for (size_t l = 0; l < L; ++l)
         y[l] = acts.back()[l];
 
-    std::vector<double> &adj = scratch.adj;
-    std::vector<double> &prev = scratch.prev;
-    std::vector<double> &madj = scratch.madj;
+    AlignedRows &adj = scratch.adj;
+    AlignedRows &prev = scratch.prev;
+    AlignedRows &madj = scratch.madj;
     adj.assign(L, 1.0);
     for (size_t li = layers_.size(); li-- > 0;) {
         const Layer &layer = layers_[li];
         const bool hidden = li + 1 < layers_.size();
-        const std::vector<double> &out = acts[li + 1];
+        const AlignedRows &out = acts[li + 1];
 
-        // The scalar path skips a neuron entirely when its ReLU gate
-        // is closed. Selecting a 0.0 adjoint for closed lanes BEFORE
-        // the multiplies reproduces that bit for bit with
-        // branch-free inner loops: a NaN/inf adjoint on a closed
-        // lane never touches the products, the masked terms are
-        // exact +/-0.0 (finite weights), and an accumulator row can
-        // never hold -0.0 (IEEE addition yields -0.0 only for
-        // (-0)+(-0), and rows start at +0.0), so adding them never
-        // changes a bit.
-        madj.resize(static_cast<size_t>(layer.out) * L);
-        for (int o = 0; o < layer.out; ++o) {
-            const double *outRow =
-                &out[static_cast<size_t>(o) * L];
-            const double *aRow =
-                &adj[static_cast<size_t>(o) * L];
-            double *mRow = &madj[static_cast<size_t>(o) * L];
-            for (size_t l = 0; l < L; ++l)
-                mRow[l] =
-                    !hidden || outRow[l] > 0.0 ? aRow[l] : 0.0;
-        }
-
-        // Accumulate blocks of neurons per sweep over the input
-        // rows: each prev row is read and written once per BLOCK
-        // instead of once per neuron (8x less traffic), and the
-        // block's weight rows stay resident across the i sweep. Per
+        // ReLU masking and the blocked adjoint accumulation run in
+        // the runtime-dispatched backend (src/simd/kernels_impl.h).
+        // The scalar path skips a neuron entirely when its gate is
+        // closed; the kernel instead selects a 0.0 adjoint for
+        // closed lanes BEFORE the multiplies, which reproduces that
+        // bit for bit: the masked terms are exact +/-0.0 (finite
+        // weights), and an accumulator row can never hold -0.0
+        // (IEEE addition yields -0.0 only for (-0)+(-0), and rows
+        // start at +0.0), so adding them never changes a bit. Per
         // (input, lane) the additions still run in ascending neuron
         // order — exactly the scalar order.
+        madj.resize(static_cast<size_t>(layer.out) * L);
         prev.assign(static_cast<size_t>(layer.in) * L, 0.0);
-        constexpr int kBlock = 8;
-        const double *__restrict weights = layer.weight.data();
-        const double *__restrict madjBase = madj.data();
-        double *__restrict prevBase = prev.data();
-        for (int ob = 0; ob < layer.out; ob += kBlock) {
-            const int oe = std::min(layer.out, ob + kBlock);
-            for (int i = 0; i < layer.in; ++i) {
-                double *pRow =
-                    prevBase + static_cast<size_t>(i) * L;
-                for (int o = ob; o < oe; ++o) {
-                    const double w =
-                        weights[static_cast<size_t>(o) * layer.in +
-                                i];
-                    const double *mRow =
-                        madjBase + static_cast<size_t>(o) * L;
-                    for (size_t l = 0; l < L; ++l)
-                        pRow[l] += mRow[l] * w;
-                }
-            }
-        }
+        simd::activeKernels().mlpBackwardLayer(
+            layer.weight.data(), layer.in, layer.out, hidden,
+            out.data(), adj.data(), madj.data(), prev.data());
         adj.swap(prev);
     }
     const size_t inRows = static_cast<size_t>(inputSize()) * L;
@@ -423,14 +349,13 @@ Mlp::trainBatch(const std::vector<std::vector<double>> &xs,
         auto update = [&](std::vector<double> &param,
                           std::vector<double> &m, std::vector<double> &v,
                           const std::vector<double> &g) {
-            for (size_t i = 0; i < param.size(); ++i) {
-                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-                double mHat = m[i] / corr1;
-                double vHat = v[i] / corr2;
-                param[i] -=
-                    lr * mHat / (std::sqrt(vHat) + config_.adamEps);
-            }
+            // Vectorized across the parameter vector; each element's
+            // update is independent and uses the exact scalar
+            // operation order, so any backend is bit-identical.
+            simd::activeKernels().adamStep(
+                param.data(), g.data(), m.data(), v.data(),
+                param.size(), b1, b2, corr1, corr2, lr,
+                config_.adamEps);
         };
         update(layer.weight, layer.mWeight, layer.vWeight,
                gWeight[li]);

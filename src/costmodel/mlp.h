@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "support/aligned.h"
 #include "support/batch.h"
 #include "support/rng.h"
 
@@ -41,13 +42,15 @@ struct MlpScratch
 /**
  * Scratch for the batched entry points: the same buffers with one
  * row of kBatchLanes doubles per neuron, lane-major within the row.
+ * Rows are cache-line-aligned so every SIMD backend's loads and
+ * stores stay within one line (support/aligned.h).
  */
 struct MlpBatchScratch
 {
-    std::vector<double> cur, next;
-    std::vector<std::vector<double>> acts;
-    std::vector<double> adj, prev;
-    std::vector<double> madj;  ///< ReLU-masked adjoint rows
+    AlignedRows cur, next;
+    std::vector<AlignedRows> acts;
+    AlignedRows adj, prev;
+    AlignedRows madj;  ///< ReLU-masked adjoint rows
 };
 
 /** MLP shape: sizes of every layer including input and output. */
@@ -143,8 +146,8 @@ class Mlp
     };
 
     static void forwardLayerBatch(const Layer &layer, bool hidden,
-                                  const std::vector<double> &cur,
-                                  std::vector<double> &out);
+                                  const AlignedRows &cur,
+                                  AlignedRows &out);
 
     MlpConfig config_;
     std::vector<Layer> layers_;

@@ -6,6 +6,7 @@
 
 #include "expr/op_kernels.h"
 #include "obs/metrics.h"
+#include "simd/kernels.h"
 #include "support/logging.h"
 
 namespace felix {
@@ -177,67 +178,14 @@ CompiledExprs::forwardBatch(const double *inputs, size_t width,
             row[l] = in[l < width ? l : 0];
     }
 
-    size_t slot = program_.firstOpSlot();
-    for (const TapeInstr &instr : program_.instrs) {
-        // Tape slots are SSA: operands always live in strictly
-        // earlier slots, so the destination row never aliases them.
-        const double *a = &vals[static_cast<size_t>(instr.a0) *
-                                kBatchLanes];
-        const double *b =
-            instr.a1 >= 0
-                ? &vals[static_cast<size_t>(instr.a1) * kBatchLanes]
-                : a;
-        const double *c =
-            instr.a2 >= 0
-                ? &vals[static_cast<size_t>(instr.a2) * kBatchLanes]
-                : a;
-        double *__restrict out = &vals[slot++ * kBatchLanes];
-
-#define FELIX_LANES_1(KER)                                             \
-    for (size_t l = 0; l < kBatchLanes; ++l)                           \
-        out[l] = opk::KER(a[l]);                                       \
-    break
-#define FELIX_LANES_2(KER)                                             \
-    for (size_t l = 0; l < kBatchLanes; ++l)                           \
-        out[l] = opk::KER(a[l], b[l]);                                 \
-    break
-
-        switch (instr.op) {
-          case OpCode::Add: FELIX_LANES_2(fwdAdd);
-          case OpCode::Sub: FELIX_LANES_2(fwdSub);
-          case OpCode::Mul: FELIX_LANES_2(fwdMul);
-          case OpCode::Div: FELIX_LANES_2(fwdDiv);
-          case OpCode::Pow: FELIX_LANES_2(fwdPow);
-          case OpCode::Min: FELIX_LANES_2(fwdMin);
-          case OpCode::Max: FELIX_LANES_2(fwdMax);
-          case OpCode::Neg: FELIX_LANES_1(fwdNeg);
-          case OpCode::Log: FELIX_LANES_1(fwdLog);
-          case OpCode::Exp: FELIX_LANES_1(fwdExp);
-          case OpCode::Sqrt: FELIX_LANES_1(fwdSqrt);
-          case OpCode::Abs: FELIX_LANES_1(fwdAbs);
-          case OpCode::Floor: FELIX_LANES_1(fwdFloor);
-          case OpCode::Atan: FELIX_LANES_1(fwdAtan);
-          case OpCode::Sigmoid: FELIX_LANES_1(fwdSigmoid);
-          case OpCode::Lt: FELIX_LANES_2(fwdLt);
-          case OpCode::Le: FELIX_LANES_2(fwdLe);
-          case OpCode::Gt: FELIX_LANES_2(fwdGt);
-          case OpCode::Ge: FELIX_LANES_2(fwdGe);
-          case OpCode::Eq: FELIX_LANES_2(fwdEq);
-          case OpCode::Ne: FELIX_LANES_2(fwdNe);
-          case OpCode::Select:
-            for (size_t l = 0; l < kBatchLanes; ++l)
-                out[l] = opk::fwdSelect(a[l], b[l], c[l]);
-            break;
-          case OpCode::ConstOp:
-          case OpCode::VarOp:
-            // Leaves are hoisted to slots by the optimizer; they
-            // cannot appear in the instruction stream.
-            panic("leaf opcode in optimized tape");
-        }
-
-#undef FELIX_LANES_1
-#undef FELIX_LANES_2
-    }
+    // The instruction sweep runs in the runtime-dispatched SIMD
+    // backend (src/simd/): the same per-op kernels as the scalar
+    // walk, in lane-vector form (expr/op_kernels.h), chunked across
+    // the kBatchLanes-wide rows. Tape slots are SSA — operands
+    // always live in strictly earlier slots, so the destination row
+    // never aliases them — and every backend is bit-identical per
+    // lane (tests/test_simd.cc).
+    simd::activeKernels().tapeForward(program_, vals);
 
     for (size_t k = 0; k < program_.outputSlots.size(); ++k) {
         const double *row =
@@ -277,42 +225,13 @@ CompiledExprs::backwardBatch(const double *output_grads,
             row[l] += g[l];
     }
 
-    // The reverse sweep stays scalar within each lane: the zero-skip
-    // and the data-dependent branches in backpropOp are part of the
-    // bit-exactness contract, so lanes cannot be blended. Locality
-    // still wins: all eight lanes of an instruction share its rows.
-    double dummy = 0.0;
-    for (size_t i = program_.instrs.size(); i-- > 0;) {
-        const TapeInstr &instr = program_.instrs[i];
-        size_t slot = program_.firstOpSlot() + i;
-        double *adjRow = &adjs[slot * kBatchLanes];
-        const double *valRow = &vals[slot * kBatchLanes];
-        const double *a0Row =
-            &vals[static_cast<size_t>(instr.a0) * kBatchLanes];
-        double *adj0Row =
-            &adjs[static_cast<size_t>(instr.a0) * kBatchLanes];
-        const double *a1Row =
-            instr.a1 >= 0
-                ? &vals[static_cast<size_t>(instr.a1) * kBatchLanes]
-                : nullptr;
-        double *adj1Row =
-            instr.a1 >= 0
-                ? &adjs[static_cast<size_t>(instr.a1) * kBatchLanes]
-                : nullptr;
-        double *adj2Row =
-            instr.a2 >= 0
-                ? &adjs[static_cast<size_t>(instr.a2) * kBatchLanes]
-                : nullptr;
-        for (size_t l = 0; l < kBatchLanes; ++l) {
-            double adj = adjRow[l];
-            if (adj == 0.0)
-                continue;
-            opk::backpropOp(instr.op, adj, valRow[l], a0Row[l],
-                            a1Row ? a1Row[l] : 0.0, &adj0Row[l],
-                            adj1Row ? &adj1Row[l] : &dummy,
-                            adj2Row ? &adj2Row[l] : &dummy);
-        }
-    }
+    // The reverse sweep runs in the dispatched backend: per-chunk
+    // all-zero skip (the vector form of the scalar zero-skip) and
+    // blended adjoint updates whose masked-out lanes contribute an
+    // exact +0.0 — a bitwise no-op on accumulator rows — so the
+    // data-dependent branch structure of backpropOp is reproduced
+    // bit for bit at every width (see opk::backpropOpV).
+    simd::activeKernels().tapeBackward(program_, vals, adjs);
 
     const size_t varBase = program_.firstVarSlot();
     for (size_t v = 0; v < program_.numVars; ++v) {

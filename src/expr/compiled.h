@@ -27,6 +27,7 @@
 
 #include "expr/expr.h"
 #include "expr/tape.h"
+#include "support/aligned.h"
 #include "support/batch.h"
 
 namespace felix {
@@ -55,11 +56,15 @@ struct EvalState
  * Scratch for the batched SoA entry points: the same buffers as
  * EvalState but with one row of kBatchLanes doubles per tape slot,
  * lane-major within the row. Allocate once per worker and reuse.
+ * Rows are cache-line-aligned (support/aligned.h) so the SIMD
+ * backends' loads and stores never split a line — the tape is one
+ * long dependent chain of store-then-reload rows, and split-line
+ * stores defeat store-to-load forwarding.
  */
 struct BatchEvalState
 {
-    std::vector<double> values;    ///< numSlots x kBatchLanes
-    std::vector<double> adjoints;  ///< numSlots x kBatchLanes
+    AlignedRows values;    ///< numSlots x kBatchLanes
+    AlignedRows adjoints;  ///< numSlots x kBatchLanes
     size_t width = 0;              ///< active lanes of last forward
     bool forwardDone = false;
     uint64_t boundTape = 0;

@@ -17,8 +17,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "expr/expr.h"
+#include "support/simd.h"
 
 namespace felix {
 namespace expr {
@@ -225,6 +227,285 @@ backpropOp(OpCode op, double adj, double v, double a0, double a1,
         else
             *adj2 += adj;
         break;
+    }
+}
+
+// ---------------------------------------------------------------
+// Lane-vector forms: the same kernels templated over a SIMD vector
+// type V from support/simd.h (one of the arch_* backends). Per lane
+// these compute the identical FP operation sequence as the scalar
+// kernels above — every vector op used is either an IEEE basic
+// operation, an exact operation, or a bitwise blend, and
+// transcendentals go through perLane() to the very same libm calls
+// — so batched evaluation stays bit-identical to scalar at every
+// width (docs/tape_engine.md section 3). When editing a scalar
+// kernel, update its vector twin in the same commit; the parity
+// matrix in tests/test_simd.cc fails on any divergence.
+// ---------------------------------------------------------------
+
+template <class V> inline V fwdAddV(V a, V b) { return a + b; }
+template <class V> inline V fwdSubV(V a, V b) { return a - b; }
+template <class V> inline V fwdMulV(V a, V b) { return a * b; }
+
+template <class V>
+inline V
+fwdDivV(V a, V b)
+{
+    const V zero = V::broadcast(0.0);
+    // Division is the hottest tape op; zero divisors are vanishingly
+    // rare in practice (they are loop extents), so the totalized
+    // branch is only blended in when some lane actually divides by
+    // zero. The fast path's a / b is the identical IEEE operation,
+    // and the slow path's blend matches the scalar branch exactly
+    // (the discarded a/b lanes cannot leak through a bitwise
+    // select).
+    const auto bZero = ceq(b, zero);
+    if (!anyLane(bZero))
+        return a / b;
+    const V special = a * select(cge(a, zero), V::broadcast(1e18),
+                                 V::broadcast(-1e18));
+    return select(bZero, special, a / b);
+}
+
+template <class V>
+inline V
+fwdPowV(V a, V b)
+{
+    return simd::perLane2(a, b,
+                          [](double x, double y) { return fwdPow(x, y); });
+}
+
+template <class V> inline V fwdMinV(V a, V b) { return vmin(a, b); }
+template <class V> inline V fwdMaxV(V a, V b) { return vmax(a, b); }
+template <class V> inline V fwdNegV(V a) { return vneg(a); }
+
+template <class V>
+inline V
+fwdLogV(V a)
+{
+    // max is exact, so clamping in vector registers then taking logs
+    // per lane equals fwdLog lane-wise.
+    return simd::perLane(vmax(a, V::broadcast(1e-300)),
+                         [](double x) { return std::log(x); });
+}
+
+template <class V>
+inline V
+fwdExpV(V a)
+{
+    return simd::perLane(vmin(a, V::broadcast(700.0)),
+                         [](double x) { return std::exp(x); });
+}
+
+template <class V>
+inline V
+fwdSqrtV(V a)
+{
+    // Hardware sqrt is correctly rounded (IEEE-754), identical to
+    // std::sqrt.
+    return vsqrt(vmax(a, V::broadcast(0.0)));
+}
+
+template <class V> inline V fwdAbsV(V a) { return vabs(a); }
+template <class V> inline V fwdFloorV(V a) { return vfloor(a); }
+
+template <class V>
+inline V
+fwdAtanV(V a)
+{
+    return simd::perLane(a, [](double x) { return std::atan(x); });
+}
+
+template <class V>
+inline V
+fwdSigmoidV(V a)
+{
+    const V one = V::broadcast(1.0);
+    return V::broadcast(0.5) * (one + a / vsqrt(one + a * a));
+}
+
+// Comparison results blend the exact constants 1.0 / +0.0, matching
+// the scalar ternaries on every input including NaN.
+template <class V>
+inline V
+fwdLtV(V a, V b)
+{
+    return select(clt(a, b), V::broadcast(1.0), V::broadcast(0.0));
+}
+template <class V>
+inline V
+fwdLeV(V a, V b)
+{
+    return select(cle(a, b), V::broadcast(1.0), V::broadcast(0.0));
+}
+template <class V>
+inline V
+fwdGtV(V a, V b)
+{
+    return select(cgt(a, b), V::broadcast(1.0), V::broadcast(0.0));
+}
+template <class V>
+inline V
+fwdGeV(V a, V b)
+{
+    return select(cge(a, b), V::broadcast(1.0), V::broadcast(0.0));
+}
+template <class V>
+inline V
+fwdEqV(V a, V b)
+{
+    return select(ceq(a, b), V::broadcast(1.0), V::broadcast(0.0));
+}
+template <class V>
+inline V
+fwdNeV(V a, V b)
+{
+    return select(cne(a, b), V::broadcast(1.0), V::broadcast(0.0));
+}
+
+template <class V>
+inline V
+fwdSelectV(V c, V t, V e)
+{
+    return select(cne(c, V::broadcast(0.0)), t, e);
+}
+
+// ---------------------------------------------------------------
+// Vector reverse-mode kernel: one instruction's adjoint update on a
+// chunk of V::kWidth lanes. adj0/adj1/adj2 point at the operand
+// adjoint chunks (adj1/adj2 may be null for ops that never touch
+// them); the caller has already skipped chunks whose adjoints are
+// all zero.
+//
+// Why blending preserves the scalar conditional structure: the
+// scalar kernel only updates a slot when (adj != 0) and the
+// op-specific condition holds. Here each contribution is computed
+// for all lanes, then select()ed to exact +0.0 on lanes where the
+// scalar path would have added nothing — and adding +0.0 to an
+// adjoint accumulator is a bitwise no-op, because accumulator rows
+// start at +0.0 and addition only produces -0.0 from (-0)+(-0), so
+// a row can never hold -0.0. The select happens AFTER the arithmetic
+// (masking operands before a multiply would not stop 0*inf = NaN),
+// and NaN adjoints compare != 0 just as in the scalar zero-skip.
+// Add/Sub/Neg contributions are adj itself, which is exactly +0.0 on
+// inactive lanes already — no mask needed. Pow's adjoint needs libm,
+// so it runs the scalar kernel per lane (identical by definition).
+// ---------------------------------------------------------------
+template <class V>
+inline void
+backpropOpV(OpCode op, V adj, V v, V a0, V a1, double *adj0,
+            double *adj1, double *adj2)
+{
+    const V zero = V::broadcast(0.0);
+    const auto active = cne(adj, zero);
+    const auto accum = [](double *p, V c) {
+        (V::load(p) + c).store(p);
+    };
+    switch (op) {
+      case OpCode::ConstOp:
+      case OpCode::VarOp:
+        break;
+      case OpCode::Add:
+        accum(adj0, adj);
+        accum(adj1, adj);
+        break;
+      case OpCode::Sub:
+        // a -= b is a += (-b) exactly.
+        accum(adj0, adj);
+        accum(adj1, vneg(adj));
+        break;
+      case OpCode::Mul:
+        accum(adj0, select(active, adj * a1, zero));
+        accum(adj1, select(active, adj * a0, zero));
+        break;
+      case OpCode::Div: {
+        const auto m = mand(active, cne(a1, zero));
+        accum(adj0, select(m, adj / a1, zero));
+        accum(adj1, select(m, vneg((adj * a0) / (a1 * a1)), zero));
+        break;
+      }
+      case OpCode::Pow: {
+        // pow/log adjoints stay on the scalar kernel per lane.
+        constexpr std::size_t W = V::kWidth;
+        double adjL[W], vL[W], a0L[W], a1L[W];
+        adj.store(adjL);
+        v.store(vL);
+        a0.store(a0L);
+        a1.store(a1L);
+        double dummy = 0.0;
+        for (std::size_t l = 0; l < W; ++l) {
+            if (adjL[l] == 0.0)
+                continue;
+            backpropOp(OpCode::Pow, adjL[l], vL[l], a0L[l], a1L[l],
+                       &adj0[l], &adj1[l], &dummy);
+        }
+        break;
+      }
+      case OpCode::Min: {
+        const auto le = cle(a0, a1);
+        accum(adj0, select(mand(active, le), adj, zero));
+        accum(adj1, select(mandnot(active, le), adj, zero));
+        break;
+      }
+      case OpCode::Max: {
+        const auto ge = cge(a0, a1);
+        accum(adj0, select(mand(active, ge), adj, zero));
+        accum(adj1, select(mandnot(active, ge), adj, zero));
+        break;
+      }
+      case OpCode::Neg:
+        accum(adj0, vneg(adj));
+        break;
+      case OpCode::Log:
+        accum(adj0, select(active,
+                           adj / vmax(a0, V::broadcast(1e-300)),
+                           zero));
+        break;
+      case OpCode::Exp:
+        accum(adj0, select(active, adj * v, zero));
+        break;
+      case OpCode::Sqrt: {
+        const auto m = mand(active, cgt(a0, zero));
+        // The a0 <= 0 lanes compute sqrt of a clamped-away value and
+        // are blended out; the kept lanes follow the scalar
+        // (adj * 0.5) / sqrt(a0) order.
+        accum(adj0,
+              select(m, (adj * V::broadcast(0.5)) / vsqrt(a0), zero));
+        break;
+      }
+      case OpCode::Abs:
+        accum(adj0, select(active,
+                           select(cge(a0, zero), adj, vneg(adj)),
+                           zero));
+        break;
+      case OpCode::Floor:
+        break;
+      case OpCode::Atan:
+        accum(adj0, select(active,
+                           adj / (V::broadcast(1.0) + a0 * a0),
+                           zero));
+        break;
+      case OpCode::Sigmoid: {
+        const V t = V::broadcast(1.0) + a0 * a0;
+        accum(adj0,
+              select(active,
+                     (adj * V::broadcast(0.5)) / (t * vsqrt(t)),
+                     zero));
+        break;
+      }
+      case OpCode::Lt:
+      case OpCode::Le:
+      case OpCode::Gt:
+      case OpCode::Ge:
+      case OpCode::Eq:
+      case OpCode::Ne:
+        break;
+      case OpCode::Select: {
+        const auto c = cne(a0, zero);
+        accum(adj1, select(mand(active, c), adj, zero));
+        accum(adj2, select(mandnot(active, c), adj, zero));
+        break;
+      }
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "simd/kernels.h"
 #include "support/logging.h"
 
 namespace felix {
@@ -20,14 +21,13 @@ Adam::step(std::vector<double> &x, const std::vector<double> &grad)
     ++t_;
     const double corr1 = 1.0 - std::pow(config_.beta1, t_);
     const double corr2 = 1.0 - std::pow(config_.beta2, t_);
-    for (size_t i = 0; i < x.size(); ++i) {
-        m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * grad[i];
-        v_[i] = config_.beta2 * v_[i] +
-                (1.0 - config_.beta2) * grad[i] * grad[i];
-        const double mHat = m_[i] / corr1;
-        const double vHat = v_[i] / corr2;
-        x[i] -= config_.lr * mHat / (std::sqrt(vHat) + config_.eps);
-    }
+    // Each element's update is independent and the kernel keeps the
+    // exact scalar operation order, so every SIMD backend produces
+    // bit-identical parameters (tests/test_simd.cc).
+    simd::activeKernels().adamStep(x.data(), grad.data(), m_.data(),
+                                   v_.data(), x.size(), config_.beta1,
+                                   config_.beta2, corr1, corr2,
+                                   config_.lr, config_.eps);
 }
 
 void

@@ -1,0 +1,19 @@
+// AVX2 backend (4 doubles per vector). CMake compiles this TU with
+// -mavx2; it must only ever be CALLED after dispatch.cc has checked
+// __builtin_cpu_supports("avx2"), so nothing here may run at static
+// initialization (the KernelSet is constant data).
+#include "support/simd.h"
+
+#include "simd/kernels_impl.h"
+
+namespace felix {
+namespace simd {
+
+static_assert(FELIX_SIMD_ARCH_NS::Vec::kWidth == 4,
+              "avx2 backend TU compiled without -mavx2");
+
+extern const KernelSet kKernelsAvx2 =
+    makeKernelSet<FELIX_SIMD_ARCH_NS::Vec>("avx2");
+
+} // namespace simd
+} // namespace felix

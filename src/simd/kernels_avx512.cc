@@ -1,0 +1,19 @@
+// AVX-512 backend (8 doubles per vector, predicate masks). CMake
+// compiles this TU with -mavx512f -mavx512dq (DQ for the 512-bit FP
+// bitwise ops behind vneg/vabs); dispatch.cc gates calls on both
+// CPU feature bits. Nothing here may run at static initialization.
+#include "support/simd.h"
+
+#include "simd/kernels_impl.h"
+
+namespace felix {
+namespace simd {
+
+static_assert(FELIX_SIMD_ARCH_NS::Vec::kWidth == 8,
+              "avx512 backend TU compiled without -mavx512f/-mavx512dq");
+
+extern const KernelSet kKernelsAvx512 =
+    makeKernelSet<FELIX_SIMD_ARCH_NS::Vec>("avx512");
+
+} // namespace simd
+} // namespace felix

@@ -1,0 +1,17 @@
+// NEON backend (2 doubles per vector). Advanced SIMD is mandatory
+// on aarch64, so this TU needs no extra flags and no runtime check.
+#include "support/simd.h"
+
+#include "simd/kernels_impl.h"
+
+namespace felix {
+namespace simd {
+
+static_assert(FELIX_SIMD_ARCH_NS::Vec::kWidth == 2,
+              "neon backend TU compiled for unexpected target");
+
+extern const KernelSet kKernelsNeon =
+    makeKernelSet<FELIX_SIMD_ARCH_NS::Vec>("neon");
+
+} // namespace simd
+} // namespace felix

@@ -1,0 +1,20 @@
+// The always-available scalar backend: the templated kernels
+// compiled against the one-lane Vec, which reproduces the plain-loop
+// batched code bit for bit. This TU must stay free of -m flags.
+#define FELIX_SIMD_FORCE_SCALAR 1
+
+#include "support/simd.h"
+
+#include "simd/kernels_impl.h"
+
+namespace felix {
+namespace simd {
+
+static_assert(FELIX_SIMD_ARCH_NS::Vec::kWidth == 1,
+              "scalar backend TU picked a vector backend");
+
+extern const KernelSet kKernelsScalar =
+    makeKernelSet<FELIX_SIMD_ARCH_NS::Vec>("scalar");
+
+} // namespace simd
+} // namespace felix

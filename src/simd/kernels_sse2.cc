@@ -1,0 +1,17 @@
+// SSE2 backend (2 doubles per vector). Baseline x86-64 already
+// guarantees SSE2, so this TU needs no extra -m flags.
+#include "support/simd.h"
+
+#include "simd/kernels_impl.h"
+
+namespace felix {
+namespace simd {
+
+static_assert(FELIX_SIMD_ARCH_NS::Vec::kWidth == 2,
+              "sse2 backend TU compiled with unexpected flags");
+
+extern const KernelSet kKernelsSse2 =
+    makeKernelSet<FELIX_SIMD_ARCH_NS::Vec>("sse2");
+
+} // namespace simd
+} // namespace felix

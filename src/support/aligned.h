@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A 64-byte-aligned std::vector<double> for the SoA batch buffers.
+ *
+ * Every batched row is kBatchLanes doubles — with the default 8
+ * lanes, exactly one cache line and one AVX-512 register. A plain
+ * std::vector only guarantees 16-byte alignment, so each row may
+ * straddle two cache lines: every vector load/store splits, and the
+ * store-to-load forwarding between a tape instruction and its
+ * consumers (which reload the row the previous instruction just
+ * stored) fails, stalling the dependent chain the tape engine is
+ * made of. Aligning the base to 64 bytes makes every row naturally
+ * aligned for every backend width.
+ *
+ * Alignment is a performance contract only: the SIMD backends use
+ * unaligned loads/stores throughout, so code handing plain
+ * std::vector storage to the kernels stays correct.
+ */
+#ifndef FELIX_SUPPORT_ALIGNED_H_
+#define FELIX_SUPPORT_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace felix {
+
+template <class T, std::size_t Align>
+struct AlignedAllocator
+{
+    static_assert((Align & (Align - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(Align >= alignof(T),
+                  "alignment below the type's natural alignment");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <class U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+    template <class U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+};
+
+template <class T, class U, std::size_t Align>
+bool
+operator==(const AlignedAllocator<T, Align> &,
+           const AlignedAllocator<U, Align> &) noexcept
+{
+    return true;
+}
+template <class T, class U, std::size_t Align>
+bool
+operator!=(const AlignedAllocator<T, Align> &,
+           const AlignedAllocator<U, Align> &) noexcept
+{
+    return false;
+}
+
+/** SoA batch buffer: rows of kBatchLanes doubles, cache-line-aligned. */
+using AlignedRows = std::vector<double, AlignedAllocator<double, 64>>;
+
+} // namespace felix
+
+#endif // FELIX_SUPPORT_ALIGNED_H_

@@ -6,22 +6,42 @@
  * lockstep, with every per-point buffer laid out as rows of exactly
  * kBatchLanes doubles.
  *
- * The width is a compile-time constant so the inner lane loops have a
- * fixed trip count the compiler can fully unroll and vectorize (8
- * doubles = one AVX-512 register, two AVX2 registers, four SSE2
- * registers). Partial batches still allocate full rows; unused lanes
- * are padded (see the respective engines) so the hot loops never
- * carry a runtime trip count.
+ * The width is a compile-time constant so the inner lane loops have
+ * a fixed trip count, and it is pinned to a multiple of 8 so every
+ * row is a whole number of vector registers for every SIMD backend
+ * in src/support/simd.h (scalar x1, SSE2/NEON x2, AVX2 x4,
+ * AVX-512 x8) — the row loops in src/simd/kernels_impl.h therefore
+ * never carry a ragged tail; ragged BATCHES (width < kBatchLanes)
+ * are handled by the engines' lane-0 padding and masked seeding, and
+ * arbitrary-length vectors (the Adam kernel) by a scalar remainder
+ * loop. Partial batches still allocate full rows.
+ *
+ * kBatchLanes is deliberately a build-level constant
+ * (-DFELIX_BATCH_LANES=N via the CMake cache variable) rather than
+ * derived from each TU's target flags: TUs are compiled with
+ * different -m flags (src/simd/), so a per-TU derivation would give
+ * different row layouts per TU — an ODR disaster. Changing the value
+ * changes which points share a batch, which is allowed to change
+ * nothing (batch composition is schedule-independent, see
+ * docs/tape_engine.md section 4).
  */
 #ifndef FELIX_SUPPORT_BATCH_H_
 #define FELIX_SUPPORT_BATCH_H_
 
 #include <cstddef>
 
+#ifndef FELIX_BATCH_LANES
+#define FELIX_BATCH_LANES 16
+#endif
+
 namespace felix {
 
 /** Lane count of every batched evaluation path (compile-time). */
-inline constexpr std::size_t kBatchLanes = 8;
+inline constexpr std::size_t kBatchLanes = FELIX_BATCH_LANES;
+
+static_assert(kBatchLanes >= 8 && kBatchLanes % 8 == 0,
+              "kBatchLanes must be a positive multiple of 8 so SoA "
+              "rows divide evenly into every SIMD backend width");
 
 } // namespace felix
 

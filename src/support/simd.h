@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Portable SIMD layer for the batched (structure-of-arrays) kernels:
+ * a width-generic vector-of-doubles wrapper over SSE2, AVX2, AVX-512
+ * and NEON, with an always-available scalar fallback.
+ *
+ * Each translation unit sees exactly ONE backend, chosen at compile
+ * time from the instruction-set macros the compiler defines for that
+ * TU (`-mavx2` => arch_avx2, `-mavx512f -mavx512dq` => arch_avx512,
+ * baseline x86-64 => arch_sse2, aarch64 => arch_neon, anything else
+ * or `FELIX_SIMD_FORCE_SCALAR` => arch_scalar). The backend lives in
+ * the arch-specific inline namespace member `FELIX_SIMD_ARCH_NS`, so
+ * the same templated kernel bodies (src/simd/kernels_impl.h) can be
+ * compiled once per backend into differently-flagged TUs without ODR
+ * violations; runtime CPU-feature dispatch between the compiled
+ * backends lives in src/simd/dispatch.cc.
+ *
+ * Bit-exactness contract. Every operation here is either an IEEE-754
+ * basic operation (+ - * / sqrt, correctly rounded and therefore
+ * identical to its scalar spelling), a pure bit manipulation (neg,
+ * abs, compares-to-mask, select), or an exact operation (min/max with
+ * std::min/std::max semantics, floor). Transcendentals are NOT
+ * provided as vector ops — kernels route them through perLane(),
+ * which round-trips the lanes through memory and calls the exact
+ * same libm function the scalar path calls. Consequently a templated
+ * kernel written against this API computes, per lane, the identical
+ * FP operation sequence at every width, which is what lets the
+ * batched-vs-scalar parity tests (tests/test_simd.cc) demand
+ * bit-equality on every backend.
+ *
+ * Semantics pinned by this API (and verified in test_simd.cc):
+ *  - vmin(a,b) == std::min(a,b) and vmax(a,b) == std::max(a,b) per
+ *    lane, including the NaN-propagation and signed-zero behavior of
+ *    the std:: versions (x86 min/max return the SECOND operand on
+ *    unordered/equal, so the implementations swap operands; NEON
+ *    fmin/fmax have different NaN semantics and are not used).
+ *  - comparisons return all-ones/all-zeros lane masks and match the
+ *    scalar operators on NaN (only cne is true on unordered).
+ *  - select(m, t, e) is a pure bitwise blend: NaN/inf in the
+ *    not-taken lane never leaks.
+ */
+#ifndef FELIX_SUPPORT_SIMD_H_
+#define FELIX_SUPPORT_SIMD_H_
+
+#include <cmath>
+#include <cstddef>
+
+#if defined(FELIX_SIMD_FORCE_SCALAR)
+#define FELIX_SIMD_ARCH_NS arch_scalar
+#elif defined(__AVX512F__) && defined(__AVX512DQ__)
+#include <immintrin.h>
+#define FELIX_SIMD_ARCH_NS arch_avx512
+#elif defined(__AVX__)
+#include <immintrin.h>
+#define FELIX_SIMD_ARCH_NS arch_avx2
+#elif defined(__SSE2__) || defined(__x86_64__)
+#include <emmintrin.h>
+#define FELIX_SIMD_ARCH_NS arch_sse2
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define FELIX_SIMD_ARCH_NS arch_neon
+#else
+#define FELIX_SIMD_ARCH_NS arch_scalar
+#endif
+
+namespace felix {
+namespace simd {
+
+#if defined(FELIX_SIMD_FORCE_SCALAR) ||                                \
+    (!defined(__SSE2__) && !defined(__x86_64__) &&                     \
+     !defined(__aarch64__))
+
+// ---------------------------------------------------------------
+// Scalar fallback: one lane per "vector". Compiling the templated
+// kernels against this backend reproduces the plain-loop batched
+// code of PR 4 exactly (the chunk loop degenerates to the lane
+// loop), so it doubles as the reference the vector backends are
+// bit-compared against.
+// ---------------------------------------------------------------
+namespace arch_scalar {
+
+struct Mask
+{
+    bool m;
+};
+
+struct Vec
+{
+    static constexpr std::size_t kWidth = 1;
+    double v;
+
+    static Vec load(const double *p) { return {*p}; }
+    static Vec broadcast(double x) { return {x}; }
+    void store(double *p) const { *p = v; }
+};
+
+inline Vec operator+(Vec a, Vec b) { return {a.v + b.v}; }
+inline Vec operator-(Vec a, Vec b) { return {a.v - b.v}; }
+inline Vec operator*(Vec a, Vec b) { return {a.v * b.v}; }
+inline Vec operator/(Vec a, Vec b) { return {a.v / b.v}; }
+
+inline Vec vneg(Vec a) { return {-a.v}; }
+inline Vec vabs(Vec a) { return {std::abs(a.v)}; }
+inline Vec vsqrt(Vec a) { return {std::sqrt(a.v)}; }
+inline Vec vfloor(Vec a) { return {std::floor(a.v)}; }
+inline Vec vmin(Vec a, Vec b) { return {std::min(a.v, b.v)}; }
+inline Vec vmax(Vec a, Vec b) { return {std::max(a.v, b.v)}; }
+
+inline Mask ceq(Vec a, Vec b) { return {a.v == b.v}; }
+inline Mask cne(Vec a, Vec b) { return {a.v != b.v}; }
+inline Mask clt(Vec a, Vec b) { return {a.v < b.v}; }
+inline Mask cle(Vec a, Vec b) { return {a.v <= b.v}; }
+inline Mask cgt(Vec a, Vec b) { return {a.v > b.v}; }
+inline Mask cge(Vec a, Vec b) { return {a.v >= b.v}; }
+
+inline Mask mand(Mask a, Mask b) { return {a.m && b.m}; }
+inline Mask mandnot(Mask a, Mask b) { return {a.m && !b.m}; }
+inline bool anyLane(Mask a) { return a.m; }
+inline Vec select(Mask m, Vec t, Vec e) { return m.m ? t : e; }
+
+} // namespace arch_scalar
+
+#endif
+
+#if !defined(FELIX_SIMD_FORCE_SCALAR)
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+// ---------------------------------------------------------------
+// AVX-512: 8 doubles per vector, predicate masks in __mmask8.
+// ---------------------------------------------------------------
+namespace arch_avx512 {
+
+struct Mask
+{
+    __mmask8 m;
+};
+
+struct Vec
+{
+    static constexpr std::size_t kWidth = 8;
+    __m512d v;
+
+    static Vec load(const double *p) { return {_mm512_loadu_pd(p)}; }
+    static Vec broadcast(double x) { return {_mm512_set1_pd(x)}; }
+    void store(double *p) const { _mm512_storeu_pd(p, v); }
+};
+
+inline Vec operator+(Vec a, Vec b)
+{
+    return {_mm512_add_pd(a.v, b.v)};
+}
+inline Vec operator-(Vec a, Vec b)
+{
+    return {_mm512_sub_pd(a.v, b.v)};
+}
+inline Vec operator*(Vec a, Vec b)
+{
+    return {_mm512_mul_pd(a.v, b.v)};
+}
+inline Vec operator/(Vec a, Vec b)
+{
+    return {_mm512_div_pd(a.v, b.v)};
+}
+
+inline Vec
+vneg(Vec a)
+{
+    return {_mm512_xor_pd(a.v, _mm512_set1_pd(-0.0))};
+}
+inline Vec
+vabs(Vec a)
+{
+    return {_mm512_andnot_pd(_mm512_set1_pd(-0.0), a.v)};
+}
+inline Vec vsqrt(Vec a) { return {_mm512_sqrt_pd(a.v)}; }
+inline Vec
+vfloor(Vec a)
+{
+    return {_mm512_roundscale_pd(
+        a.v, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC)};
+}
+// x86 min/max return the second operand on unordered or equal
+// inputs; swapping the operands reproduces std::min/std::max
+// (a<b / b<a select semantics) bit for bit, NaN and +/-0 included.
+inline Vec vmin(Vec a, Vec b) { return {_mm512_min_pd(b.v, a.v)}; }
+inline Vec vmax(Vec a, Vec b) { return {_mm512_max_pd(b.v, a.v)}; }
+
+inline Mask
+ceq(Vec a, Vec b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_EQ_OQ)};
+}
+inline Mask
+cne(Vec a, Vec b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_NEQ_UQ)};
+}
+inline Mask
+clt(Vec a, Vec b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ)};
+}
+inline Mask
+cle(Vec a, Vec b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_LE_OQ)};
+}
+inline Mask
+cgt(Vec a, Vec b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_GT_OQ)};
+}
+inline Mask
+cge(Vec a, Vec b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_GE_OQ)};
+}
+
+inline Mask
+mand(Mask a, Mask b)
+{
+    return {static_cast<__mmask8>(a.m & b.m)};
+}
+inline Mask
+mandnot(Mask a, Mask b)
+{
+    return {static_cast<__mmask8>(a.m & static_cast<__mmask8>(~b.m))};
+}
+inline bool anyLane(Mask a) { return a.m != 0; }
+inline Vec
+select(Mask m, Vec t, Vec e)
+{
+    return {_mm512_mask_blend_pd(m.m, e.v, t.v)};
+}
+
+} // namespace arch_avx512
+
+#elif defined(__AVX__)
+
+// ---------------------------------------------------------------
+// AVX2: 4 doubles per vector, full-width lane masks.
+// ---------------------------------------------------------------
+namespace arch_avx2 {
+
+struct Mask
+{
+    __m256d m;
+};
+
+struct Vec
+{
+    static constexpr std::size_t kWidth = 4;
+    __m256d v;
+
+    static Vec load(const double *p) { return {_mm256_loadu_pd(p)}; }
+    static Vec broadcast(double x) { return {_mm256_set1_pd(x)}; }
+    void store(double *p) const { _mm256_storeu_pd(p, v); }
+};
+
+inline Vec operator+(Vec a, Vec b)
+{
+    return {_mm256_add_pd(a.v, b.v)};
+}
+inline Vec operator-(Vec a, Vec b)
+{
+    return {_mm256_sub_pd(a.v, b.v)};
+}
+inline Vec operator*(Vec a, Vec b)
+{
+    return {_mm256_mul_pd(a.v, b.v)};
+}
+inline Vec operator/(Vec a, Vec b)
+{
+    return {_mm256_div_pd(a.v, b.v)};
+}
+
+inline Vec
+vneg(Vec a)
+{
+    return {_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0))};
+}
+inline Vec
+vabs(Vec a)
+{
+    return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+inline Vec vsqrt(Vec a) { return {_mm256_sqrt_pd(a.v)}; }
+inline Vec vfloor(Vec a) { return {_mm256_floor_pd(a.v)}; }
+// Operand swap: see the AVX-512 comment.
+inline Vec vmin(Vec a, Vec b) { return {_mm256_min_pd(b.v, a.v)}; }
+inline Vec vmax(Vec a, Vec b) { return {_mm256_max_pd(b.v, a.v)}; }
+
+inline Mask
+ceq(Vec a, Vec b)
+{
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)};
+}
+inline Mask
+cne(Vec a, Vec b)
+{
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_NEQ_UQ)};
+}
+inline Mask
+clt(Vec a, Vec b)
+{
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+}
+inline Mask
+cle(Vec a, Vec b)
+{
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+}
+inline Mask
+cgt(Vec a, Vec b)
+{
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+}
+inline Mask
+cge(Vec a, Vec b)
+{
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+}
+
+inline Mask
+mand(Mask a, Mask b)
+{
+    return {_mm256_and_pd(a.m, b.m)};
+}
+inline Mask
+mandnot(Mask a, Mask b)
+{
+    return {_mm256_andnot_pd(b.m, a.m)};
+}
+inline bool anyLane(Mask a) { return _mm256_movemask_pd(a.m) != 0; }
+inline Vec
+select(Mask m, Vec t, Vec e)
+{
+    return {_mm256_blendv_pd(e.v, t.v, m.m)};
+}
+
+} // namespace arch_avx2
+
+#elif defined(__SSE2__) || defined(__x86_64__)
+
+// ---------------------------------------------------------------
+// SSE2 (baseline x86-64): 2 doubles per vector.
+// ---------------------------------------------------------------
+namespace arch_sse2 {
+
+struct Mask
+{
+    __m128d m;
+};
+
+struct Vec
+{
+    static constexpr std::size_t kWidth = 2;
+    __m128d v;
+
+    static Vec load(const double *p) { return {_mm_loadu_pd(p)}; }
+    static Vec broadcast(double x) { return {_mm_set1_pd(x)}; }
+    void store(double *p) const { _mm_storeu_pd(p, v); }
+};
+
+inline Vec operator+(Vec a, Vec b) { return {_mm_add_pd(a.v, b.v)}; }
+inline Vec operator-(Vec a, Vec b) { return {_mm_sub_pd(a.v, b.v)}; }
+inline Vec operator*(Vec a, Vec b) { return {_mm_mul_pd(a.v, b.v)}; }
+inline Vec operator/(Vec a, Vec b) { return {_mm_div_pd(a.v, b.v)}; }
+
+inline Vec
+vneg(Vec a)
+{
+    return {_mm_xor_pd(a.v, _mm_set1_pd(-0.0))};
+}
+inline Vec
+vabs(Vec a)
+{
+    return {_mm_andnot_pd(_mm_set1_pd(-0.0), a.v)};
+}
+inline Vec vsqrt(Vec a) { return {_mm_sqrt_pd(a.v)}; }
+inline Vec
+vfloor(Vec a)
+{
+    // SSE2 has no round instruction; floor is exact in any
+    // implementation, so per-lane libm keeps parity.
+    double t[2];
+    _mm_storeu_pd(t, a.v);
+    t[0] = std::floor(t[0]);
+    t[1] = std::floor(t[1]);
+    return {_mm_loadu_pd(t)};
+}
+// Operand swap: see the AVX-512 comment.
+inline Vec vmin(Vec a, Vec b) { return {_mm_min_pd(b.v, a.v)}; }
+inline Vec vmax(Vec a, Vec b) { return {_mm_max_pd(b.v, a.v)}; }
+
+inline Mask ceq(Vec a, Vec b) { return {_mm_cmpeq_pd(a.v, b.v)}; }
+inline Mask cne(Vec a, Vec b) { return {_mm_cmpneq_pd(a.v, b.v)}; }
+inline Mask clt(Vec a, Vec b) { return {_mm_cmplt_pd(a.v, b.v)}; }
+inline Mask cle(Vec a, Vec b) { return {_mm_cmple_pd(a.v, b.v)}; }
+inline Mask cgt(Vec a, Vec b) { return {_mm_cmpgt_pd(a.v, b.v)}; }
+inline Mask cge(Vec a, Vec b) { return {_mm_cmpge_pd(a.v, b.v)}; }
+
+inline Mask mand(Mask a, Mask b) { return {_mm_and_pd(a.m, b.m)}; }
+inline Mask
+mandnot(Mask a, Mask b)
+{
+    return {_mm_andnot_pd(b.m, a.m)};
+}
+inline bool anyLane(Mask a) { return _mm_movemask_pd(a.m) != 0; }
+inline Vec
+select(Mask m, Vec t, Vec e)
+{
+    // No blendv before SSE4.1; and/andnot/or is the exact bitwise
+    // equivalent.
+    return {_mm_or_pd(_mm_and_pd(m.m, t.v),
+                      _mm_andnot_pd(m.m, e.v))};
+}
+
+} // namespace arch_sse2
+
+#elif defined(__aarch64__)
+
+// ---------------------------------------------------------------
+// NEON (aarch64): 2 doubles per vector.
+// ---------------------------------------------------------------
+namespace arch_neon {
+
+struct Mask
+{
+    uint64x2_t m;
+};
+
+struct Vec
+{
+    static constexpr std::size_t kWidth = 2;
+    float64x2_t v;
+
+    static Vec load(const double *p) { return {vld1q_f64(p)}; }
+    static Vec broadcast(double x) { return {vdupq_n_f64(x)}; }
+    void store(double *p) const { vst1q_f64(p, v); }
+};
+
+inline Vec operator+(Vec a, Vec b) { return {vaddq_f64(a.v, b.v)}; }
+inline Vec operator-(Vec a, Vec b) { return {vsubq_f64(a.v, b.v)}; }
+inline Vec operator*(Vec a, Vec b) { return {vmulq_f64(a.v, b.v)}; }
+inline Vec operator/(Vec a, Vec b) { return {vdivq_f64(a.v, b.v)}; }
+
+inline Vec vneg(Vec a) { return {vnegq_f64(a.v)}; }
+inline Vec vabs(Vec a) { return {vabsq_f64(a.v)}; }
+inline Vec vsqrt(Vec a) { return {vsqrtq_f64(a.v)}; }
+inline Vec vfloor(Vec a) { return {vrndmq_f64(a.v)}; }
+
+inline Mask ceq(Vec a, Vec b) { return {vceqq_f64(a.v, b.v)}; }
+inline Mask clt(Vec a, Vec b) { return {vcltq_f64(a.v, b.v)}; }
+inline Mask cle(Vec a, Vec b) { return {vcleq_f64(a.v, b.v)}; }
+inline Mask cgt(Vec a, Vec b) { return {vcgtq_f64(a.v, b.v)}; }
+inline Mask cge(Vec a, Vec b) { return {vcgeq_f64(a.v, b.v)}; }
+
+inline Mask
+mnot(Mask a)
+{
+    return {vreinterpretq_u64_u32(
+        vmvnq_u32(vreinterpretq_u32_u64(a.m)))};
+}
+inline Mask cne(Vec a, Vec b) { return mnot(ceq(a, b)); }
+
+inline Mask mand(Mask a, Mask b) { return {vandq_u64(a.m, b.m)}; }
+inline Mask mandnot(Mask a, Mask b) { return {vbicq_u64(a.m, b.m)}; }
+inline bool
+anyLane(Mask a)
+{
+    return (vgetq_lane_u64(a.m, 0) | vgetq_lane_u64(a.m, 1)) != 0;
+}
+inline Vec
+select(Mask m, Vec t, Vec e)
+{
+    return {vbslq_f64(m.m, t.v, e.v)};
+}
+// NEON fmin/fmax propagate NaN from either operand — NOT the
+// std::min/std::max "return the first operand on unordered"
+// semantics the kernels are specified against — so min/max are
+// built from the compare+select primitives instead.
+inline Vec vmin(Vec a, Vec b) { return select(clt(b, a), b, a); }
+inline Vec vmax(Vec a, Vec b) { return select(clt(a, b), b, a); }
+
+} // namespace arch_neon
+
+#endif
+
+#endif // !FELIX_SIMD_FORCE_SCALAR
+
+/**
+ * Apply a scalar function lane-wise through memory. The store/load
+ * round trip is bitwise exact, so f sees exactly the double the
+ * scalar path would pass and the result is bit-identical — this is
+ * how the kernels keep libm calls (pow, log, exp, atan) on the
+ * one true code path at every vector width.
+ */
+template <class V, class F>
+inline V
+perLane(V a, F f)
+{
+    double t[V::kWidth];
+    a.store(t);
+    for (std::size_t i = 0; i < V::kWidth; ++i)
+        t[i] = f(t[i]);
+    return V::load(t);
+}
+
+/** Two-operand variant of perLane. */
+template <class V, class F>
+inline V
+perLane2(V a, V b, F f)
+{
+    double ta[V::kWidth], tb[V::kWidth];
+    a.store(ta);
+    b.store(tb);
+    for (std::size_t i = 0; i < V::kWidth; ++i)
+        ta[i] = f(ta[i], tb[i]);
+    return V::load(ta);
+}
+
+} // namespace simd
+} // namespace felix
+
+#endif // FELIX_SUPPORT_SIMD_H_

@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/round_log.h"
 #include "obs/trace.h"
+#include "simd/kernels.h"
 #include "sketch/sketch.h"
 #include "support/logging.h"
 #include "support/parallel.h"
@@ -53,6 +54,14 @@ usage()
         "                      (open in chrome://tracing / Perfetto)\n"
         "  --metrics-out FILE  write per-round telemetry records plus\n"
         "                      a final metrics snapshot as JSONL\n"
+        "  --no-batch  evaluate gradient-search points one at a\n"
+        "              time instead of in SoA batches (debugging;\n"
+        "              results are bit-identical either way)\n"
+        "  --simd W    SIMD backend for the batched kernels: a\n"
+        "              vector width (1 | 2 | 4 | 8) or 'off' for\n"
+        "              the scalar fallback (default: widest the CPU\n"
+        "              supports; also via FELIX_SIMD). Results are\n"
+        "              bit-identical at every width\n"
         "  --log-level L       debug | info | warn | error\n"
         "                      (also via FELIX_LOG_LEVEL)\n"
         "  --cache-dir DIR     pretrained cost-model cache directory\n"
@@ -90,6 +99,7 @@ main(int argc, char **argv)
     int jobs = 0;
     bool compareFrameworks = false;
     int showSchedules = 0;
+    bool useBatch = true;
     std::string logPath, traceOut, metricsOut;
     std::string cacheDir = "pretrained";
 
@@ -127,6 +137,20 @@ main(int argc, char **argv)
             metricsOut = next();
         else if (arg == "--cache-dir")
             cacheDir = next();
+        else if (arg == "--no-batch")
+            useBatch = false;
+        else if (arg == "--simd") {
+            std::string value = next();
+            int width = value == "off" ? 1 : std::atoi(value.c_str());
+            if (width < 1 || !simd::setPreferredWidth(width)) {
+                std::string widths;
+                for (int w : simd::availableWidths())
+                    widths += (widths.empty() ? "" : " | ") +
+                              std::to_string(w);
+                fatal("bad --simd '" + value + "' (this build: " +
+                      widths + " | off)");
+            }
+        }
         else if (arg == "--log-level") {
             std::string name = next();
             auto level = parseLogLevel(name);
@@ -183,6 +207,7 @@ main(int argc, char **argv)
     options.tuner.numThreads = jobs;
     options.tuner.recordLogPath = logPath;
     options.tuner.roundLogPath = metricsOut;
+    options.tuner.grad.useBatch = useBatch;
     options.tuner.strategy = (strategy == "ansor")
                                  ? tuner::StrategyKind::AnsorTenSet
                                  : tuner::StrategyKind::FelixGradient;
