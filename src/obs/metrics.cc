@@ -72,6 +72,14 @@ MetricsRegistry::defaultLatencyBoundsMs()
             1000, 2000, 5000, 10000, 30000, 100000};
 }
 
+std::vector<double>
+MetricsRegistry::defaultRequestLatencyBoundsUs()
+{
+    return {1,    2,    5,     10,    20,    50,     100,    200,
+            500,  1000, 2000,  5000,  10000, 20000,  50000,  100000,
+            200000, 500000, 1000000, 10000000};
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {

@@ -151,6 +151,14 @@ class MetricsRegistry
     /** Default histogram bounds: 0.1ms .. 100s, log-ish scale. */
     static std::vector<double> defaultLatencyBoundsMs();
 
+    /**
+     * Microsecond-scale bounds (1us .. 10s) for request-latency
+     * histograms on the serving path (serve.request_latency_us),
+     * where cache hits answer far below the 0.1ms floor of the
+     * tuning-scale default.
+     */
+    static std::vector<double> defaultRequestLatencyBoundsUs();
+
   private:
     MetricsRegistry() = default;
 

@@ -1,0 +1,183 @@
+#include "serve/protocol.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace felix {
+namespace serve {
+
+namespace {
+
+/** 64-bit hash as a JSON decimal string. */
+std::string
+hashString(uint64_t hash)
+{
+    return obs::jsonEscape(std::to_string(hash));
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Tune: return "tune";
+      case Op::Rounds: return "rounds";
+      case Op::Stats: return "stats";
+      case Op::Flush: return "flush";
+      case Op::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::optional<Request>
+parseRequest(const std::string &line, std::string *error)
+{
+    std::string parseError;
+    auto doc = obs::parseJson(line, &parseError);
+    if (!doc || !doc->isObject()) {
+        if (error)
+            *error = "malformed JSON: " + parseError;
+        return std::nullopt;
+    }
+    std::string op = doc->stringOr("op", "");
+    Request request;
+    if (op == "tune") {
+        request.op = Op::Tune;
+        request.network = doc->stringOr("network", "");
+        if (request.network.empty()) {
+            if (error)
+                *error = "tune request needs a \"network\"";
+            return std::nullopt;
+        }
+        request.batch =
+            static_cast<int>(doc->numberOr("batch", 1.0));
+        if (request.batch < 1) {
+            if (error)
+                *error = "tune request needs batch >= 1";
+            return std::nullopt;
+        }
+        request.device = doc->stringOr("device", "");
+    } else if (op == "rounds") {
+        request.op = Op::Rounds;
+        request.rounds = static_cast<int>(doc->numberOr("n", 1.0));
+        if (request.rounds < 1) {
+            if (error)
+                *error = "rounds request needs n >= 1";
+            return std::nullopt;
+        }
+    } else if (op == "stats") {
+        request.op = Op::Stats;
+    } else if (op == "flush") {
+        request.op = Op::Flush;
+    } else if (op == "shutdown") {
+        request.op = Op::Shutdown;
+    } else {
+        if (error)
+            *error = op.empty() ? "missing \"op\""
+                                : "unknown op \"" + op + "\"";
+        return std::nullopt;
+    }
+    return request;
+}
+
+std::string
+TuneResponse::toJson() const
+{
+    std::string out = "{\"type\":\"schedules\",\"network\":" +
+                      obs::jsonEscape(network) +
+                      ",\"latency_sec\":" + obs::jsonNumber(latencySec) +
+                      ",\"cache_hits\":" +
+                      obs::jsonNumber(cacheHits) +
+                      ",\"cache_misses\":" +
+                      obs::jsonNumber(cacheMisses) + ",\"tasks\":[";
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        const TaskAnswer &task = tasks[i];
+        if (i)
+            out += ",";
+        out += "{\"label\":" + obs::jsonEscape(task.label) +
+               ",\"hash\":" + hashString(task.hash) +
+               ",\"weight\":" + obs::jsonNumber(task.weight) +
+               ",\"sketch\":" + obs::jsonNumber(task.sketchIndex) +
+               ",\"vars\":[";
+        for (size_t j = 0; j < task.vars.size(); ++j) {
+            if (j)
+                out += ",";
+            out += obs::jsonNumber(task.vars[j]);
+        }
+        out += "],\"latency_sec\":" + obs::jsonNumber(task.latencySec) +
+               ",\"cached\":" + (task.cached ? "true" : "false") + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+RoundsResponse::toJson() const
+{
+    std::string out =
+        "{\"type\":\"rounds\",\"ran\":" + obs::jsonNumber(ran) +
+        ",\"measurements\":" + obs::jsonNumber(measurements) +
+        ",\"clock_sec\":" + obs::jsonNumber(clockSec) + ",\"tuned\":[";
+    for (size_t i = 0; i < tunedLabels.size(); ++i) {
+        if (i)
+            out += ",";
+        out += obs::jsonEscape(tunedLabels[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+StatsResponse::toJson() const
+{
+    std::string out =
+        "{\"type\":\"stats\",\"requests\":" +
+        obs::jsonNumber(static_cast<double>(requests)) +
+        ",\"cache_hits\":" +
+        obs::jsonNumber(static_cast<double>(cacheHits)) +
+        ",\"cache_misses\":" +
+        obs::jsonNumber(static_cast<double>(cacheMisses)) +
+        ",\"cache_size\":" +
+        obs::jsonNumber(static_cast<double>(cacheSize)) +
+        ",\"tasks\":" + obs::jsonNumber(static_cast<double>(tasks)) +
+        ",\"rounds\":" + obs::jsonNumber(roundsRun) +
+        ",\"traffic_total\":" +
+        obs::jsonNumber(static_cast<double>(trafficTotal)) +
+        ",\"heavy_hitters\":[";
+    for (size_t i = 0; i < heavyHitters.size(); ++i) {
+        const HeavyHitterInfo &hitter = heavyHitters[i];
+        if (i)
+            out += ",";
+        out += "{\"hash\":" + hashString(hitter.hash) +
+               ",\"count\":" +
+               obs::jsonNumber(static_cast<double>(hitter.count)) +
+               ",\"share\":" + obs::jsonNumber(hitter.share) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+FlushResponse::toJson() const
+{
+    return "{\"type\":\"flush\",\"persisted\":" +
+           obs::jsonNumber(static_cast<double>(persisted)) + "}";
+}
+
+std::string
+errorResponse(const std::string &message)
+{
+    return "{\"type\":\"error\",\"error\":" + obs::jsonEscape(message) +
+           "}";
+}
+
+std::string
+okResponse(const std::string &what)
+{
+    return "{\"type\":\"ok\",\"what\":" + obs::jsonEscape(what) + "}";
+}
+
+} // namespace serve
+} // namespace felix

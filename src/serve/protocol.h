@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The felix-serve wire protocol: newline-delimited JSON, one
+ * request object in, one response object out, in order. The full
+ * schema (and the determinism contract: responses carry no
+ * wall-clock state) is documented in docs/serving.md.
+ *
+ * Requests:
+ *   {"op":"tune","network":"dcgan","batch":1}
+ *   {"op":"rounds","n":4}
+ *   {"op":"stats"}
+ *   {"op":"flush"}
+ *   {"op":"shutdown"}
+ *
+ * Subgraph hashes are emitted as decimal *strings*: they are full
+ * 64-bit values and JSON numbers are doubles (53-bit mantissa).
+ */
+#ifndef FELIX_SERVE_PROTOCOL_H_
+#define FELIX_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace serve {
+
+/** Request kinds understood by the daemon. */
+enum class Op { Tune, Rounds, Stats, Flush, Shutdown };
+
+const char *opName(Op op);
+
+/** One parsed request line. */
+struct Request
+{
+    Op op = Op::Stats;
+    std::string network;   ///< tune: model name (models/models.h)
+    int batch = 1;         ///< tune: input batch size
+    std::string device;    ///< tune: optional device sanity check
+    int rounds = 1;        ///< rounds: background rounds to run
+};
+
+/**
+ * Parse one NDJSON request line. nullopt on malformed input, with a
+ * human-readable reason in @p error when non-null.
+ */
+std::optional<Request> parseRequest(const std::string &line,
+                                    std::string *error = nullptr);
+
+/** The schedule served for one subgraph of a tune request. */
+struct TaskAnswer
+{
+    std::string label;
+    uint64_t hash = 0;
+    int weight = 1;
+    int sketchIndex = 0;
+    std::vector<double> vars;
+    double latencySec = 0.0;
+    bool cached = false;   ///< answered from the schedule cache
+};
+
+/** Response to {"op":"tune"}. */
+struct TuneResponse
+{
+    std::string network;
+    double latencySec = 0.0;   ///< end-to-end with served schedules
+    int cacheHits = 0;
+    int cacheMisses = 0;
+    std::vector<TaskAnswer> tasks;
+
+    std::string toJson() const;
+};
+
+/** Response to {"op":"rounds"}. */
+struct RoundsResponse
+{
+    int ran = 0;
+    int measurements = 0;      ///< total daemon measurements so far
+    double clockSec = 0.0;     ///< virtual tuning clock
+    std::vector<std::string> tunedLabels;   ///< task per round
+
+    std::string toJson() const;
+};
+
+/** One heavy hitter in a stats response. */
+struct HeavyHitterInfo
+{
+    uint64_t hash = 0;
+    uint64_t count = 0;
+    double share = 0.0;
+};
+
+/** Response to {"op":"stats"} (deterministic fields only). */
+struct StatsResponse
+{
+    uint64_t requests = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    size_t cacheSize = 0;
+    size_t tasks = 0;
+    int roundsRun = 0;
+    uint64_t trafficTotal = 0;
+    std::vector<HeavyHitterInfo> heavyHitters;
+
+    std::string toJson() const;
+};
+
+/** Response to {"op":"flush"}. */
+struct FlushResponse
+{
+    size_t persisted = 0;
+
+    std::string toJson() const;
+};
+
+/** {"type":"error","error":...} response line. */
+std::string errorResponse(const std::string &message);
+
+/** {"type":"ok"} acknowledgement (shutdown). */
+std::string okResponse(const std::string &what);
+
+} // namespace serve
+} // namespace felix
+
+#endif // FELIX_SERVE_PROTOCOL_H_

@@ -1,0 +1,40 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace felix {
+namespace serve {
+
+double
+trafficScore(const TaskStats &stats, const CountMinSketch &traffic)
+{
+    double backoff =
+        std::pow(0.5, std::min(6, stats.stagnantRounds));
+    return traffic.share(stats.hash) * stats.bestLatencySec * backoff;
+}
+
+int
+pickNextTask(const std::vector<TaskStats> &tasks,
+             const CountMinSketch &traffic)
+{
+    if (tasks.empty())
+        return -1;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i].rounds == 0)
+            return static_cast<int>(i);
+    }
+    int best = 0;
+    double bestScore = -1.0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        double score = trafficScore(tasks[i], traffic);
+        if (score > bestScore) {
+            bestScore = score;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace serve
+} // namespace felix

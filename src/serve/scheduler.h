@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Traffic-weighted task scheduling: which subgraph gets the next
+ * background tuning round.
+ *
+ * The paper's Ansor-style scheduler (src/tuner/tuner.h,
+ * selectNextTask) spends rounds where the most *network* latency
+ * remains: score_i = weight_i * best_latency_i, damped by a
+ * stagnation backoff. A serving fleet doesn't care about one
+ * network — it cares about the latency-volume product across every
+ * request it answers. The serving scheduler therefore generalizes
+ * the score to
+ *
+ *   score_i = traffic_share_i * best_latency_i * 0.5^min(6, stag_i)
+ *
+ * where traffic_share_i is the count-min-sketch estimate of the
+ * fraction of fleet traffic hitting subgraph i (traffic.h). With a
+ * single network and uniform traffic this degenerates to exactly
+ * the paper's rule (shares proportional to task weights), so the
+ * daemon's policy is a strict generalization, not a fork.
+ *
+ * Tasks the fleet has never requested (share 0) score 0 and are
+ * only picked by the visit-once rule, mirroring the tuner's "every
+ * task gets one round first" warm-up.
+ */
+#ifndef FELIX_SERVE_SCHEDULER_H_
+#define FELIX_SERVE_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/traffic.h"
+
+namespace felix {
+namespace serve {
+
+/** Scheduling inputs of one registered tuning task. */
+struct TaskStats
+{
+    uint64_t hash = 0;            ///< subgraph structural hash
+    double bestLatencySec = 0.0;  ///< current best per-kernel latency
+    int rounds = 0;               ///< tuning rounds spent so far
+    int stagnantRounds = 0;       ///< rounds without improvement
+};
+
+/** Score of one task under the traffic-weighted policy. */
+double trafficScore(const TaskStats &stats,
+                    const CountMinSketch &traffic);
+
+/**
+ * Pick the next task to tune: first any never-tuned task (lowest
+ * index first), then the highest traffic-weighted score; ties break
+ * on the lowest index. Returns -1 when @p tasks is empty.
+ */
+int pickNextTask(const std::vector<TaskStats> &tasks,
+                 const CountMinSketch &traffic);
+
+} // namespace serve
+} // namespace felix
+
+#endif // FELIX_SERVE_SCHEDULER_H_

@@ -1,0 +1,328 @@
+#include "serve/server.h"
+
+#include <exception>
+#include <istream>
+#include <ostream>
+
+#include "models/models.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace serve {
+
+namespace {
+
+/** CLI network names, matching felix-tune --network. */
+std::optional<graph::Graph>
+buildNetwork(const std::string &name, int batch)
+{
+    if (name == "resnet50")
+        return models::resnet50(batch);
+    if (name == "mobilenet_v2")
+        return models::mobilenetV2(batch);
+    if (name == "r3d_18")
+        return models::r3d18(batch);
+    if (name == "dcgan")
+        return models::dcgan(batch);
+    if (name == "vit_b32")
+        return models::vitB32(batch);
+    if (name == "llama")
+        return models::llama(batch);
+    return std::nullopt;
+}
+
+tuner::TuneRecord
+recordOf(const tuner::TaskRecord &record, double clock_sec)
+{
+    tuner::TuneRecord out;
+    out.taskHash = record.task.subgraph.structuralHash();
+    out.taskLabel = record.task.exampleLabel;
+    out.sketchIndex = record.bestCandidate.sketchIndex;
+    out.scheduleVars = record.bestCandidate.x;
+    out.latencySec = record.bestLatencySec;
+    out.clockSec = clock_sec;
+    return out;
+}
+
+} // namespace
+
+ServeSession::ServeSession(ServeOptions options,
+                           costmodel::CostModel model)
+    : options_(std::move(options)),
+      deviceKind_(sim::parseDevice(options_.device)),
+      traffic_(options_.sketchDepth, options_.sketchWidth,
+               options_.tuner.seed),
+      heavy_(options_.heavyHitterK)
+{
+    options_.tuner.allowEmptyTasks = true;
+    tuner_ = std::make_unique<tuner::GraphTuner>(
+        std::vector<graph::Task>{}, std::move(model), deviceKind_,
+        options_.tuner);
+    if (!options_.recordsPath.empty()) {
+        size_t loaded = cache_.warmStart(options_.recordsPath);
+        if (loaded > 0)
+            inform("felix-serve: warm-started ", loaded,
+                   " cached schedules from ", options_.recordsPath);
+    }
+    if (!options_.serveLogPath.empty()) {
+        serveLog_.open(options_.serveLogPath);
+        FELIX_CHECK(serveLog_.good(), "cannot open serve log " +
+                                          options_.serveLogPath);
+    }
+}
+
+std::string
+ServeSession::handle(const std::string &line)
+{
+    const int64_t startUs = obs::Tracer::nowUs();
+    auto &registry = obs::MetricsRegistry::instance();
+    ++requests_;
+    registry.counter("serve.requests").add(1.0);
+
+    std::string error;
+    auto request = parseRequest(line, &error);
+    std::string response;
+    if (!request) {
+        registry.counter("serve.requests.malformed").add(1.0);
+        response = errorResponse(error);
+    } else {
+        try {
+            response = dispatch(*request);
+        } catch (const std::exception &e) {
+            registry.counter("serve.requests.failed").add(1.0);
+            response = errorResponse(e.what());
+        }
+    }
+
+    const double wallUs =
+        static_cast<double>(obs::Tracer::nowUs() - startUs);
+    registry
+        .histogram("serve.request_latency_us",
+                   obs::MetricsRegistry::
+                       defaultRequestLatencyBoundsUs())
+        .observe(wallUs);
+    if (request)
+        logRequest(*request, response, wallUs);
+    return response;
+}
+
+std::string
+ServeSession::dispatch(const Request &request)
+{
+    switch (request.op) {
+      case Op::Tune: {
+          if (!request.device.empty() &&
+              request.device != options_.device) {
+              return errorResponse(
+                  "this daemon tunes for " + options_.device +
+                  ", not " + request.device);
+          }
+          auto network = buildNetwork(request.network, request.batch);
+          if (!network)
+              return errorResponse("unknown network \"" +
+                                   request.network + "\"");
+          return tune(request.network, graph::partition(*network))
+              .toJson();
+      }
+      case Op::Rounds:
+          return runRounds(request.rounds).toJson();
+      case Op::Stats:
+          return stats().toJson();
+      case Op::Flush: {
+          FlushResponse response;
+          response.persisted = persist();
+          return response.toJson();
+      }
+      case Op::Shutdown:
+          shutdown_ = true;
+          return okResponse("shutdown");
+    }
+    return errorResponse("unhandled op");
+}
+
+TuneResponse
+ServeSession::tune(const std::string &network_name,
+                   const std::vector<graph::Task> &tasks)
+{
+    FELIX_SPAN("serve.tune", "serve");
+    auto &registry = obs::MetricsRegistry::instance();
+    TuneResponse response;
+    response.network = network_name;
+    for (const graph::Task &task : tasks) {
+        const uint64_t hash = task.subgraph.structuralHash();
+        // Traffic accounting: each occurrence of the subgraph in
+        // the requested network is one unit of fleet traffic.
+        traffic_.add(hash, static_cast<uint64_t>(task.weight));
+        heavy_.update(hash, traffic_.estimate(hash));
+
+        TaskAnswer answer;
+        answer.label = task.exampleLabel;
+        answer.hash = hash;
+        answer.weight = task.weight;
+        if (const CacheEntry *entry = cache_.lookup(hash)) {
+            cache_.recordHit(hash);
+            ++cacheHits_;
+            ++response.cacheHits;
+            registry.counter("serve.cache.hit").add(1.0);
+            answer.sketchIndex = entry->best.sketchIndex;
+            answer.vars = entry->best.scheduleVars;
+            answer.latencySec = entry->best.latencySec;
+            answer.cached = true;
+        } else {
+            // First sighting: register with the background tuner
+            // (one initial all-ones measurement) and serve that
+            // untuned schedule; background rounds improve it.
+            ++cacheMisses_;
+            ++response.cacheMisses;
+            registry.counter("serve.cache.miss").add(1.0);
+            const int taskIndex = tuner_->addTask(task);
+            const tuner::TaskRecord &record =
+                tuner_->taskRecords()[taskIndex];
+            tuner::TuneRecord fresh =
+                recordOf(record, tuner_->clockNow());
+            cache_.put(fresh);
+            cache_.bindTask(hash, taskIndex);
+            answer.sketchIndex = fresh.sketchIndex;
+            answer.vars = fresh.scheduleVars;
+            answer.latencySec = fresh.latencySec;
+        }
+        response.latencySec += task.weight * answer.latencySec;
+        response.tasks.push_back(std::move(answer));
+    }
+    response.latencySec += options_.tuner.graphExecOverheadSec;
+
+    registry.gauge("serve.tasks").set(
+        static_cast<double>(tuner_->taskRecords().size()));
+    auto hitters = heavy_.items();
+    if (!hitters.empty() && traffic_.total() > 0) {
+        registry.gauge("serve.heavy_hitter_share")
+            .set(static_cast<double>(hitters.front().second) /
+                 static_cast<double>(traffic_.total()));
+    }
+    return response;
+}
+
+RoundsResponse
+ServeSession::runRounds(int n)
+{
+    FELIX_SPAN("serve.rounds", "serve");
+    auto &registry = obs::MetricsRegistry::instance();
+    RoundsResponse response;
+    for (int i = 0; i < n; ++i) {
+        const auto &records = tuner_->taskRecords();
+        if (records.empty())
+            break;
+        std::vector<TaskStats> stats;
+        stats.reserve(records.size());
+        for (const tuner::TaskRecord &record : records) {
+            stats.push_back(
+                {record.task.subgraph.structuralHash(),
+                 record.bestLatencySec, record.rounds,
+                 record.stagnantRounds});
+        }
+        const int taskIndex = pickNextTask(stats, traffic_);
+        if (taskIndex < 0)
+            break;
+        tuner_->tuneTaskRound(taskIndex);
+        ++roundsRun_;
+        registry.counter("serve.rounds").add(1.0);
+        const tuner::TaskRecord &record = records[taskIndex];
+        cache_.put(recordOf(record, tuner_->clockNow()));
+        response.tunedLabels.push_back(record.task.exampleLabel);
+    }
+    response.ran = static_cast<int>(response.tunedLabels.size());
+    response.measurements = tuner_->totalMeasurements();
+    response.clockSec = tuner_->clockNow();
+    return response;
+}
+
+StatsResponse
+ServeSession::stats() const
+{
+    StatsResponse response;
+    response.requests = requests_;
+    response.cacheHits = cacheHits_;
+    response.cacheMisses = cacheMisses_;
+    response.cacheSize = cache_.size();
+    response.tasks = tuner_->taskRecords().size();
+    response.roundsRun = roundsRun_;
+    response.trafficTotal = traffic_.total();
+    for (const auto &[hash, count] : heavy_.items()) {
+        HeavyHitterInfo info;
+        info.hash = hash;
+        info.count = count;
+        info.share = traffic_.total() == 0
+                         ? 0.0
+                         : static_cast<double>(count) /
+                               static_cast<double>(traffic_.total());
+        response.heavyHitters.push_back(info);
+    }
+    return response;
+}
+
+size_t
+ServeSession::persist()
+{
+    if (options_.recordsPath.empty())
+        return 0;
+    size_t persisted = cache_.persist(options_.recordsPath);
+    if (persisted > 0)
+        inform("felix-serve: persisted ", persisted,
+               " schedules to ", options_.recordsPath);
+    return persisted;
+}
+
+int
+ServeSession::runStdio(std::istream &in, std::ostream &out)
+{
+    std::string line;
+    while (!shutdown_ && std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        out << handle(line) << "\n";
+        out.flush();
+    }
+    persist();
+    return 0;
+}
+
+int
+ServeSession::roundsOnTask(uint64_t hash) const
+{
+    for (const tuner::TaskRecord &record : tuner_->taskRecords()) {
+        if (record.task.subgraph.structuralHash() == hash)
+            return record.rounds;
+    }
+    return 0;
+}
+
+void
+ServeSession::logRequest(const Request &request,
+                         const std::string &response, double wall_us)
+{
+    if (!serveLog_.is_open())
+        return;
+    // One JSONL line per request; the schema is aggregated by
+    // felix-trace-summary. wall_us is the only nondeterministic
+    // field and lives only here, never in responses.
+    std::string type = "serve";
+    serveLog_ << "{\"type\":" << obs::jsonEscape(type)
+              << ",\"op\":" << obs::jsonEscape(opName(request.op));
+    if (request.op == Op::Tune) {
+        serveLog_ << ",\"network\":" << obs::jsonEscape(request.network)
+                  << ",\"batch\":" << request.batch;
+    }
+    serveLog_ << ",\"response_bytes\":" << response.size()
+              << ",\"hits_total\":" << cacheHits_
+              << ",\"misses_total\":" << cacheMisses_
+              << ",\"rounds_total\":" << roundsRun_
+              << ",\"tasks\":" << tuner_->taskRecords().size()
+              << ",\"wall_us\":" << obs::jsonNumber(wall_us) << "}\n";
+    serveLog_.flush();
+}
+
+} // namespace serve
+} // namespace felix

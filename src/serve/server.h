@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The felix-serve session: a long-lived tuning service answering
+ * NDJSON schedule requests (protocol.h) from a schedule cache
+ * (cache.h), accounting fleet traffic (traffic.h), and spending
+ * background tuning rounds on the subgraphs that dominate fleet
+ * latency (scheduler.h) through a reentrant GraphTuner.
+ *
+ * The session is transport-agnostic: handle() maps one request
+ * line to one response line, runStdio() pumps std::istream ->
+ * std::ostream (tests, CI, and `felix-serve --stdio`), and the
+ * Unix-domain-socket front end in tools/felix_serve.cc reuses the
+ * same handle() per connection line.
+ *
+ * Determinism contract (docs/serving.md): given a fixed request
+ * trace, seed, and warm-start log, every response byte is
+ * reproducible — across runs and across --jobs values. Responses
+ * therefore never carry wall-clock state; wall time goes to the
+ * serve.* metrics and the serve log only.
+ */
+#ifndef FELIX_SERVE_SERVER_H_
+#define FELIX_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "graph/graph.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/traffic.h"
+#include "sim/device.h"
+#include "tuner/tuner.h"
+
+namespace felix {
+namespace serve {
+
+/** Daemon configuration. */
+struct ServeOptions
+{
+    /** Tuning target; tune requests naming another device error. */
+    std::string device = "a5000";
+    /** Tuning-record log: warm-starts the cache at startup, and
+     *  flush/shutdown persist improved schedules back to it. */
+    std::string recordsPath;
+    /** JSONL serve log (one line per request; docs/serving.md). */
+    std::string serveLogPath;
+    /** Heavy-hitter slots and count-min sketch geometry. */
+    size_t heavyHitterK = 8;
+    int sketchDepth = 4;
+    int sketchWidth = 2048;
+    /** Search/clock/seed knobs for the background tuner. */
+    tuner::TunerOptions tuner;
+};
+
+/** One serving session (single-threaded request loop). */
+class ServeSession
+{
+  public:
+    ServeSession(ServeOptions options, costmodel::CostModel model);
+
+    /** One request line in, one response line out (no newline). */
+    std::string handle(const std::string &line);
+
+    bool shutdownRequested() const { return shutdown_; }
+
+    /**
+     * Serve schedules for already-extracted tasks (the programmatic
+     * face of {"op":"tune"}; tests drive it directly).
+     */
+    TuneResponse tune(const std::string &network_name,
+                      const std::vector<graph::Task> &tasks);
+
+    /** Run @p n traffic-weighted background tuning rounds. */
+    RoundsResponse runRounds(int n);
+
+    StatsResponse stats() const;
+
+    /** Persist improved cache entries to the records log. */
+    size_t persist();
+
+    /**
+     * Pump requests from @p in to @p out until EOF or a shutdown
+     * request, then persist. Returns a process exit code.
+     */
+    int runStdio(std::istream &in, std::ostream &out);
+
+    const tuner::GraphTuner &graphTuner() const { return *tuner_; }
+    const std::string &serveLogPath() const
+    {
+        return options_.serveLogPath;
+    }
+    const CountMinSketch &traffic() const { return traffic_; }
+    const HeavyHitters &heavyHitters() const { return heavy_; }
+    const ScheduleCache &cache() const { return cache_; }
+
+    /** Tuning rounds spent on the task with @p hash (tests). */
+    int roundsOnTask(uint64_t hash) const;
+
+  private:
+    std::string dispatch(const Request &request);
+    void logRequest(const Request &request,
+                    const std::string &response, double wall_us);
+
+    ServeOptions options_;
+    sim::DeviceKind deviceKind_;
+    std::unique_ptr<tuner::GraphTuner> tuner_;
+    ScheduleCache cache_;
+    CountMinSketch traffic_;
+    HeavyHitters heavy_;
+    std::ofstream serveLog_;
+    bool shutdown_ = false;
+    uint64_t requests_ = 0;
+    uint64_t cacheHits_ = 0;
+    uint64_t cacheMisses_ = 0;
+    int roundsRun_ = 0;
+};
+
+} // namespace serve
+} // namespace felix
+
+#endif // FELIX_SERVE_SERVER_H_

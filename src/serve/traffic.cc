@@ -1,0 +1,191 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace serve {
+
+namespace {
+
+/** splitmix64 finalizer: the mixing step behind the row hashes. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+int
+roundUpPow2(int v)
+{
+    int w = 1;
+    while (w < v)
+        w <<= 1;
+    return w;
+}
+
+} // namespace
+
+CountMinSketch::CountMinSketch(int depth, int width, uint64_t seed)
+    : depth_(depth), width_(roundUpPow2(std::max(1, width)))
+{
+    FELIX_CHECK(depth >= 1, "count-min sketch needs depth >= 1");
+    mask_ = static_cast<uint64_t>(width_) - 1;
+    rowSeeds_.reserve(depth_);
+    uint64_t s = seed;
+    for (int row = 0; row < depth_; ++row) {
+        s = mix64(s);
+        rowSeeds_.push_back(s);
+    }
+    counters_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+uint64_t
+CountMinSketch::rowHash(int row, uint64_t key) const
+{
+    return mix64(key ^ rowSeeds_[row]) & mask_;
+}
+
+void
+CountMinSketch::add(uint64_t key, uint64_t count)
+{
+    // Conservative update: only raise the rows that are at the
+    // current minimum, which tightens the overestimate on skewed
+    // streams without losing the no-underestimate guarantee.
+    uint64_t est = estimate(key);
+    uint64_t target = est + count;
+    for (int row = 0; row < depth_; ++row) {
+        uint64_t &cell =
+            counters_[static_cast<size_t>(row) * width_ +
+                      rowHash(row, key)];
+        cell = std::max(cell, target);
+    }
+    total_ += count;
+}
+
+uint64_t
+CountMinSketch::estimate(uint64_t key) const
+{
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (int row = 0; row < depth_; ++row) {
+        uint64_t cell =
+            counters_[static_cast<size_t>(row) * width_ +
+                      rowHash(row, key)];
+        best = std::min(best, cell);
+    }
+    return best;
+}
+
+double
+CountMinSketch::share(uint64_t key) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(estimate(key)) /
+           static_cast<double>(total_);
+}
+
+HeavyHitters::HeavyHitters(size_t capacity) : capacity_(capacity)
+{
+    FELIX_CHECK(capacity >= 1, "heavy-hitter heap needs capacity");
+    heap_.reserve(capacity);
+}
+
+bool
+HeavyHitters::less(const Entry &a, const Entry &b)
+{
+    if (a.count != b.count)
+        return a.count < b.count;
+    return a.key < b.key;
+}
+
+void
+HeavyHitters::siftUp(size_t slot)
+{
+    while (slot > 0) {
+        size_t parent = (slot - 1) / 2;
+        if (!less(heap_[slot], heap_[parent]))
+            break;
+        std::swap(heap_[slot], heap_[parent]);
+        pos_[heap_[slot].key] = slot;
+        pos_[heap_[parent].key] = parent;
+        slot = parent;
+    }
+}
+
+void
+HeavyHitters::siftDown(size_t slot)
+{
+    for (;;) {
+        size_t left = 2 * slot + 1, right = left + 1;
+        size_t smallest = slot;
+        if (left < heap_.size() &&
+            less(heap_[left], heap_[smallest]))
+            smallest = left;
+        if (right < heap_.size() &&
+            less(heap_[right], heap_[smallest]))
+            smallest = right;
+        if (smallest == slot)
+            break;
+        std::swap(heap_[slot], heap_[smallest]);
+        pos_[heap_[slot].key] = slot;
+        pos_[heap_[smallest].key] = smallest;
+        slot = smallest;
+    }
+}
+
+void
+HeavyHitters::update(uint64_t key, uint64_t count)
+{
+    auto it = pos_.find(key);
+    if (it != pos_.end()) {
+        // Counts only grow, so a tracked key can only sink deeper
+        // into the min-heap.
+        heap_[it->second].count = count;
+        siftDown(it->second);
+        return;
+    }
+    if (heap_.size() < capacity_) {
+        heap_.push_back({key, count});
+        pos_[key] = heap_.size() - 1;
+        siftUp(heap_.size() - 1);
+        return;
+    }
+    if (count <= heap_[0].count)
+        return;   // not heavier than the lightest tracked key
+    pos_.erase(heap_[0].key);
+    heap_[0] = {key, count};
+    pos_[key] = 0;
+    siftDown(0);
+}
+
+uint64_t
+HeavyHitters::minCount() const
+{
+    if (heap_.size() < capacity_)
+        return 0;
+    return heap_[0].count;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+HeavyHitters::items() const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    out.reserve(heap_.size());
+    for (const Entry &entry : heap_)
+        out.push_back({entry.key, entry.count});
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+    return out;
+}
+
+} // namespace serve
+} // namespace felix

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Datapath-grade traffic accounting for the serving daemon: a
+ * count-min sketch estimating per-subgraph request volume in O(1)
+ * memory, plus a fixed-capacity heavy-hitter min-heap tracking the
+ * top-K subgraph hashes by estimated count.
+ *
+ * The sketch bounds overestimation: for a stream of N updates, a
+ * depth-d width-w sketch guarantees
+ *
+ *   exact <= estimate <= exact + (e / w) * N
+ *
+ * with probability 1 - e^-d, and never underestimates. The
+ * heavy-hitter heap is the classic top-K companion structure (one
+ * hash map from key to heap slot, sift on update, evict the minimum
+ * when full) so the scheduler can iterate the dominant subgraphs
+ * without scanning every task.
+ *
+ * Everything here is deterministic: row seeds derive from one fixed
+ * seed, ties break on the key value, and no wall-clock state is
+ * kept — a replayed request trace reproduces the exact same
+ * estimates and heap contents (docs/serving.md).
+ */
+#ifndef FELIX_SERVE_TRAFFIC_H_
+#define FELIX_SERVE_TRAFFIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace felix {
+namespace serve {
+
+/** Conservative-update count-min sketch over 64-bit keys. */
+class CountMinSketch
+{
+  public:
+    /**
+     * @param depth number of hash rows (error probability e^-depth)
+     * @param width counters per row, rounded up to a power of two
+     *        (additive error factor e/width of the stream total)
+     */
+    explicit CountMinSketch(int depth = 4, int width = 2048,
+                            uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Add @p count occurrences of @p key. */
+    void add(uint64_t key, uint64_t count = 1);
+
+    /** Point estimate: never below the exact count. */
+    uint64_t estimate(uint64_t key) const;
+
+    /** Total updates observed (the stream length N). */
+    uint64_t total() const { return total_; }
+
+    /** Estimated share of the stream belonging to @p key, [0, 1]. */
+    double share(uint64_t key) const;
+
+    int depth() const { return depth_; }
+    int width() const { return width_; }
+
+  private:
+    uint64_t rowHash(int row, uint64_t key) const;
+
+    int depth_;
+    int width_;        ///< power of two
+    uint64_t mask_;
+    uint64_t total_ = 0;
+    std::vector<uint64_t> rowSeeds_;
+    std::vector<uint64_t> counters_;   ///< depth_ * width_
+};
+
+/**
+ * Fixed-capacity top-K tracker: a min-heap on estimated count with
+ * a key -> slot index so updates are O(log K).
+ */
+class HeavyHitters
+{
+  public:
+    explicit HeavyHitters(size_t capacity = 16);
+
+    /**
+     * Record that @p key now has estimated count @p count (counts
+     * only grow). Inserts when there is room or when @p count
+     * strictly beats the current minimum (which is evicted).
+     */
+    void update(uint64_t key, uint64_t count);
+
+    bool contains(uint64_t key) const
+    {
+        return pos_.find(key) != pos_.end();
+    }
+
+    /** Smallest tracked count (0 when not yet full). */
+    uint64_t minCount() const;
+
+    size_t size() const { return heap_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /**
+     * Tracked (key, count) pairs, highest count first; ties order
+     * by ascending key so the listing is deterministic.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> items() const;
+
+  private:
+    struct Entry
+    {
+        uint64_t key = 0;
+        uint64_t count = 0;
+    };
+
+    /** Min-heap order: count, then key (total, deterministic). */
+    static bool less(const Entry &a, const Entry &b);
+    void siftUp(size_t slot);
+    void siftDown(size_t slot);
+
+    size_t capacity_;
+    std::vector<Entry> heap_;
+    std::unordered_map<uint64_t, size_t> pos_;
+};
+
+} // namespace serve
+} // namespace felix
+
+#endif // FELIX_SERVE_TRAFFIC_H_

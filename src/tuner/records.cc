@@ -1,20 +1,25 @@
 #include "tuner/records.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
 #include "support/logging.h"
 
 namespace felix {
 namespace tuner {
 
+namespace {
+
 void
-appendRecord(const std::string &path, const TuneRecord &record)
+formatRecord(std::ostringstream &os, const TuneRecord &record)
 {
-    std::ofstream os(path, std::ios::app);
-    FELIX_CHECK(os.good(), "cannot append tuning record to " + path);
-    os.precision(17);
     os << record.taskHash << " " << record.sketchIndex << " "
        << record.latencySec << " " << record.clockSec << " "
        << record.scheduleVars.size();
@@ -23,30 +28,98 @@ appendRecord(const std::string &path, const TuneRecord &record)
     os << " " << record.taskLabel << "\n";
 }
 
+/**
+ * One O_APPEND write of pre-formatted lines. POSIX appends are
+ * atomic with respect to the file offset, so a crash mid-call
+ * leaves at most one truncated trailing line and concurrent
+ * appenders (daemon + CLI sharing a log) never interleave bytes of
+ * complete lines.
+ */
+void
+appendText(const std::string &path, const std::string &text)
+{
+    int fd = ::open(path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    FELIX_CHECK(fd >= 0, "cannot append tuning record to " + path +
+                             ": " + std::strerror(errno));
+    size_t written = 0;
+    while (written < text.size()) {
+        ssize_t n = ::write(fd, text.data() + written,
+                            text.size() - written);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            int err = errno;
+            ::close(fd);
+            panic("short write appending tuning record to " + path +
+                  ": " + std::strerror(err));
+        }
+        written += static_cast<size_t>(n);
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+void
+appendRecord(const std::string &path, const TuneRecord &record)
+{
+    std::ostringstream os;
+    os.precision(17);
+    formatRecord(os, record);
+    appendText(path, os.str());
+}
+
+void
+appendRecords(const std::string &path,
+              const std::vector<TuneRecord> &records)
+{
+    if (records.empty())
+        return;
+    std::ostringstream os;
+    os.precision(17);
+    for (const TuneRecord &record : records)
+        formatRecord(os, record);
+    appendText(path, os.str());
+}
+
 std::vector<TuneRecord>
 loadRecords(const std::string &path)
 {
     std::vector<TuneRecord> records;
     std::ifstream is(path);
     std::string line;
+    int corrupt = 0;
     while (std::getline(is, line)) {
         std::istringstream ls(line);
         TuneRecord record;
         size_t numVars = 0;
         if (!(ls >> record.taskHash >> record.sketchIndex >>
               record.latencySec >> record.clockSec >> numVars)) {
-            continue;   // corrupt line: skip
-        }
-        if (numVars > 4096)
+            ++corrupt;
             continue;
+        }
+        if (numVars > 4096) {
+            ++corrupt;
+            continue;
+        }
         record.scheduleVars.resize(numVars);
         bool ok = true;
         for (double &v : record.scheduleVars)
             ok = ok && static_cast<bool>(ls >> v);
-        if (!ok)
+        if (!ok) {
+            ++corrupt;
             continue;
+        }
         ls >> record.taskLabel;
         records.push_back(std::move(record));
+    }
+    if (corrupt > 0) {
+        obs::MetricsRegistry::instance()
+            .counter("records.corrupt_lines")
+            .add(static_cast<double>(corrupt));
+        warn("skipped ", corrupt, " corrupt tuning-record line",
+             corrupt == 1 ? "" : "s", " in ", path);
     }
     return records;
 }

@@ -30,10 +30,26 @@ struct TuneRecord
     double clockSec = 0.0;          ///< virtual time of measurement
 };
 
-/** Append one record to a log file (creates the file if needed). */
+/**
+ * Append one record to a log file (creates the file if needed).
+ *
+ * Crash-safe: the line is formatted in memory and handed to the
+ * kernel as a single O_APPEND write, so a crashed or concurrent
+ * writer can truncate its own last line but never interleave or
+ * tear an earlier one — loadRecords() then drops at most that one
+ * trailing line.
+ */
 void appendRecord(const std::string &path, const TuneRecord &record);
 
-/** Load every well-formed record; skips corrupt lines. */
+/** Append a batch of records as one atomic O_APPEND write. */
+void appendRecords(const std::string &path,
+                   const std::vector<TuneRecord> &records);
+
+/**
+ * Load every well-formed record. Corrupt lines are skipped, counted
+ * into the `records.corrupt_lines` metric, and reported with one
+ * warning per file.
+ */
 std::vector<TuneRecord> loadRecords(const std::string &path);
 
 /**

@@ -31,39 +31,84 @@ GraphTuner::GraphTuner(std::vector<graph::Task> tasks,
       options_(std::move(options)), rng_(options_.seed),
       roundLogger_(options_.roundLogPath)
 {
-    FELIX_CHECK(!tasks.empty(), "tuner needs at least one task");
+    FELIX_CHECK(!tasks.empty() || options_.allowEmptyTasks,
+                "tuner needs at least one task");
     if (options_.numThreads > 0)
         setGlobalJobs(options_.numThreads);
     FELIX_SPAN("tuner.setup", "tuner");
-    for (graph::Task &task : tasks) {
-        TaskRecord record;
-        record.task = std::move(task);
-        if (options_.strategy == StrategyKind::FelixGradient) {
-            record.strategy = std::make_unique<optim::GradientSearch>(
-                record.task.subgraph, options_.grad);
-        } else {
-            record.strategy =
-                std::make_unique<evolutionary::EvolutionarySearch>(
-                    record.task.subgraph, options_.evo);
-        }
-        // Initialize with the trivial all-ones schedule of the
-        // primary sketch (always legal, single-threaded): this is
-        // the "untuned" latency the curves start at.
-        const auto &sched = record.strategy->sketches().front();
-        std::vector<std::string> names;
-        for (const auto &domain : sched.vars)
-            names.push_back(domain.name);
-        std::vector<double> ones(sched.vars.size(), 1.0);
-        auto rawFeatures = features::concreteFeatures(sched.program,
-                                                      names, ones);
-        record.bestLatencySec = sim::measureKernel(
-            rawFeatures, device_, measureSeed_++);
-        record.bestCandidate.sketchIndex = 0;
-        record.bestCandidate.x = ones;
-        record.bestCandidate.rawFeatures = std::move(rawFeatures);
-        tasks_.push_back(std::move(record));
-    }
+    for (graph::Task &task : tasks)
+        initTask(std::move(task));
     timeline_.push_back({0.0, networkLatency()});
+}
+
+void
+GraphTuner::initTask(graph::Task task)
+{
+    TaskRecord record;
+    record.task = std::move(task);
+    if (options_.strategy == StrategyKind::FelixGradient) {
+        record.strategy = std::make_unique<optim::GradientSearch>(
+            record.task.subgraph, options_.grad);
+    } else {
+        record.strategy =
+            std::make_unique<evolutionary::EvolutionarySearch>(
+                record.task.subgraph, options_.evo);
+    }
+    // Initialize with the trivial all-ones schedule of the
+    // primary sketch (always legal, single-threaded): this is
+    // the "untuned" latency the curves start at.
+    const auto &sched = record.strategy->sketches().front();
+    std::vector<std::string> names;
+    for (const auto &domain : sched.vars)
+        names.push_back(domain.name);
+    std::vector<double> ones(sched.vars.size(), 1.0);
+    auto rawFeatures = features::concreteFeatures(sched.program,
+                                                  names, ones);
+    record.bestLatencySec = sim::measureKernel(
+        rawFeatures, device_, measureSeed_++);
+    record.bestCandidate.sketchIndex = 0;
+    record.bestCandidate.x = ones;
+    record.bestCandidate.rawFeatures = std::move(rawFeatures);
+    tasks_.push_back(std::move(record));
+}
+
+int
+GraphTuner::addTask(graph::Task task)
+{
+    FELIX_SPAN("tuner.add_task", "tuner");
+    initTask(std::move(task));
+    return static_cast<int>(tasks_.size()) - 1;
+}
+
+bool
+GraphTuner::seedBest(int task_index, int sketch_index,
+                     const std::vector<double> &schedule_vars,
+                     double latency_sec)
+{
+    if (task_index < 0 ||
+        task_index >= static_cast<int>(tasks_.size()))
+        return false;
+    TaskRecord &record = tasks_[task_index];
+    const auto &sketches = record.strategy->sketches();
+    if (sketch_index < 0 ||
+        sketch_index >= static_cast<int>(sketches.size()))
+        return false;
+    const auto &sched = sketches[sketch_index];
+    if (schedule_vars.size() != sched.vars.size())
+        return false;
+    if (!(latency_sec < record.bestLatencySec))
+        return false;
+    std::vector<std::string> names;
+    for (const auto &domain : sched.vars)
+        names.push_back(domain.name);
+    auto rawFeatures = features::concreteFeatures(
+        sched.program, names, schedule_vars);
+    record.bestLatencySec = latency_sec;
+    record.bestCandidate.sketchIndex = sketch_index;
+    record.bestCandidate.x = schedule_vars;
+    record.bestCandidate.rawFeatures = std::move(rawFeatures);
+    record.bestCandidate.predictedScore = 0.0;
+    return true;
 }
 
 double
@@ -104,12 +149,20 @@ GraphTuner::selectNextTask()
 void
 GraphTuner::tuneOneRound()
 {
+    tuneTaskRound(selectNextTask());
+}
+
+void
+GraphTuner::tuneTaskRound(int task_index)
+{
     FELIX_SPAN("tuner.round", "tuner");
+    FELIX_CHECK(task_index >= 0 &&
+                    task_index < static_cast<int>(tasks_.size()),
+                "tuneTaskRound: bad task index");
     auto &registry = obs::MetricsRegistry::instance();
     const int64_t roundStartUs = obs::Tracer::nowUs();
 
-    const int taskIdx = selectNextTask();
-    TaskRecord &record = tasks_[taskIdx];
+    TaskRecord &record = tasks_[task_index];
 
     obs::RoundRecord roundRecord;
     roundRecord.round = roundIndex_;

@@ -73,6 +73,9 @@ struct TunerOptions
      *  round is written here as JSONL (see docs/observability.md);
      *  the felix-tune --metrics-out flag plugs in here. */
     std::string roundLogPath;
+    /** Allow constructing with zero tasks (the serving daemon adds
+     *  tasks as requests arrive; see docs/serving.md). */
+    bool allowEmptyTasks = false;
 };
 
 /** One point of the tuning-progress curve (Fig. 7/10). */
@@ -107,6 +110,33 @@ class GraphTuner
     /** Tune until the virtual clock passes @p budget_sec. */
     void tuneUntil(double budget_sec);
 
+    /**
+     * Register a new task after construction (reentrant serving
+     * API). The task starts at the trivial all-ones schedule, whose
+     * simulated measurement advances the deterministic measurement
+     * seed stream exactly like a constructor-registered task.
+     * Returns the task index.
+     */
+    int addTask(graph::Task task);
+
+    /**
+     * Run one tuning round on one specific task, letting an external
+     * policy (e.g. the traffic-weighted serving scheduler) replace
+     * the built-in Ansor-style task selection.
+     */
+    void tuneTaskRound(int task_index);
+
+    /**
+     * Warm-start a task's best schedule from a replayed tuning
+     * record (no new measurement; the recorded latency is trusted —
+     * it came from the same deterministic simulator). Returns false
+     * when the record does not apply (bad sketch index, wrong
+     * variable count) or does not improve on the current best.
+     */
+    bool seedBest(int task_index, int sketch_index,
+                  const std::vector<double> &schedule_vars,
+                  double latency_sec);
+
     /** Current end-to-end network latency with the best schedules. */
     double networkLatency() const;
 
@@ -129,6 +159,7 @@ class GraphTuner
   private:
     int selectNextTask();
     void tuneOneRound();
+    void initTask(graph::Task task);
 
     std::vector<TaskRecord> tasks_;
     /** Replay buffer of all measured samples (model fine-tuning). */

@@ -1,0 +1,160 @@
+# Serving smoke test (ctest): drive `felix-serve --stdio` through a
+# fixed three-request trace covering cache miss -> background tuning
+# -> cache hit, and enforce the determinism contract of
+# docs/serving.md: the same trace replayed twice, and replayed at
+# --jobs 4, must produce byte-identical responses (responses carry no
+# wall-clock state, so no normalization is needed — unlike the
+# felix-tune metrics log).
+#
+# Invoked as
+#   cmake -DFELIX_SERVE=... -DWORK_DIR=... -DCACHE_DIR=...
+#         -P serve_smoke.cmake
+#
+# Steps:
+#   1. Write a request trace: dcgan@1 (all misses), dcgan@2 (new
+#      shapes, misses again), two tuning rounds, dcgan@1 again (all
+#      hits, served without new measurements), stats, shutdown.
+#   2. Run the trace three times: --jobs 1 twice and --jobs 4 once,
+#      persisting the schedule cache of the first run to a records
+#      log. All three stdout captures must be byte-identical.
+#   3. The final tune response must be answered from the cache
+#      ("cache_hits" > 0 with zero misses) and the stats response
+#      must report the traffic split.
+#   4. A fresh daemon warm-started from the records log must answer
+#      the dcgan@1 request from the cache immediately (a restart
+#      keeps the fleet's tuning work).
+
+foreach(var FELIX_SERVE TRACE_SUMMARY WORK_DIR CACHE_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "serve_smoke: missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(trace "${WORK_DIR}/trace.ndjson")
+file(WRITE "${trace}"
+"{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":1}
+{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":2}
+{\"op\":\"rounds\",\"n\":2}
+{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":1}
+{\"op\":\"stats\"}
+{\"op\":\"shutdown\"}
+")
+
+function(run_serve tag jobs)
+    set(extra ${ARGN})
+    execute_process(
+        COMMAND "${FELIX_SERVE}" --stdio
+            --device a5000 --seed 3 --jobs ${jobs}
+            --cache-dir "${CACHE_DIR}"
+            ${extra}
+        INPUT_FILE "${trace}"
+        OUTPUT_FILE "${WORK_DIR}/out_${tag}.ndjson"
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "felix-serve ${tag} failed (${rc}):\n${err}")
+    endif()
+endfunction()
+
+run_serve(a 1 --records "${WORK_DIR}/records.log"
+            --serve-log "${WORK_DIR}/serve.jsonl")
+run_serve(b 1)
+run_serve(j4 4)
+
+foreach(other b j4)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/out_a.ndjson" "${WORK_DIR}/out_${other}.ndjson"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "serve responses differ between runs a and ${other} "
+            "(${WORK_DIR}/out_a.ndjson vs out_${other}.ndjson): the "
+            "determinism contract of docs/serving.md is broken")
+    endif()
+endforeach()
+
+file(STRINGS "${WORK_DIR}/out_a.ndjson" responses)
+list(LENGTH responses count)
+if(NOT count EQUAL 6)
+    message(FATAL_ERROR "expected 6 response lines, got ${count}")
+endif()
+
+# Request 1 and 2 are all cache misses; request 4 (index 3) repeats
+# request 1 and must be answered entirely from the cache.
+list(GET responses 0 first_tune)
+if(NOT first_tune MATCHES "\"cache_hits\":0" OR
+   NOT first_tune MATCHES "\"cache_misses\":[1-9]")
+    message(FATAL_ERROR
+        "cold-start tune was not all misses: ${first_tune}")
+endif()
+list(GET responses 3 repeat_tune)
+if(NOT repeat_tune MATCHES "\"cache_hits\":[1-9]" OR
+   NOT repeat_tune MATCHES "\"cache_misses\":0")
+    message(FATAL_ERROR
+        "repeat tune was not served from the cache: ${repeat_tune}")
+endif()
+list(GET responses 2 rounds)
+if(NOT rounds MATCHES "\"ran\":2")
+    message(FATAL_ERROR "background rounds did not run: ${rounds}")
+endif()
+list(GET responses 4 stats)
+if(NOT stats MATCHES "\"heavy_hitters\":\\[{")
+    message(FATAL_ERROR "stats reported no heavy hitters: ${stats}")
+endif()
+
+# The persisted records log must warm-start a fresh daemon: the same
+# dcgan@1 request is now a pure cache hit with no tuning at all.
+if(NOT EXISTS "${WORK_DIR}/records.log")
+    message(FATAL_ERROR "run a persisted no records log")
+endif()
+file(WRITE "${WORK_DIR}/warm_trace.ndjson"
+"{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":1}
+{\"op\":\"shutdown\"}
+")
+execute_process(
+    COMMAND "${FELIX_SERVE}" --stdio
+        --device a5000 --seed 3 --jobs 1
+        --cache-dir "${CACHE_DIR}"
+        --records "${WORK_DIR}/records.log"
+    INPUT_FILE "${WORK_DIR}/warm_trace.ndjson"
+    OUTPUT_FILE "${WORK_DIR}/out_warm.ndjson"
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "warm-start run failed (${rc}):\n${err}")
+endif()
+file(STRINGS "${WORK_DIR}/out_warm.ndjson" warm)
+list(GET warm 0 warm_tune)
+if(NOT warm_tune MATCHES "\"cache_hits\":[1-9]" OR
+   NOT warm_tune MATCHES "\"cache_misses\":0")
+    message(FATAL_ERROR
+        "warm-started daemon did not answer from the persisted "
+        "cache: ${warm_tune}")
+endif()
+
+# The serve log (one JSONL line per request plus a final metrics
+# snapshot) must aggregate cleanly: felix-trace-summary exits
+# non-zero on any malformed line.
+execute_process(
+    COMMAND "${TRACE_SUMMARY}" --serve "${WORK_DIR}/serve.jsonl"
+    OUTPUT_VARIABLE summary
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "felix-trace-summary rejected the serve log (${rc}):\n${err}")
+endif()
+if(NOT summary MATCHES "hit rate" OR
+   NOT summary MATCHES "serve.requests")
+    message(FATAL_ERROR
+        "serve-log summary missing expected sections:\n${summary}")
+endif()
+
+message(STATUS
+    "serve smoke OK: deterministic replay, cache hits, warm start, "
+    "log aggregation")

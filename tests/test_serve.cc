@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Tests of the serving subsystem: count-min sketch error bounds on
+ * adversarial streams, heavy-hitter heap eviction order, schedule
+ * cache persistence, traffic-weighted scheduling, the NDJSON
+ * protocol codec, crash-safe record appends, and the full
+ * ServeSession cache-miss -> tune -> cache-hit round trip with
+ * bit-identical replay.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "costmodel/dataset.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/traffic.h"
+#include "support/rng.h"
+#include "tuner/records.h"
+
+namespace felix {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------
+// Count-min sketch
+// ---------------------------------------------------------------
+
+TEST(CountMinSketch, NeverUnderestimates)
+{
+    CountMinSketch sketch(4, 64);   // tiny: force collisions
+    std::map<uint64_t, uint64_t> exact;
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t key = rng.next() % 500;
+        sketch.add(key);
+        ++exact[key];
+    }
+    EXPECT_EQ(sketch.total(), 20000u);
+    for (const auto &[key, count] : exact)
+        EXPECT_GE(sketch.estimate(key), count) << "key " << key;
+}
+
+TEST(CountMinSketch, ErrorBoundOnAdversarialStream)
+{
+    // Adversarial: one heavy hitter drowned in a long tail of
+    // distinct keys, all competing for the same counters.
+    const int width = 512, depth = 4;
+    CountMinSketch sketch(depth, width);
+    const uint64_t heavy = 0xfe11f00dull;
+    const uint64_t heavyCount = 10000;
+    uint64_t total = 0;
+    Rng rng(5);
+    for (uint64_t i = 0; i < heavyCount; ++i, ++total)
+        sketch.add(heavy);
+    for (int i = 0; i < 90000; ++i, ++total)
+        sketch.add(rng.next());   // ~90k nearly-distinct tail keys
+    // Classic guarantee: estimate <= exact + (e / width) * N with
+    // probability 1 - e^-depth; conservative update only tightens
+    // it. Allow the full bound.
+    const double slack = 2.718281828 / width * double(total);
+    EXPECT_GE(sketch.estimate(heavy), heavyCount);
+    EXPECT_LE(sketch.estimate(heavy),
+              heavyCount + uint64_t(slack) + 1);
+    EXPECT_NEAR(sketch.share(heavy), 0.1, 0.01);
+}
+
+TEST(CountMinSketch, DeterministicAcrossInstances)
+{
+    CountMinSketch a(4, 256), b(4, 256);
+    for (uint64_t key = 0; key < 1000; ++key) {
+        a.add(key * 2654435761u, key % 7 + 1);
+        b.add(key * 2654435761u, key % 7 + 1);
+    }
+    for (uint64_t key = 0; key < 1000; ++key)
+        EXPECT_EQ(a.estimate(key * 2654435761u),
+                  b.estimate(key * 2654435761u));
+}
+
+// ---------------------------------------------------------------
+// Heavy-hitter heap
+// ---------------------------------------------------------------
+
+TEST(HeavyHitters, TracksTopKAndEvictsInOrder)
+{
+    HeavyHitters heap(3);
+    heap.update(1, 10);
+    heap.update(2, 20);
+    heap.update(3, 30);
+    EXPECT_EQ(heap.minCount(), 10u);
+
+    // Not heavier than the minimum: rejected.
+    heap.update(4, 10);
+    EXPECT_FALSE(heap.contains(4));
+
+    // Heavier: evicts the current minimum (key 1).
+    heap.update(5, 15);
+    EXPECT_FALSE(heap.contains(1));
+    EXPECT_TRUE(heap.contains(5));
+    EXPECT_EQ(heap.minCount(), 15u);
+
+    // Growing a tracked key re-sorts without eviction.
+    heap.update(5, 50);
+    EXPECT_EQ(heap.minCount(), 20u);
+
+    auto items = heap.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].first, 5u);   // 50
+    EXPECT_EQ(items[1].first, 3u);   // 30
+    EXPECT_EQ(items[2].first, 2u);   // 20
+}
+
+TEST(HeavyHitters, EvictionSequenceUnderRisingStream)
+{
+    // Keys arrive with strictly rising counts; capacity 2 must
+    // always hold the two largest so far.
+    HeavyHitters heap(2);
+    for (uint64_t key = 1; key <= 100; ++key)
+        heap.update(key, key * 10);
+    auto items = heap.items();
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0].first, 100u);
+    EXPECT_EQ(items[1].first, 99u);
+}
+
+TEST(HeavyHitters, ItemsOrderIsDeterministicOnTies)
+{
+    HeavyHitters heap(4);
+    heap.update(42, 7);
+    heap.update(7, 7);
+    heap.update(99, 7);
+    auto items = heap.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].first, 7u);
+    EXPECT_EQ(items[1].first, 42u);
+    EXPECT_EQ(items[2].first, 99u);
+}
+
+// ---------------------------------------------------------------
+// Traffic-weighted scheduler
+// ---------------------------------------------------------------
+
+TEST(TrafficScheduler, SkewedTrafficPicksHotTask)
+{
+    CountMinSketch traffic;
+    traffic.add(100, 90);
+    traffic.add(200, 10);
+    // Equal remaining latency: traffic decides — and the hot task
+    // wins even from the higher index (no index bias).
+    std::vector<TaskStats> tasks = {{200, 1e-3, 1, 0},
+                                    {100, 1e-3, 1, 0}};
+    EXPECT_EQ(pickNextTask(tasks, traffic), 1);
+    // 9x the traffic loses to 10x the remaining latency: the score
+    // is the product, exactly the paper's rule with shares for
+    // weights.
+    tasks[0].bestLatencySec = 1e-2;
+    EXPECT_EQ(pickNextTask(tasks, traffic), 0);
+}
+
+TEST(TrafficScheduler, VisitOnceBeforeWeighting)
+{
+    CountMinSketch traffic;
+    traffic.add(100, 1000);
+    std::vector<TaskStats> tasks = {{100, 1e-3, 3, 0},
+                                    {200, 1e-3, 0, 0}};
+    // Task 200 has zero traffic but has never been tuned: the
+    // visit-once warm-up picks it first.
+    EXPECT_EQ(pickNextTask(tasks, traffic), 1);
+}
+
+TEST(TrafficScheduler, StagnationBacksOff)
+{
+    CountMinSketch traffic;
+    traffic.add(100, 60);
+    traffic.add(200, 40);
+    std::vector<TaskStats> tasks = {{100, 1e-3, 5, 2},
+                                    {200, 1e-3, 5, 0}};
+    // 0.6 * 0.25 < 0.4: the stagnant hot task yields.
+    EXPECT_EQ(pickNextTask(tasks, traffic), 1);
+    EXPECT_LT(trafficScore(tasks[0], traffic),
+              trafficScore(tasks[1], traffic));
+}
+
+TEST(TrafficScheduler, UniformTrafficDegeneratesToAnsorRule)
+{
+    // With every task equally requested, the policy must reduce to
+    // remaining-latency scheduling (the paper's Algorithm 2 rule).
+    CountMinSketch traffic;
+    traffic.add(1, 10);
+    traffic.add(2, 10);
+    traffic.add(3, 10);
+    std::vector<TaskStats> tasks = {
+        {1, 1e-3, 1, 0}, {2, 5e-3, 1, 0}, {3, 2e-3, 1, 0}};
+    EXPECT_EQ(pickNextTask(tasks, traffic), 1);
+}
+
+// ---------------------------------------------------------------
+// Schedule cache
+// ---------------------------------------------------------------
+
+tuner::TuneRecord
+makeRecord(uint64_t hash, double latency, int sketch = 0)
+{
+    tuner::TuneRecord record;
+    record.taskHash = hash;
+    record.taskLabel = "task_" + std::to_string(hash);
+    record.sketchIndex = sketch;
+    record.scheduleVars = {2, 4, 8};
+    record.latencySec = latency;
+    record.clockSec = 1.0;
+    return record;
+}
+
+TEST(ScheduleCache, PutKeepsTheBetterSchedule)
+{
+    ScheduleCache cache;
+    EXPECT_TRUE(cache.put(makeRecord(7, 5e-4)));
+    EXPECT_FALSE(cache.put(makeRecord(7, 6e-4)));   // worse: kept out
+    EXPECT_TRUE(cache.put(makeRecord(7, 1e-4)));    // better: replaces
+    ASSERT_NE(cache.lookup(7), nullptr);
+    EXPECT_DOUBLE_EQ(cache.lookup(7)->best.latencySec, 1e-4);
+    EXPECT_EQ(cache.lookup(8), nullptr);
+}
+
+TEST(ScheduleCache, PersistAndWarmStartRoundTrip)
+{
+    const char *path = "test_serve_cache_tmp.log";
+    std::remove(path);
+    {
+        ScheduleCache cache;
+        cache.put(makeRecord(7, 5e-4));
+        cache.put(makeRecord(9, 2e-4, 1));
+        EXPECT_EQ(cache.persist(path), 2u);
+        // Nothing dirty after a persist: no duplicate writes.
+        EXPECT_EQ(cache.persist(path), 0u);
+        // An improvement re-dirties only that entry.
+        cache.put(makeRecord(7, 1e-4));
+        EXPECT_EQ(cache.persist(path), 1u);
+    }
+    ScheduleCache warmed;
+    EXPECT_EQ(warmed.warmStart(path), 2u);
+    ASSERT_NE(warmed.lookup(7), nullptr);
+    EXPECT_DOUBLE_EQ(warmed.lookup(7)->best.latencySec, 1e-4);
+    ASSERT_NE(warmed.lookup(9), nullptr);
+    EXPECT_EQ(warmed.lookup(9)->best.sketchIndex, 1);
+    // Warm-started entries are clean: nothing is rewritten.
+    EXPECT_EQ(warmed.persist(path), 0u);
+    std::remove(path);
+}
+
+TEST(ScheduleCache, WarmStartMissingFileIsColdStart)
+{
+    ScheduleCache cache;
+    EXPECT_EQ(cache.warmStart("does_not_exist_tmp.log"), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Records: crash-safe append + corrupt-line accounting
+// ---------------------------------------------------------------
+
+TEST(Records, AppendRecordsBatchRoundTrips)
+{
+    const char *path = "test_serve_records_tmp.log";
+    std::remove(path);
+    std::vector<tuner::TuneRecord> batch = {makeRecord(1, 1e-4),
+                                            makeRecord(2, 2e-4),
+                                            makeRecord(3, 3e-4)};
+    tuner::appendRecords(path, batch);
+    tuner::appendRecords(path, {});   // no-op, creates nothing extra
+    auto loaded = tuner::loadRecords(path);
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded[1].taskHash, 2u);
+    EXPECT_DOUBLE_EQ(loaded[2].latencySec, 3e-4);
+    std::remove(path);
+}
+
+TEST(Records, CorruptLinesAreCountedAndSkipped)
+{
+    const char *path = "test_serve_corrupt_tmp.log";
+    std::remove(path);
+    tuner::appendRecord(path, makeRecord(1, 1e-4));
+    {
+        std::ofstream os(path, std::ios::app);
+        os << "this is not a record\n";
+        os << "12 0 nan\n";                       // truncated
+        os << "13 0 1e-4 2.0 3 1 2\n";            // missing one var
+    }
+    tuner::appendRecord(path, makeRecord(2, 2e-4));
+    auto &corrupt = obs::MetricsRegistry::instance().counter(
+        "records.corrupt_lines");
+    const double before = corrupt.value();
+    auto loaded = tuner::loadRecords(path);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_DOUBLE_EQ(corrupt.value() - before, 3.0);
+    std::remove(path);
+}
+
+// ---------------------------------------------------------------
+// Protocol codec
+// ---------------------------------------------------------------
+
+TEST(Protocol, ParsesEveryOp)
+{
+    auto tune = parseRequest(
+        R"({"op":"tune","network":"dcgan","batch":2})");
+    ASSERT_TRUE(tune.has_value());
+    EXPECT_EQ(tune->op, Op::Tune);
+    EXPECT_EQ(tune->network, "dcgan");
+    EXPECT_EQ(tune->batch, 2);
+
+    auto rounds = parseRequest(R"({"op":"rounds","n":4})");
+    ASSERT_TRUE(rounds.has_value());
+    EXPECT_EQ(rounds->op, Op::Rounds);
+    EXPECT_EQ(rounds->rounds, 4);
+
+    EXPECT_EQ(parseRequest(R"({"op":"stats"})")->op, Op::Stats);
+    EXPECT_EQ(parseRequest(R"({"op":"flush"})")->op, Op::Flush);
+    EXPECT_EQ(parseRequest(R"({"op":"shutdown"})")->op,
+              Op::Shutdown);
+}
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    std::string error;
+    EXPECT_FALSE(parseRequest("not json", &error).has_value());
+    EXPECT_FALSE(parseRequest(R"({"op":"fly"})", &error));
+    EXPECT_FALSE(parseRequest(R"({"network":"dcgan"})", &error));
+    EXPECT_FALSE(parseRequest(R"({"op":"tune"})", &error));
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"tune","network":"x","batch":0})",
+                     &error));
+    EXPECT_FALSE(parseRequest(R"({"op":"rounds","n":0})", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------
+// ServeSession
+// ---------------------------------------------------------------
+
+/** Small deterministic cost model shared by the session tests. */
+const costmodel::CostModel &
+testModel()
+{
+    static const costmodel::CostModel model = [] {
+        costmodel::DatasetOptions options;
+        options.numSubgraphs = 10;
+        options.schedulesPerSketch = 48;
+        options.seed = 7;
+        auto samples = costmodel::synthesizeDataset(
+            sim::deviceConfig(sim::DeviceKind::A5000), options);
+        costmodel::MlpConfig config;
+        config.layerSizes = {82, 64, 64, 1};
+        costmodel::CostModel model(config, 7);
+        model.fit(samples, 8, 128, 1.5e-3);
+        return model;
+    }();
+    return model;
+}
+
+ServeOptions
+fastOptions()
+{
+    ServeOptions options;
+    options.tuner.seed = 3;
+    options.tuner.grad.nSeeds = 4;
+    options.tuner.grad.nSteps = 48;
+    options.tuner.grad.nMeasure = 8;
+    return options;
+}
+
+std::vector<graph::Task>
+denseTasks(const std::string &label, int64_t k)
+{
+    graph::Graph g(label);
+    graph::DenseParams fc;
+    fc.n = 64;
+    fc.m = 256;
+    fc.k = k;
+    g.addDense(fc, -1, label);
+    return graph::partition(g);
+}
+
+TEST(ServeSession, MissTuneHitRoundTrip)
+{
+    ServeSession session(fastOptions(), testModel());
+    auto tasks = denseTasks("fc", 256);
+    ASSERT_EQ(tasks.size(), 1u);
+
+    auto miss = session.tune("tiny", tasks);
+    EXPECT_EQ(miss.cacheMisses, 1);
+    EXPECT_EQ(miss.cacheHits, 0);
+    ASSERT_EQ(miss.tasks.size(), 1u);
+    EXPECT_FALSE(miss.tasks[0].cached);
+    const double untuned = miss.tasks[0].latencySec;
+
+    auto rounds = session.runRounds(2);
+    EXPECT_EQ(rounds.ran, 2);
+    EXPECT_GT(rounds.measurements, 0);
+    EXPECT_GT(rounds.clockSec, 0.0);
+
+    const int measurementsAfterTuning =
+        session.graphTuner().totalMeasurements();
+    auto hit = session.tune("tiny", tasks);
+    EXPECT_EQ(hit.cacheHits, 1);
+    EXPECT_EQ(hit.cacheMisses, 0);
+    ASSERT_EQ(hit.tasks.size(), 1u);
+    EXPECT_TRUE(hit.tasks[0].cached);
+    // Served from cache: tuned result, no new measurements.
+    EXPECT_LT(hit.tasks[0].latencySec, untuned);
+    EXPECT_EQ(session.graphTuner().totalMeasurements(),
+              measurementsAfterTuning);
+
+    auto stats = session.stats();
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.cacheMisses, 1u);
+    EXPECT_EQ(stats.tasks, 1u);
+    EXPECT_EQ(stats.trafficTotal, 2u);
+    ASSERT_FALSE(stats.heavyHitters.empty());
+    EXPECT_EQ(stats.heavyHitters[0].count, 2u);
+}
+
+TEST(ServeSession, SkewedTrafficShiftsRoundsToHotSubgraph)
+{
+    ServeSession session(fastOptions(), testModel());
+    auto cold = denseTasks("cold_fc", 256);
+    auto hot = denseTasks("hot_fc", 224);
+    const uint64_t coldHash = cold[0].subgraph.structuralHash();
+    const uint64_t hotHash = hot[0].subgraph.structuralHash();
+    ASSERT_NE(coldHash, hotHash);
+
+    // Register the cold task FIRST so the hot task wins on traffic,
+    // not on index order, then skew the fleet 9:1.
+    session.tune("cold", cold);
+    session.tune("hot", hot);
+    for (int i = 0; i < 8; ++i)
+        session.tune("hot", hot);
+
+    EXPECT_GT(session.traffic().share(hotHash), 0.8);
+    EXPECT_LT(session.traffic().share(coldHash), 0.2);
+
+    // Round 1 and 2 are the visit-once warm-up; round 3 must go to
+    // the hot subgraph even though it registered second.
+    auto rounds = session.runRounds(3);
+    ASSERT_EQ(rounds.ran, 3);
+    EXPECT_EQ(rounds.tunedLabels[2], "hot_fc");
+    EXPECT_GT(session.roundsOnTask(hotHash),
+              session.roundsOnTask(coldHash));
+}
+
+TEST(ServeSession, StdioReplayIsBitIdentical)
+{
+    const std::string trace =
+        "{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":1}\n"
+        "{\"op\":\"rounds\",\"n\":1}\n"
+        "{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":1}\n"
+        "{\"op\":\"stats\"}\n"
+        "{\"op\":\"shutdown\"}\n";
+    auto run = [&]() {
+        ServeSession session(fastOptions(), testModel());
+        std::istringstream in(trace);
+        std::ostringstream out;
+        EXPECT_EQ(session.runStdio(in, out), 0);
+        EXPECT_TRUE(session.shutdownRequested());
+        return out.str();
+    };
+    const std::string first = run();
+    const std::string second = run();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+    // The replay exercises the full protocol surface.
+    EXPECT_NE(first.find("\"type\":\"schedules\""),
+              std::string::npos);
+    EXPECT_NE(first.find("\"cache_hits\":5"), std::string::npos);
+    EXPECT_NE(first.find("\"type\":\"ok\""), std::string::npos);
+}
+
+TEST(ServeSession, HandleRejectsBadRequestsGracefully)
+{
+    ServeSession session(fastOptions(), testModel());
+    EXPECT_NE(session.handle("garbage").find("\"type\":\"error\""),
+              std::string::npos);
+    EXPECT_NE(session.handle(R"({"op":"tune","network":"nope"})")
+                  .find("unknown network"),
+              std::string::npos);
+    EXPECT_NE(
+        session
+            .handle(
+                R"({"op":"tune","network":"dcgan","device":"a10g"})")
+            .find("\"type\":\"error\""),
+        std::string::npos);
+    EXPECT_FALSE(session.shutdownRequested());
+}
+
+TEST(ServeSession, WarmStartAnswersWithoutMeasurements)
+{
+    const char *path = "test_serve_warm_tmp.log";
+    std::remove(path);
+    auto tasks = denseTasks("fc", 256);
+    {
+        ServeOptions options = fastOptions();
+        options.recordsPath = path;
+        ServeSession session(options, testModel());
+        session.tune("tiny", tasks);
+        session.runRounds(1);
+        EXPECT_GE(session.persist(), 1u);
+    }
+    {
+        ServeOptions options = fastOptions();
+        options.recordsPath = path;
+        ServeSession session(options, testModel());
+        auto hit = session.tune("tiny", tasks);
+        EXPECT_EQ(hit.cacheHits, 1);
+        EXPECT_EQ(hit.cacheMisses, 0);
+        // No task registered, no measurement run: pure cache.
+        EXPECT_EQ(session.graphTuner().taskRecords().size(), 0u);
+        EXPECT_EQ(session.graphTuner().totalMeasurements(), 0);
+    }
+    std::remove(path);
+}
+
+} // namespace
+} // namespace serve
+} // namespace felix

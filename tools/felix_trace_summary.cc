@@ -1,20 +1,24 @@
 /**
  * @file
  * felix-trace-summary: aggregate a Chrome trace (--trace-out) and/or
- * a per-round telemetry JSONL file (--metrics-out) from felix-tune
- * into a human-readable breakdown.
+ * a per-round telemetry JSONL file (--metrics-out) from felix-tune,
+ * or a serve log (felix-serve --serve-log) into a human-readable
+ * breakdown.
  *
  *   felix-trace-summary trace.json [metrics.jsonl]
+ *   felix-trace-summary --serve serve.jsonl
  *
  * Prints, from the trace: total time per span name (count / total /
  * mean / share of wall time). From the round records: rounds per
  * strategy, seeds launched, constraint-violation rate after
  * rounding, cost-model prediction error against the measurements,
- * and the fine-tune loss trajectory; from the final metrics
- * snapshot: every counter and gauge.
+ * and the fine-tune loss trajectory; from a serve log: requests per
+ * op (count / response bytes / wall time), the cache hit rate, and
+ * background rounds run; from the final metrics snapshot: every
+ * counter and gauge.
  *
- * Exits non-zero when a file fails to parse — the ctest smoke test
- * uses this as the telemetry-format validator.
+ * Exits non-zero when a file fails to parse — the ctest smoke tests
+ * use this as the telemetry-format validator.
  */
 #include <algorithm>
 #include <cmath>
@@ -141,11 +145,22 @@ summarizeRounds(const std::string &path)
         int64_t errorCount = 0;
         double firstLoss = -1.0, lastLoss = -1.0;
     };
+    /** Per-op aggregate of serve-log request lines. */
+    struct ServeAgg
+    {
+        int64_t count = 0;
+        int64_t bytes = 0;
+        double wallUs = 0.0;
+    };
+    std::map<std::string, ServeAgg> byOp;
+    int64_t hitsTotal = 0, missesTotal = 0, roundsTotal = 0;
+    int64_t tasksTotal = 0;
+
     std::map<std::string, StrategyAgg> byStrategy;
     obs::JsonValue snapshotValue;
     bool haveSnapshot = false;
 
-    std::printf("== rounds: %s ==\n", path.c_str());
+    std::printf("== records: %s ==\n", path.c_str());
     std::string line;
     int lineNo = 0;
     while (std::getline(is, line)) {
@@ -165,6 +180,25 @@ summarizeRounds(const std::string &path)
                 snapshotValue = *reg;
                 haveSnapshot = true;
             }
+            continue;
+        }
+        if (type == "serve") {
+            // One line per daemon request (docs/serving.md); the
+            // *_total fields are running counters, so the last line
+            // seen carries the session totals.
+            ServeAgg &agg = byOp[record->stringOr("op", "?")];
+            ++agg.count;
+            agg.bytes += static_cast<int64_t>(
+                record->numberOr("response_bytes", 0.0));
+            agg.wallUs += record->numberOr("wall_us", 0.0);
+            hitsTotal = static_cast<int64_t>(
+                record->numberOr("hits_total", 0.0));
+            missesTotal = static_cast<int64_t>(
+                record->numberOr("misses_total", 0.0));
+            roundsTotal = static_cast<int64_t>(
+                record->numberOr("rounds_total", 0.0));
+            tasksTotal = static_cast<int64_t>(
+                record->numberOr("tasks", 0.0));
             continue;
         }
         if (type != "round")
@@ -235,6 +269,31 @@ summarizeRounds(const std::string &path)
         }
     }
 
+    if (!byOp.empty()) {
+        std::printf("\n  %-10s %8s %12s %12s\n", "op", "count",
+                    "resp bytes", "mean ms");
+        for (const auto &[op, agg] : byOp) {
+            std::printf("  %-10s %8lld %12lld %12.3f\n", op.c_str(),
+                        static_cast<long long>(agg.count),
+                        static_cast<long long>(agg.bytes),
+                        agg.wallUs / 1000.0 /
+                            static_cast<double>(agg.count));
+        }
+        const int64_t answered = hitsTotal + missesTotal;
+        std::printf("\n  cache               : %lld hits / %lld "
+                    "misses (%.1f%% hit rate)\n",
+                    static_cast<long long>(hitsTotal),
+                    static_cast<long long>(missesTotal),
+                    answered ? 100.0 *
+                                   static_cast<double>(hitsTotal) /
+                                   static_cast<double>(answered)
+                             : 0.0);
+        std::printf("  background rounds   : %lld across %lld "
+                    "registered tasks\n",
+                    static_cast<long long>(roundsTotal),
+                    static_cast<long long>(tasksTotal));
+    }
+
     if (haveSnapshot) {
         std::printf("\nfinal metrics snapshot:\n");
         if (const obs::JsonValue *counters =
@@ -280,9 +339,20 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: felix-trace-summary TRACE.json [METRICS.jsonl]\n"
+            "       felix-trace-summary --serve SERVE.jsonl\n"
             "  TRACE.json    from felix-tune --trace-out\n"
-            "  METRICS.jsonl from felix-tune --metrics-out\n");
+            "  METRICS.jsonl from felix-tune --metrics-out\n"
+            "  SERVE.jsonl   from felix-serve --serve-log\n");
         return argc < 2 ? 1 : 0;
+    }
+    if (std::string(argv[1]) == "--serve") {
+        if (argc != 3) {
+            std::fprintf(stderr,
+                         "usage: felix-trace-summary --serve "
+                         "SERVE.jsonl\n");
+            return 1;
+        }
+        return summarizeRounds(argv[2]);
     }
     int rc = summarizeTrace(argv[1]);
     if (rc != 0)

@@ -50,6 +50,11 @@ usage()
         "                        N most time-consuming tasks\n"
         "  --log FILE  append every measurement as a replayable\n"
         "              tuning record (Ansor-style tuning log)\n"
+        "  --save-records FILE   append the history-best schedule\n"
+        "              per task after tuning (the schedule-cache\n"
+        "              format felix-serve warm-starts from)\n"
+        "  --replay-records FILE apply history best from a tuning\n"
+        "              record log and skip the search entirely\n"
         "  --trace-out FILE    write a Chrome trace_event JSON file\n"
         "                      (open in chrome://tracing / Perfetto)\n"
         "  --metrics-out FILE  write per-round telemetry records plus\n"
@@ -101,6 +106,7 @@ main(int argc, char **argv)
     int showSchedules = 0;
     bool useBatch = true;
     std::string logPath, traceOut, metricsOut;
+    std::string saveRecords, replayRecords;
     std::string cacheDir = "pretrained";
 
     for (int i = 1; i < argc; ++i) {
@@ -131,6 +137,10 @@ main(int argc, char **argv)
             showSchedules = std::atoi(next().c_str());
         else if (arg == "--log")
             logPath = next();
+        else if (arg == "--save-records")
+            saveRecords = next();
+        else if (arg == "--replay-records")
+            replayRecords = next();
         else if (arg == "--trace-out")
             traceOut = next();
         else if (arg == "--metrics-out")
@@ -202,6 +212,29 @@ main(int argc, char **argv)
         }
     }
 
+    if (!replayRecords.empty()) {
+        // TVM's "apply history best": rebuild the best schedule per
+        // task from a tuning-record log, no search at all. This is
+        // the same lookup the felix-serve schedule cache answers
+        // repeat subgraphs from (docs/serving.md).
+        auto records = tuner::loadRecords(replayRecords);
+        std::vector<std::string> missing;
+        auto module =
+            applyHistoryBest(tasks, records, device, &missing);
+        std::printf("  %-10s : %9.3f ms  (replayed %zu records, "
+                    "%zu tasks missing)\n",
+                    "replay", module.run() * 1e3, records.size(),
+                    missing.size());
+        for (const std::string &label : missing)
+            std::printf("    missing: %s\n", label.c_str());
+        if (!outPath.empty()) {
+            module.save(outPath);
+            std::printf("saved replayed schedules to %s\n",
+                        outPath.c_str());
+        }
+        return missing.empty() ? 0 : 2;
+    }
+
     OptimizerOptions options;
     options.tuner.seed = seed;
     options.tuner.numThreads = jobs;
@@ -224,6 +257,24 @@ main(int argc, char **argv)
     if (!outPath.empty()) {
         module.save(outPath);
         std::printf("saved best schedules to %s\n", outPath.c_str());
+    }
+    if (!saveRecords.empty()) {
+        // History-best per task, one atomic append: the schedule-
+        // cache warm-start format shared with felix-serve.
+        std::vector<tuner::TuneRecord> best;
+        for (const auto &record : opt.tuner().taskRecords()) {
+            tuner::TuneRecord entry;
+            entry.taskHash = record.task.subgraph.structuralHash();
+            entry.taskLabel = record.task.exampleLabel;
+            entry.sketchIndex = record.bestCandidate.sketchIndex;
+            entry.scheduleVars = record.bestCandidate.x;
+            entry.latencySec = record.bestLatencySec;
+            entry.clockSec = opt.tuner().clockNow();
+            best.push_back(std::move(entry));
+        }
+        tuner::appendRecords(saveRecords, best);
+        std::printf("saved %zu history-best records to %s\n",
+                    best.size(), saveRecords.c_str());
     }
 
     if (showSchedules > 0) {
