@@ -1,0 +1,162 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace obs {
+
+namespace {
+
+/** Decimal-format @p value into @p out; returns chars written. */
+size_t
+formatU64(uint64_t value, char *out)
+{
+    char tmp[24];
+    size_t n = 0;
+    do {
+        tmp[n++] = static_cast<char>('0' + value % 10);
+        value /= 10;
+    } while (value != 0);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = tmp[n - 1 - i];
+    return n;
+}
+
+size_t
+formatI64(int64_t value, char *out)
+{
+    if (value < 0) {
+        out[0] = '-';
+        return 1 + formatU64(static_cast<uint64_t>(-value), out + 1);
+    }
+    return formatU64(static_cast<uint64_t>(value), out);
+}
+
+size_t
+append(char *out, size_t at, const char *text)
+{
+    const size_t n = std::strlen(text);
+    std::memcpy(out + at, text, n);
+    return at + n;
+}
+
+} // namespace
+
+const char *
+flightKindName(FlightKind kind)
+{
+    switch (kind) {
+      case FlightKind::Request: return "request";
+      case FlightKind::CacheHit: return "cache_hit";
+      case FlightKind::CacheMiss: return "cache_miss";
+      case FlightKind::RoundPick: return "round_pick";
+      case FlightKind::Persist: return "persist";
+      case FlightKind::Signal: return "signal";
+      case FlightKind::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity))
+{
+}
+
+void
+FlightRecorder::record(FlightKind kind, uint64_t request_id,
+                       uint64_t key, int64_t value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FlightEvent &slot = ring_[next_ % ring_.size()];
+    slot.seq = next_++;
+    slot.wallUs = Tracer::nowUs();
+    slot.kind = kind;
+    slot.requestId = request_id;
+    slot.key = key;
+    slot.value = value;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<FlightEvent> out;
+    const uint64_t retained =
+        std::min<uint64_t>(next_, ring_.size());
+    out.reserve(retained);
+    for (uint64_t seq = next_ - retained; seq < next_; ++seq)
+        out.push_back(ring_[seq % ring_.size()]);
+    return out;
+}
+
+uint64_t
+FlightRecorder::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_;
+}
+
+uint64_t
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_ > ring_.size() ? next_ - ring_.size() : 0;
+}
+
+void
+FlightRecorder::reset(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.assign(std::max<size_t>(1, capacity), FlightEvent{});
+    next_ = 0;
+}
+
+size_t
+FlightRecorder::dumpTo(int fd) const
+{
+    // Deliberately lock-free: this runs from fatal-signal handlers
+    // where taking mutex_ could deadlock. Reads of next_ and the
+    // ring slots may tear against an in-flight record(); a crash
+    // dump tolerates one garbled line.
+    const uint64_t total = next_;
+    const uint64_t retained =
+        std::min<uint64_t>(total, ring_.size());
+    size_t written = 0;
+    for (uint64_t seq = total - retained; seq < total; ++seq) {
+        const FlightEvent &event = ring_[seq % ring_.size()];
+        char line[192];
+        size_t at = append(line, 0, "flight seq=");
+        at += formatU64(event.seq, line + at);
+        at = append(line, at, " t_us=");
+        at += formatI64(event.wallUs, line + at);
+        at = append(line, at, " kind=");
+        at = append(line, at, flightKindName(event.kind));
+        at = append(line, at, " req=");
+        at += formatU64(event.requestId, line + at);
+        at = append(line, at, " key=");
+        at += formatU64(event.key, line + at);
+        at = append(line, at, " value=");
+        at += formatI64(event.value, line + at);
+        line[at++] = '\n';
+        if (::write(fd, line, at) != static_cast<ssize_t>(at))
+            break;
+        ++written;
+    }
+    return written;
+}
+
+} // namespace obs
+} // namespace felix

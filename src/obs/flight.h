@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Always-on flight recorder: a fixed-size ring of recent structured
+ * events (request arrivals, cache hits/misses, background-round
+ * picks, persists, signals) kept in memory at all times so a
+ * wedged or crashing daemon can explain its last moments.
+ *
+ * Recording is one mutex-protected struct copy — no allocation, no
+ * formatting — cheap enough to stay on for every request. The ring
+ * is dumpable three ways: the admin `{"op":"dump"}` request
+ * (docs/serving.md), snapshot() for in-process consumers, and
+ * dumpTo(fd), a best-effort async-signal-safe text dump wired to
+ * the fatal-signal handlers in felix-serve (lock-free reads of
+ * plain fields; a torn in-flight event is acceptable in a crash
+ * dump, and preferable to a handler that deadlocks on the mutex).
+ */
+#ifndef FELIX_OBS_FLIGHT_H_
+#define FELIX_OBS_FLIGHT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace felix {
+namespace obs {
+
+/** What happened; keep small and append-only (wire names below). */
+enum class FlightKind : uint8_t {
+    Request,     ///< request line arrived   (key = op ordinal)
+    CacheHit,    ///< subgraph answered from cache (key = hash)
+    CacheMiss,   ///< cold subgraph registered     (key = hash)
+    RoundPick,   ///< background round picked task (key = hash)
+    Persist,     ///< dirty cache entries persisted (value = count)
+    Signal,      ///< termination signal observed  (value = signo)
+    Shutdown,    ///< clean shutdown requested
+};
+
+const char *flightKindName(FlightKind kind);
+
+/** One recorded event; all fields are plain for lock-free dumps. */
+struct FlightEvent
+{
+    uint64_t seq = 0;        ///< global sequence number (0-based)
+    int64_t wallUs = 0;      ///< Tracer::nowUs() at record time
+    FlightKind kind = FlightKind::Request;
+    uint64_t requestId = 0;  ///< correlation id; 0 = no request
+    uint64_t key = 0;        ///< subgraph hash / op ordinal
+    int64_t value = 0;       ///< kind-specific detail (count, us)
+};
+
+/** Fixed-capacity ring of the most recent FlightEvents. */
+class FlightRecorder
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 1024;
+
+    /** The process-wide recorder (the one felix-serve dumps). */
+    static FlightRecorder &instance();
+
+    explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+    void record(FlightKind kind, uint64_t request_id,
+                uint64_t key = 0, int64_t value = 0);
+
+    /** Buffered events, oldest first. */
+    std::vector<FlightEvent> snapshot() const;
+
+    /** Events ever recorded; min(total, capacity) are retained. */
+    uint64_t totalRecorded() const;
+    /** Events that fell off the ring: total - retained. */
+    uint64_t dropped() const;
+    size_t capacity() const { return ring_.size(); }
+
+    /** Drop everything and restart seq at 0, resizing the ring. */
+    void reset(size_t capacity);
+    void reset() { reset(ring_.size()); }
+
+    /**
+     * Best-effort dump to a raw fd for fatal-signal handlers: plain
+     * write(2) of hand-formatted lines, no locks, no allocation.
+     * Returns the number of events written.
+     */
+    size_t dumpTo(int fd) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<FlightEvent> ring_;
+    uint64_t next_ = 0;   ///< seq of the next event
+};
+
+} // namespace obs
+} // namespace felix
+
+#endif // FELIX_OBS_FLIGHT_H_

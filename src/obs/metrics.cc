@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/json.h"
 #include "obs/trace.h"
@@ -8,6 +9,38 @@
 
 namespace felix {
 namespace obs {
+
+double
+bucketQuantile(const std::vector<double> &bounds,
+               const std::vector<uint64_t> &counts, double q)
+{
+    uint64_t total = 0;
+    for (uint64_t c : counts)
+        total += c;
+    if (total == 0 || bounds.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double next = cumulative +
+                            static_cast<double>(counts[i]);
+        if (next >= target) {
+            if (i >= bounds.size())   // overflow bucket: clamp
+                return bounds.back();
+            const double lo =
+                i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+            const double hi = bounds[i];
+            const double fraction =
+                (target - cumulative) / static_cast<double>(counts[i]);
+            return lo + fraction * (hi - lo);
+        }
+        cumulative = next;
+    }
+    return bounds.back();
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds))
@@ -33,6 +66,25 @@ Histogram::observe(double value)
     detail::atomicAdd(sum_, value);
 }
 
+std::vector<double>
+Histogram::logBounds(double lo, double hi, int per_decade)
+{
+    FELIX_CHECK(lo > 0.0 && hi > lo && per_decade > 0,
+                "logBounds needs 0 < lo < hi and per_decade > 0");
+    std::vector<double> bounds;
+    // bounds[i] = lo * 10^(i / per_decade), computed from the
+    // exponent each time so the ratio never drifts.
+    for (int i = 0;; ++i) {
+        double bound =
+            lo * std::pow(10.0, static_cast<double>(i) /
+                                    static_cast<double>(per_decade));
+        bounds.push_back(bound);
+        if (bound >= hi)
+            break;
+    }
+    return bounds;
+}
+
 std::vector<uint64_t>
 Histogram::counts() const
 {
@@ -40,6 +92,28 @@ Histogram::counts() const
     for (size_t i = 0; i < out.size(); ++i)
         out[i] = buckets_[i].load(std::memory_order_relaxed);
     return out;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    return bucketQuantile(bounds_, counts(), q);
+}
+
+bool
+Histogram::mergeFrom(const Histogram &other)
+{
+    if (bounds_ != other.bounds_)
+        return false;
+    // Bucket by bucket; concurrent observers may land between the
+    // adds, which is the same relaxed guarantee observe() gives.
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].fetch_add(
+            other.buckets_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    detail::atomicAdd(sum_, other.sum());
+    return true;
 }
 
 double
@@ -68,16 +142,15 @@ MetricsRegistry::instance()
 std::vector<double>
 MetricsRegistry::defaultLatencyBoundsMs()
 {
-    return {0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
-            1000, 2000, 5000, 10000, 30000, 100000};
+    // 9 buckets per decade: adjacent-bound ratio 10^(1/9) ~ 1.29,
+    // so every in-range quantile estimate is within ~29%.
+    return Histogram::logBounds(0.1, 1e5, 9);
 }
 
 std::vector<double>
 MetricsRegistry::defaultRequestLatencyBoundsUs()
 {
-    return {1,    2,    5,     10,    20,    50,     100,    200,
-            500,  1000, 2000,  5000,  10000, 20000,  50000,  100000,
-            200000, 500000, 1000000, 10000000};
+    return Histogram::logBounds(1.0, 1e7, 9);
 }
 
 Counter &
@@ -146,6 +219,30 @@ MetricsRegistry::resetAll()
         histogram->reset();
 }
 
+double
+MetricsSnapshot::HistogramData::quantile(double q) const
+{
+    return bucketQuantile(bounds, counts, q);
+}
+
+double
+MetricsSnapshot::HistogramData::mean() const
+{
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+bool
+MetricsSnapshot::HistogramData::merge(const HistogramData &other)
+{
+    if (bounds != other.bounds || counts.size() != other.counts.size())
+        return false;
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    count += other.count;
+    sum += other.sum;
+    return true;
+}
+
 std::string
 MetricsSnapshot::toJson() const
 {
@@ -184,7 +281,14 @@ MetricsSnapshot::toJson() const
             out += std::to_string(data.counts[i]);
         }
         out += "],\"count\":" + std::to_string(data.count);
-        out += ",\"sum\":" + jsonNumber(data.sum) + "}";
+        out += ",\"sum\":" + jsonNumber(data.sum);
+        // Quantile summaries so consumers (felix-tune
+        // --metrics-out, felix-top, the serve log) never have to
+        // re-derive them from the raw buckets.
+        out += ",\"mean\":" + jsonNumber(data.mean());
+        out += ",\"p50\":" + jsonNumber(data.quantile(0.50));
+        out += ",\"p95\":" + jsonNumber(data.quantile(0.95));
+        out += ",\"p99\":" + jsonNumber(data.quantile(0.99)) + "}";
     }
     out += "}}";
     return out;

@@ -77,16 +77,52 @@ class Gauge
 };
 
 /**
- * Fixed-bucket histogram. Bucket i counts observations with
- * value <= bounds[i]; one extra overflow bucket counts the rest.
- * Bounds are fixed at creation (first histogram() call wins).
+ * Estimate the @p q quantile (q in [0, 1]) of a bucketed
+ * distribution: bucket i covers (bounds[i-1], bounds[i]], the
+ * trailing counts entry is the overflow bucket. The target rank is
+ * located by cumulative count and linearly interpolated inside its
+ * bucket, so for log-spaced bounds with adjacent ratio r the
+ * estimate of any in-range quantile is within a factor r of the
+ * true value (docs/observability.md "Quantile semantics").
+ * Conventions: an empty distribution reports 0, the first bucket
+ * interpolates down to min(0, bounds[0]), and ranks landing in the
+ * overflow bucket clamp to bounds.back().
+ */
+double bucketQuantile(const std::vector<double> &bounds,
+                      const std::vector<uint64_t> &counts, double q);
+
+/**
+ * Log-bucketed histogram with quantile estimation. Bucket i counts
+ * observations with value <= bounds[i]; one extra overflow bucket
+ * counts the rest. Bounds are fixed at creation (first histogram()
+ * call wins). Two histograms with identical bounds are mergeable —
+ * merging is associative and commutative, the property cross-shard
+ * aggregation relies on.
  */
 class Histogram
 {
   public:
     explicit Histogram(std::vector<double> bounds);
 
+    /**
+     * Log-spaced bounds covering [lo, hi] with @p per_decade
+     * buckets per factor of 10 (adjacent ratio 10^(1/per_decade)).
+     * The quantile error bound is that ratio: per_decade 9 keeps
+     * every in-range quantile estimate within ~29%.
+     */
+    static std::vector<double> logBounds(double lo, double hi,
+                                         int per_decade);
+
     void observe(double value);
+
+    /** Estimated @p q quantile of everything observed so far. */
+    double quantile(double q) const;
+
+    /**
+     * Fold @p other into this histogram. Returns false (and leaves
+     * this histogram untouched) when the bounds differ.
+     */
+    bool mergeFrom(const Histogram &other);
 
     const std::vector<double> &bounds() const { return bounds_; }
     /** Per-bucket counts; size() == bounds().size() + 1. */
@@ -120,6 +156,15 @@ struct MetricsSnapshot
         std::vector<uint64_t> counts;
         uint64_t count = 0;
         double sum = 0.0;
+
+        double quantile(double q) const;
+        double mean() const;
+
+        /**
+         * Fold @p other into this snapshot (same-bounds merge;
+         * associative). False when the bounds differ.
+         */
+        bool merge(const HistogramData &other);
     };
     std::map<std::string, HistogramData> histograms;
 
@@ -148,7 +193,7 @@ class MetricsRegistry
     /** Zero every metric (tests and per-run bench deltas). */
     void resetAll();
 
-    /** Default histogram bounds: 0.1ms .. 100s, log-ish scale. */
+    /** Default bounds: 0.1ms .. 100s, 9 log buckets per decade. */
     static std::vector<double> defaultLatencyBoundsMs();
 
     /**

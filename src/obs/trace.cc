@@ -60,13 +60,36 @@ Tracer::start(const std::string &path)
     enabled_.store(true, std::memory_order_relaxed);
 }
 
+namespace {
+
+thread_local uint64_t t_requestId = 0;
+
+} // namespace
+
+uint64_t
+currentRequestId()
+{
+    return t_requestId;
+}
+
+ScopedRequestId::ScopedRequestId(uint64_t id)
+    : previous_(t_requestId)
+{
+    t_requestId = id;
+}
+
+ScopedRequestId::~ScopedRequestId()
+{
+    t_requestId = previous_;
+}
+
 void
 Tracer::record(const char *name, const char *cat, int64_t start_us,
-               int64_t dur_us)
+               int64_t dur_us, uint64_t req_id)
 {
     const int tid = denseThreadId();
     std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back({name, cat, start_us, dur_us, tid});
+    events_.push_back({name, cat, start_us, dur_us, tid, req_id});
 }
 
 size_t
@@ -103,6 +126,13 @@ Tracer::toJson() const
         out += std::to_string(event.startUs);
         out += ",\"dur\":";
         out += std::to_string(event.durUs);
+        if (event.reqId != 0) {
+            // Correlation id as a string: full 64-bit values do not
+            // survive JSON's double numbers.
+            out += ",\"args\":{\"req\":\"";
+            out += std::to_string(event.reqId);
+            out += "\"}";
+        }
         out += "}";
     }
     out += "\n]}\n";

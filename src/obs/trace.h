@@ -38,6 +38,29 @@ struct SpanEvent
     int64_t startUs;    ///< microseconds since tracer start
     int64_t durUs;      ///< span duration, microseconds
     int tid;            ///< small dense thread id
+    uint64_t reqId;     ///< request-correlation id; 0 = none
+};
+
+/**
+ * Request-correlation id of the request the current thread is
+ * serving (0 when none). Spans opened while an id is active carry
+ * it in their trace args, so `felix-trace-summary --req N` can
+ * isolate one request's spans (docs/observability.md).
+ */
+uint64_t currentRequestId();
+
+/** RAII: set the thread's request id, restoring the old on exit. */
+class ScopedRequestId
+{
+  public:
+    explicit ScopedRequestId(uint64_t id);
+    ~ScopedRequestId();
+
+    ScopedRequestId(const ScopedRequestId &) = delete;
+    ScopedRequestId &operator=(const ScopedRequestId &) = delete;
+
+  private:
+    uint64_t previous_;
 };
 
 /**
@@ -68,7 +91,7 @@ class Tracer
 
     /** Record one completed span (called by ScopedSpan). */
     void record(const char *name, const char *cat, int64_t start_us,
-                int64_t dur_us);
+                int64_t dur_us, uint64_t req_id = 0);
 
     /** Microseconds on the tracer clock (monotonic, from start()). */
     static int64_t nowUs();
@@ -111,7 +134,8 @@ class ScopedSpan
         if (active_) {
             int64_t end = Tracer::nowUs();
             Tracer::instance().record(name_, cat_, startUs_,
-                                      end - startUs_);
+                                      end - startUs_,
+                                      currentRequestId());
         }
     }
 

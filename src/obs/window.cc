@@ -1,0 +1,83 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace obs {
+
+SlidingWindowRate::SlidingWindowRate(size_t window)
+    : slots_(std::max<size_t>(1, window), 0)
+{
+}
+
+void
+SlidingWindowRate::observe(bool success)
+{
+    if (occupied_ == slots_.size())
+        successes_ -= slots_[head_];
+    else
+        ++occupied_;
+    slots_[head_] = success ? 1 : 0;
+    successes_ += slots_[head_];
+    head_ = (head_ + 1) % slots_.size();
+}
+
+double
+SlidingWindowRate::rate() const
+{
+    return occupied_ == 0 ? 0.0
+                          : static_cast<double>(successes_) /
+                                static_cast<double>(occupied_);
+}
+
+void
+SlidingWindowRate::reset()
+{
+    std::fill(slots_.begin(), slots_.end(), 0);
+    head_ = 0;
+    occupied_ = 0;
+    successes_ = 0;
+}
+
+EventRateWindow::EventRateWindow(int64_t window_us, int buckets)
+    : windowUs_(std::max<int64_t>(1, window_us)),
+      bucketUs_(std::max<int64_t>(
+          1, windowUs_ / std::max(1, buckets))),
+      buckets_(static_cast<size_t>(std::max(1, buckets)))
+{
+}
+
+void
+EventRateWindow::record(int64_t now_us)
+{
+    const int64_t index = now_us / bucketUs_;
+    Bucket &bucket =
+        buckets_[static_cast<size_t>(index) % buckets_.size()];
+    if (bucket.index != index) {   // clock moved on: recycle slot
+        bucket.index = index;
+        bucket.count = 0;
+    }
+    ++bucket.count;
+}
+
+double
+EventRateWindow::ratePerSec(int64_t now_us) const
+{
+    const int64_t head = now_us / bucketUs_;
+    const int64_t oldest =
+        head - static_cast<int64_t>(buckets_.size()) + 1;
+    uint64_t events = 0;
+    for (const Bucket &bucket : buckets_) {
+        if (bucket.index >= oldest && bucket.index <= head)
+            events += bucket.count;
+    }
+    const double windowSec =
+        static_cast<double>(bucketUs_) *
+        static_cast<double>(buckets_.size()) / 1e6;
+    return static_cast<double>(events) / windowSec;
+}
+
+} // namespace obs
+} // namespace felix

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sliding-window rates for live introspection.
+ *
+ * Two flavors, both O(1) per event:
+ *
+ *  - SlidingWindowRate: success rate over the last W *events*
+ *    (e.g. the serving daemon's windowed cache hit rate). Driven
+ *    purely by event order, so a replayed request trace reproduces
+ *    the exact same window contents — the windowed hit rate is part
+ *    of the deterministic admin `stats` response (docs/serving.md).
+ *
+ *  - EventRateWindow: events per second over a trailing wall-clock
+ *    window, bucketed so old events age out without a queue. Takes
+ *    explicit timestamps (testable with a fake clock); inherently
+ *    wall-clock state, so it feeds gauges/the `metrics` admin op
+ *    only, never deterministic responses.
+ */
+#ifndef FELIX_OBS_WINDOW_H_
+#define FELIX_OBS_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace felix {
+namespace obs {
+
+/** Success rate over the last `window()` events (count-based). */
+class SlidingWindowRate
+{
+  public:
+    explicit SlidingWindowRate(size_t window);
+
+    /** Record one event; evicts the oldest once the window fills. */
+    void observe(bool success);
+
+    size_t window() const { return slots_.size(); }
+    /** Events currently in the window (== window() once full). */
+    size_t occupied() const { return occupied_; }
+    /** Successes currently in the window. */
+    uint64_t successes() const { return successes_; }
+    /** successes() / occupied(); 0 while empty. */
+    double rate() const;
+
+    void reset();
+
+  private:
+    std::vector<uint8_t> slots_;   ///< ring of 0/1 outcomes
+    size_t head_ = 0;              ///< next slot to overwrite
+    size_t occupied_ = 0;
+    uint64_t successes_ = 0;
+};
+
+/**
+ * Events/second over the trailing @p window_us microseconds,
+ * approximated with @p buckets equal time slices: a bucket is
+ * zeroed the first time the clock enters it, so stale counts age
+ * out bucket-by-bucket and the reported rate is exact to within
+ * one bucket width.
+ */
+class EventRateWindow
+{
+  public:
+    explicit EventRateWindow(int64_t window_us, int buckets = 16);
+
+    /** Count one event at time @p now_us (monotonic). */
+    void record(int64_t now_us);
+
+    /** Events/sec over the window ending at @p now_us. */
+    double ratePerSec(int64_t now_us) const;
+
+  private:
+    struct Bucket
+    {
+        int64_t index = -1;   ///< absolute time-bucket index
+        uint64_t count = 0;
+    };
+
+    int64_t windowUs_;
+    int64_t bucketUs_;
+    std::vector<Bucket> buckets_;   ///< ring keyed by index % size
+};
+
+} // namespace obs
+} // namespace felix
+
+#endif // FELIX_OBS_WINDOW_H_

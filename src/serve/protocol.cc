@@ -25,8 +25,11 @@ opName(Op op)
       case Op::Tune: return "tune";
       case Op::Rounds: return "rounds";
       case Op::Stats: return "stats";
+      case Op::Tasks: return "tasks";
       case Op::Flush: return "flush";
       case Op::Shutdown: return "shutdown";
+      case Op::Metrics: return "metrics";
+      case Op::Dump: return "dump";
     }
     return "?";
 }
@@ -69,10 +72,16 @@ parseRequest(const std::string &line, std::string *error)
         }
     } else if (op == "stats") {
         request.op = Op::Stats;
+    } else if (op == "tasks") {
+        request.op = Op::Tasks;
     } else if (op == "flush") {
         request.op = Op::Flush;
     } else if (op == "shutdown") {
         request.op = Op::Shutdown;
+    } else if (op == "metrics") {
+        request.op = Op::Metrics;
+    } else if (op == "dump") {
+        request.op = Op::Dump;
     } else {
         if (error)
             *error = op.empty() ? "missing \"op\""
@@ -154,6 +163,79 @@ StatsResponse::toJson() const
                ",\"count\":" +
                obs::jsonNumber(static_cast<double>(hitter.count)) +
                ",\"share\":" + obs::jsonNumber(hitter.share) + "}";
+    }
+    out += "],\"window\":{\"size\":" +
+           obs::jsonNumber(static_cast<double>(window.size)) +
+           ",\"filled\":" +
+           obs::jsonNumber(static_cast<double>(window.filled)) +
+           ",\"hits\":" +
+           obs::jsonNumber(static_cast<double>(window.hits)) +
+           ",\"hit_rate\":" + obs::jsonNumber(window.hitRate) +
+           "},\"answer_latency_us\":{\"count\":" +
+           obs::jsonNumber(static_cast<double>(answerLatency.count)) +
+           ",\"mean\":" + obs::jsonNumber(answerLatency.meanUs) +
+           ",\"p50\":" + obs::jsonNumber(answerLatency.p50Us) +
+           ",\"p95\":" + obs::jsonNumber(answerLatency.p95Us) +
+           ",\"p99\":" + obs::jsonNumber(answerLatency.p99Us) + "}}";
+    return out;
+}
+
+std::string
+TaskProgress::toJson() const
+{
+    return "{\"label\":" + obs::jsonEscape(label) +
+           ",\"hash\":" + hashString(hash) +
+           ",\"best_latency_sec\":" + obs::jsonNumber(bestLatencySec) +
+           ",\"rounds\":" + obs::jsonNumber(rounds) +
+           ",\"stagnant\":" + obs::jsonNumber(stagnantRounds) +
+           ",\"traffic_count\":" +
+           obs::jsonNumber(static_cast<double>(trafficCount)) +
+           ",\"traffic_share\":" + obs::jsonNumber(trafficShare) +
+           ",\"cache_hits\":" +
+           obs::jsonNumber(static_cast<double>(cacheHits)) + "}";
+}
+
+std::string
+TasksResponse::toJson() const
+{
+    std::string out = "{\"type\":\"tasks\",\"count\":" +
+                      obs::jsonNumber(static_cast<double>(
+                          tasks.size())) +
+                      ",\"tasks\":[";
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        if (i)
+            out += ",";
+        out += tasks[i].toJson();
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+DumpResponse::toJson() const
+{
+    std::string out =
+        "{\"type\":\"dump\",\"total\":" +
+        obs::jsonNumber(static_cast<double>(total)) +
+        ",\"dropped\":" +
+        obs::jsonNumber(static_cast<double>(droppedCount)) +
+        ",\"capacity\":" +
+        obs::jsonNumber(static_cast<double>(capacity)) +
+        ",\"events\":[";
+    for (size_t i = 0; i < events.size(); ++i) {
+        const obs::FlightEvent &event = events[i];
+        if (i)
+            out += ",";
+        out += "{\"seq\":" +
+               obs::jsonNumber(static_cast<double>(event.seq)) +
+               ",\"t_us\":" +
+               obs::jsonNumber(static_cast<double>(event.wallUs)) +
+               ",\"kind\":" +
+               obs::jsonEscape(obs::flightKindName(event.kind)) +
+               ",\"req\":" + hashString(event.requestId) +
+               ",\"key\":" + hashString(event.key) +
+               ",\"value\":" +
+               obs::jsonNumber(static_cast<double>(event.value)) + "}";
     }
     out += "]}";
     return out;

@@ -9,8 +9,17 @@
  *   {"op":"tune","network":"dcgan","batch":1}
  *   {"op":"rounds","n":4}
  *   {"op":"stats"}
+ *   {"op":"tasks"}
  *   {"op":"flush"}
  *   {"op":"shutdown"}
+ *   {"op":"metrics"}       // wall-clock: metrics-registry snapshot
+ *   {"op":"dump"}          // wall-clock: flight-recorder contents
+ *
+ * stats and tasks are *deterministic* admin ops: their responses
+ * carry no wall-clock state, so they byte-reproduce across runs and
+ * --jobs values (felix-top --once --no-wall relies on this). The
+ * metrics and dump ops are the explicitly wall-clock escape hatch
+ * and are excluded from byte-compare harnesses.
  *
  * Subgraph hashes are emitted as decimal *strings*: they are full
  * 64-bit values and JSON numbers are doubles (53-bit mantissa).
@@ -23,11 +32,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
+
 namespace felix {
 namespace serve {
 
 /** Request kinds understood by the daemon. */
-enum class Op { Tune, Rounds, Stats, Flush, Shutdown };
+enum class Op { Tune, Rounds, Stats, Tasks, Flush, Shutdown, Metrics,
+                Dump };
 
 const char *opName(Op op);
 
@@ -91,6 +103,34 @@ struct HeavyHitterInfo
     double share = 0.0;
 };
 
+/**
+ * Cache-hit rate over the last `size` subgraph lookups (the
+ * count-based sliding window of obs/window.h, so deterministic
+ * under replay).
+ */
+struct WindowInfo
+{
+    size_t size = 0;       ///< window capacity (events)
+    size_t filled = 0;     ///< lookups currently in the window
+    uint64_t hits = 0;     ///< hits among those
+    double hitRate = 0.0;  ///< hits / filled; 0 while empty
+};
+
+/**
+ * Quantile summary of the *virtual* (cost-model) latencies of every
+ * served task answer, in microseconds. Virtual latencies are part
+ * of the deterministic response stream, unlike wall-clock request
+ * latencies, which stay in the metrics registry.
+ */
+struct LatencySummary
+{
+    uint64_t count = 0;
+    double meanUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+};
+
 /** Response to {"op":"stats"} (deterministic fields only). */
 struct StatsResponse
 {
@@ -102,6 +142,42 @@ struct StatsResponse
     int roundsRun = 0;
     uint64_t trafficTotal = 0;
     std::vector<HeavyHitterInfo> heavyHitters;
+    WindowInfo window;            ///< windowed cache-hit rate
+    LatencySummary answerLatency; ///< served virtual latencies
+
+    std::string toJson() const;
+};
+
+/** Per-task tuning progress in a tasks response. */
+struct TaskProgress
+{
+    std::string label;
+    uint64_t hash = 0;
+    double bestLatencySec = 0.0;
+    int rounds = 0;
+    int stagnantRounds = 0;
+    uint64_t trafficCount = 0;   ///< sketch estimate for the hash
+    double trafficShare = 0.0;   ///< trafficCount / traffic total
+    uint64_t cacheHits = 0;      ///< hits served for this hash
+
+    std::string toJson() const;
+};
+
+/** Response to {"op":"tasks"}: background-tuning progress. */
+struct TasksResponse
+{
+    std::vector<TaskProgress> tasks;
+
+    std::string toJson() const;
+};
+
+/** Response to {"op":"dump"}: the flight-recorder ring. */
+struct DumpResponse
+{
+    uint64_t total = 0;      ///< events ever recorded
+    uint64_t droppedCount = 0;
+    size_t capacity = 0;
+    std::vector<obs::FlightEvent> events;   ///< oldest first
 
     std::string toJson() const;
 };

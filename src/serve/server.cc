@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "models/models.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -55,7 +56,10 @@ ServeSession::ServeSession(ServeOptions options,
       deviceKind_(sim::parseDevice(options_.device)),
       traffic_(options_.sketchDepth, options_.sketchWidth,
                options_.tuner.seed),
-      heavy_(options_.heavyHitterK)
+      heavy_(options_.heavyHitterK),
+      hitWindow_(options_.hitWindow),
+      answerLatencyUs_(obs::Histogram::logBounds(1.0, 1e7, 9)),
+      requestRate_(1000000)
 {
     options_.tuner.allowEmptyTasks = true;
     tuner_ = std::make_unique<tuner::GraphTuner>(
@@ -81,9 +85,19 @@ ServeSession::handle(const std::string &line)
     auto &registry = obs::MetricsRegistry::instance();
     ++requests_;
     registry.counter("serve.requests").add(1.0);
+    requestRate_.record(startUs);
+    registry.gauge("serve.request_rate_per_sec")
+        .set(requestRate_.ratePerSec(startUs));
+
+    // Correlation: spans and flight events recorded while this
+    // request is live carry its 1-based ordinal as the request id.
+    obs::ScopedRequestId requestId(requests_);
 
     std::string error;
     auto request = parseRequest(line, &error);
+    obs::FlightRecorder::instance().record(
+        obs::FlightKind::Request, requests_,
+        request ? static_cast<uint64_t>(request->op) : 0);
     std::string response;
     if (!request) {
         registry.counter("serve.requests.malformed").add(1.0);
@@ -131,6 +145,16 @@ ServeSession::dispatch(const Request &request)
           return runRounds(request.rounds).toJson();
       case Op::Stats:
           return stats().toJson();
+      case Op::Tasks:
+          return tasks().toJson();
+      case Op::Metrics:
+          // Explicitly wall-clock: the registry snapshot carries
+          // timing counters and rate gauges. Never byte-compared.
+          return "{\"type\":\"metrics\",\"registry\":" +
+                 obs::MetricsRegistry::instance().snapshot().toJson() +
+                 "}";
+      case Op::Dump:
+          return dump().toJson();
       case Op::Flush: {
           FlushResponse response;
           response.persisted = persist();
@@ -138,6 +162,8 @@ ServeSession::dispatch(const Request &request)
       }
       case Op::Shutdown:
           shutdown_ = true;
+          obs::FlightRecorder::instance().record(
+              obs::FlightKind::Shutdown, obs::currentRequestId());
           return okResponse("shutdown");
     }
     return errorResponse("unhandled op");
@@ -166,7 +192,11 @@ ServeSession::tune(const std::string &network_name,
             cache_.recordHit(hash);
             ++cacheHits_;
             ++response.cacheHits;
+            hitWindow_.observe(true);
             registry.counter("serve.cache.hit").add(1.0);
+            obs::FlightRecorder::instance().record(
+                obs::FlightKind::CacheHit, obs::currentRequestId(),
+                hash);
             answer.sketchIndex = entry->best.sketchIndex;
             answer.vars = entry->best.scheduleVars;
             answer.latencySec = entry->best.latencySec;
@@ -177,7 +207,11 @@ ServeSession::tune(const std::string &network_name,
             // untuned schedule; background rounds improve it.
             ++cacheMisses_;
             ++response.cacheMisses;
+            hitWindow_.observe(false);
             registry.counter("serve.cache.miss").add(1.0);
+            obs::FlightRecorder::instance().record(
+                obs::FlightKind::CacheMiss, obs::currentRequestId(),
+                hash);
             const int taskIndex = tuner_->addTask(task);
             const tuner::TaskRecord &record =
                 tuner_->taskRecords()[taskIndex];
@@ -189,6 +223,7 @@ ServeSession::tune(const std::string &network_name,
             answer.vars = fresh.scheduleVars;
             answer.latencySec = fresh.latencySec;
         }
+        answerLatencyUs_.observe(answer.latencySec * 1e6);
         response.latencySec += task.weight * answer.latencySec;
         response.tasks.push_back(std::move(answer));
     }
@@ -226,6 +261,9 @@ ServeSession::runRounds(int n)
         const int taskIndex = pickNextTask(stats, traffic_);
         if (taskIndex < 0)
             break;
+        obs::FlightRecorder::instance().record(
+            obs::FlightKind::RoundPick, obs::currentRequestId(),
+            stats[taskIndex].hash);
         tuner_->tuneTaskRound(taskIndex);
         ++roundsRun_;
         registry.counter("serve.rounds").add(1.0);
@@ -260,6 +298,52 @@ ServeSession::stats() const
                                static_cast<double>(traffic_.total());
         response.heavyHitters.push_back(info);
     }
+    response.window.size = hitWindow_.window();
+    response.window.filled = hitWindow_.occupied();
+    response.window.hits = hitWindow_.successes();
+    response.window.hitRate = hitWindow_.rate();
+    response.answerLatency.count = answerLatencyUs_.count();
+    response.answerLatency.meanUs = answerLatencyUs_.mean();
+    response.answerLatency.p50Us = answerLatencyUs_.quantile(0.50);
+    response.answerLatency.p95Us = answerLatencyUs_.quantile(0.95);
+    response.answerLatency.p99Us = answerLatencyUs_.quantile(0.99);
+    return response;
+}
+
+TasksResponse
+ServeSession::tasks() const
+{
+    TasksResponse response;
+    const uint64_t total = traffic_.total();
+    for (const tuner::TaskRecord &record : tuner_->taskRecords()) {
+        TaskProgress progress;
+        progress.label = record.task.exampleLabel;
+        progress.hash = record.task.subgraph.structuralHash();
+        progress.bestLatencySec = record.bestLatencySec;
+        progress.rounds = record.rounds;
+        progress.stagnantRounds = record.stagnantRounds;
+        progress.trafficCount = traffic_.estimate(progress.hash);
+        progress.trafficShare =
+            total == 0 ? 0.0
+                       : static_cast<double>(progress.trafficCount) /
+                             static_cast<double>(total);
+        if (const CacheEntry *entry = cache_.lookup(progress.hash))
+            progress.cacheHits = entry->hits;
+        response.tasks.push_back(std::move(progress));
+    }
+    return response;
+}
+
+DumpResponse
+ServeSession::dump() const
+{
+    const obs::FlightRecorder &recorder =
+        obs::FlightRecorder::instance();
+    DumpResponse response;
+    response.total = recorder.totalRecorded();
+    response.droppedCount = recorder.dropped();
+    response.capacity = recorder.capacity();
+    response.events = recorder.snapshot();
     return response;
 }
 
@@ -269,10 +353,33 @@ ServeSession::persist()
     if (options_.recordsPath.empty())
         return 0;
     size_t persisted = cache_.persist(options_.recordsPath);
+    obs::FlightRecorder::instance().record(
+        obs::FlightKind::Persist, obs::currentRequestId(), 0,
+        static_cast<int64_t>(persisted));
     if (persisted > 0)
         inform("felix-serve: persisted ", persisted,
                " schedules to ", options_.recordsPath);
     return persisted;
+}
+
+void
+ServeSession::finalizeLogs()
+{
+    if (!serveLog_.is_open())
+        return;
+    // One summary line per session: per-task tuning progress in the
+    // same JSONL stream as the per-request lines, distinguished by
+    // type. felix-trace-summary --serve aggregates it.
+    TasksResponse progress = tasks();
+    serveLog_ << "{\"type\":\"tasks\",\"count\":"
+              << progress.tasks.size() << ",\"tasks\":[";
+    for (size_t i = 0; i < progress.tasks.size(); ++i) {
+        if (i)
+            serveLog_ << ",";
+        serveLog_ << progress.tasks[i].toJson();
+    }
+    serveLog_ << "]}\n";
+    serveLog_.flush();
 }
 
 int
@@ -286,6 +393,7 @@ ServeSession::runStdio(std::istream &in, std::ostream &out)
         out.flush();
     }
     persist();
+    finalizeLogs();
     return 0;
 }
 
@@ -315,9 +423,12 @@ ServeSession::logRequest(const Request &request,
         serveLog_ << ",\"network\":" << obs::jsonEscape(request.network)
                   << ",\"batch\":" << request.batch;
     }
-    serveLog_ << ",\"response_bytes\":" << response.size()
+    serveLog_ << ",\"req_id\":" << requests_
+              << ",\"response_bytes\":" << response.size()
               << ",\"hits_total\":" << cacheHits_
               << ",\"misses_total\":" << cacheMisses_
+              << ",\"window_hit_rate\":"
+              << obs::jsonNumber(hitWindow_.rate())
               << ",\"rounds_total\":" << roundsRun_
               << ",\"tasks\":" << tuner_->taskRecords().size()
               << ",\"wall_us\":" << obs::jsonNumber(wall_us) << "}\n";

@@ -30,6 +30,8 @@
 
 #include "costmodel/cost_model.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
@@ -54,6 +56,9 @@ struct ServeOptions
     size_t heavyHitterK = 8;
     int sketchDepth = 4;
     int sketchWidth = 2048;
+    /** Sliding window (in subgraph lookups) for the windowed cache
+     *  hit rate reported by the admin stats op. */
+    size_t hitWindow = 256;
     /** Search/clock/seed knobs for the background tuner. */
     tuner::TunerOptions tuner;
 };
@@ -81,8 +86,21 @@ class ServeSession
 
     StatsResponse stats() const;
 
+    /** Per-task tuning progress ({"op":"tasks"}; deterministic). */
+    TasksResponse tasks() const;
+
+    /** Flight-recorder contents ({"op":"dump"}; wall-clock). */
+    DumpResponse dump() const;
+
     /** Persist improved cache entries to the records log. */
     size_t persist();
+
+    /**
+     * Append the end-of-session {"type":"tasks"} summary line to
+     * the serve log (felix-trace-summary --serve reads it). Called
+     * once at shutdown; safe to call with no log configured.
+     */
+    void finalizeLogs();
 
     /**
      * Pump requests from @p in to @p out until EOF or a shutdown
@@ -119,6 +137,14 @@ class ServeSession
     uint64_t cacheHits_ = 0;
     uint64_t cacheMisses_ = 0;
     int roundsRun_ = 0;
+    /** Windowed hit rate over recent lookups (deterministic). */
+    obs::SlidingWindowRate hitWindow_;
+    /** Virtual (cost-model) latency of every served task answer,
+     *  in microseconds — deterministic, unlike wall time. */
+    obs::Histogram answerLatencyUs_;
+    /** Requests/sec over the trailing second (wall-clock; feeds
+     *  the serve.request_rate_per_sec gauge only). */
+    obs::EventRateWindow requestRate_;
 };
 
 } // namespace serve

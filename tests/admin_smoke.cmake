@@ -1,0 +1,251 @@
+# Admin-protocol smoke test (ctest): start a real socket-mode
+# felix-serve daemon, prime it with a fixed request trace through
+# felix-top --send, and validate the live-introspection surface of
+# docs/observability.md:
+#
+#   1. `felix-top --once --no-wall` (stats + tasks only) returns
+#      non-trivial answer-latency quantiles, a windowed hit rate, and
+#      per-task tuning progress — and is BYTE-IDENTICAL between a
+#      --jobs 1 daemon and a --jobs 4 daemon primed with the same
+#      trace (the deterministic half of the admin protocol).
+#   2. `felix-top --once` (wall ops included) additionally carries
+#      the metrics registry and the flight-recorder dump with
+#      request-correlated events.
+#   3. SIGTERM shuts the daemon down gracefully: the schedule cache
+#      is persisted to the records log and the serve log is
+#      finalized with the {"type":"tasks"} progress summary, which
+#      felix-trace-summary --serve then renders.
+#
+# Invoked as
+#   cmake -DFELIX_SERVE=... -DFELIX_TOP=... -DTRACE_SUMMARY=...
+#         -DWORK_DIR=... -DCACHE_DIR=... -P admin_smoke.cmake
+
+foreach(var FELIX_SERVE FELIX_TOP TRACE_SUMMARY WORK_DIR CACHE_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "admin_smoke: missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(pid1 "")
+set(pid2 "")
+
+# Kill any daemon we started before failing the test, so a broken
+# assertion does not leak processes into the ctest run.
+macro(admin_fail msg)
+    execute_process(
+        COMMAND sh -c "kill -9 ${pid1} ${pid2} 2>/dev/null; true")
+    message(FATAL_ERROR "${msg}")
+endmacro()
+
+# The priming trace deliberately has no shutdown op: the daemon must
+# stay up for the admin queries. miss -> miss -> 2 rounds -> hit is
+# the same shape serve_smoke replays, so the sampled state
+# (quantiles, window, per-task progress) is known non-trivial.
+set(prime "${WORK_DIR}/prime.ndjson")
+file(WRITE "${prime}"
+"{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":1}
+{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":2}
+{\"op\":\"rounds\",\"n\":2}
+{\"op\":\"tune\",\"network\":\"dcgan\",\"batch\":1}
+")
+
+# Start a daemon in the background (cmake cannot spawn detached
+# processes itself, so a shell does it and echoes the pid).
+# --rounds-per-idle 0 keeps idle periods from tuning, which would
+# make the sampled state depend on wall-clock timing.
+function(start_daemon tag jobs out_pid)
+    set(extra ${ARGN})
+    string(REPLACE ";" " " extra_str "${extra}")
+    execute_process(
+        COMMAND sh -c "'${FELIX_SERVE}' --socket '${WORK_DIR}/${tag}.sock' \
+--device a5000 --seed 3 --jobs ${jobs} --rounds-per-idle 0 \
+--log-level info --cache-dir '${CACHE_DIR}' ${extra_str} \
+> '${WORK_DIR}/daemon_${tag}.log' 2>&1 & echo $!"
+        OUTPUT_VARIABLE pid
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        admin_fail("could not start daemon ${tag}")
+    endif()
+    string(STRIP "${pid}" pid)
+    set(${out_pid} "${pid}" PARENT_SCOPE)
+endfunction()
+
+# Prime (and implicitly wait for readiness): connecting fails until
+# the daemon has bound its socket, and felix-top exits non-zero on a
+# failed connect, so retrying the send doubles as the readiness
+# probe. Only a successful connect delivers requests, so no daemon
+# sees the trace twice. Readiness probes must not be separate admin
+# requests: those would bump the request counters by a
+# timing-dependent amount and break the out1-vs-out2 byte compare.
+function(prime_daemon tag)
+    set(primed FALSE)
+    foreach(attempt RANGE 50)
+        execute_process(
+            COMMAND "${FELIX_TOP}"
+                --socket "${WORK_DIR}/${tag}.sock" --send "${prime}"
+            OUTPUT_QUIET ERROR_QUIET
+            RESULT_VARIABLE rc)
+        if(rc EQUAL 0)
+            set(primed TRUE)
+            break()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+    endforeach()
+    if(NOT primed)
+        admin_fail("daemon ${tag} never became ready on "
+                   "${WORK_DIR}/${tag}.sock")
+    endif()
+endfunction()
+
+function(snapshot_no_wall tag out_file)
+    execute_process(
+        COMMAND "${FELIX_TOP}"
+            --socket "${WORK_DIR}/${tag}.sock" --once --no-wall
+        OUTPUT_FILE "${out_file}"
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        admin_fail("felix-top --once --no-wall failed against "
+                   "daemon ${tag} (${rc}):\n${err}")
+    endif()
+endfunction()
+
+start_daemon(a 1 pid1
+    --records "${WORK_DIR}/records.log"
+    --serve-log "${WORK_DIR}/serve.jsonl")
+prime_daemon(a)
+snapshot_no_wall(a "${WORK_DIR}/once_a.json")
+
+# The deterministic snapshot must carry real data, not zeros: the
+# answer-latency histogram saw every primed answer, the sliding
+# window is non-empty, and both tuning tasks report progress.
+file(READ "${WORK_DIR}/once_a.json" once_a)
+if(NOT once_a MATCHES "\"answer_latency_us\":{\"count\":[1-9]")
+    admin_fail("stats carried no answer-latency samples: ${once_a}")
+endif()
+if(NOT once_a MATCHES "\"p95\":[0-9]*[1-9]")
+    admin_fail("stats carried only zero quantiles: ${once_a}")
+endif()
+if(NOT once_a MATCHES "\"window\":{\"size\":[1-9]")
+    admin_fail("stats carried no sliding window: ${once_a}")
+endif()
+# dcgan@1 and dcgan@2 each partition into per-subgraph tuning tasks,
+# so the registry holds several tasks, every one with traffic.
+if(NOT once_a MATCHES "\"type\":\"tasks\",\"count\":[1-9]")
+    admin_fail("tasks reported no tuning tasks: ${once_a}")
+endif()
+if(NOT once_a MATCHES "\"traffic_count\":[1-9]")
+    admin_fail("tasks reported no traffic: ${once_a}")
+endif()
+if(NOT once_a MATCHES "\"rounds\":[1-9]")
+    admin_fail("tasks reported no tuning rounds: ${once_a}")
+endif()
+
+# Wall-clock ops (metrics + dump) ride the same connection when
+# --no-wall is omitted; the flight dump must hold request-correlated
+# events from the priming trace.
+execute_process(
+    COMMAND "${FELIX_TOP}" --socket "${WORK_DIR}/a.sock" --once
+    OUTPUT_FILE "${WORK_DIR}/once_wall.json"
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    admin_fail("felix-top --once (wall) failed (${rc}):\n${err}")
+endif()
+file(READ "${WORK_DIR}/once_wall.json" once_wall)
+if(NOT once_wall MATCHES "\"metrics\":{" OR
+   NOT once_wall MATCHES "\"registry\":{")
+    admin_fail("wall snapshot missing metrics registry: "
+               "${once_wall}")
+endif()
+if(NOT once_wall MATCHES "\"dump\":{" OR
+   NOT once_wall MATCHES "\"kind\":\"cache_hit\"")
+    admin_fail("wall snapshot missing flight-recorder events: "
+               "${once_wall}")
+endif()
+
+# Acceptance criterion (ISSUE 7): the deterministic snapshot is
+# bit-stable across --jobs. A second daemon primed identically at
+# --jobs 4 must answer stats+tasks byte-identically.
+start_daemon(b 4 pid2)
+prime_daemon(b)
+snapshot_no_wall(b "${WORK_DIR}/once_b.json")
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        "${WORK_DIR}/once_a.json" "${WORK_DIR}/once_b.json"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    admin_fail("admin snapshot differs between --jobs 1 and "
+               "--jobs 4 (${WORK_DIR}/once_a.json vs once_b.json): "
+               "the deterministic admin ops leak wall-clock or "
+               "thread-count state")
+endif()
+
+# Graceful shutdown: SIGTERM must flush the schedule cache to the
+# records log and finalize the serve log before exit.
+execute_process(COMMAND sh -c "kill -TERM ${pid1}")
+set(stopped FALSE)
+foreach(attempt RANGE 50)
+    execute_process(
+        COMMAND sh -c "kill -0 ${pid1} 2>/dev/null"
+        RESULT_VARIABLE alive)
+    if(NOT alive EQUAL 0)
+        set(stopped TRUE)
+        break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+if(NOT stopped)
+    admin_fail("daemon a did not exit within 10s of SIGTERM")
+endif()
+set(pid1 "")
+
+if(NOT EXISTS "${WORK_DIR}/records.log")
+    admin_fail("SIGTERM shutdown persisted no records log")
+endif()
+file(READ "${WORK_DIR}/daemon_a.log" daemon_log)
+if(NOT daemon_log MATCHES "shut down gracefully")
+    admin_fail("daemon a did not report a graceful shutdown:\n"
+               "${daemon_log}")
+endif()
+file(READ "${WORK_DIR}/serve.jsonl" serve_log)
+if(NOT serve_log MATCHES "\"type\":\"tasks\"")
+    admin_fail("serve log was not finalized with the per-task "
+               "summary")
+endif()
+
+# The finalized serve log renders through felix-trace-summary with
+# the new windowed-hit-rate and per-task sections.
+execute_process(
+    COMMAND "${TRACE_SUMMARY}" --serve "${WORK_DIR}/serve.jsonl"
+    OUTPUT_VARIABLE summary
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    admin_fail("felix-trace-summary rejected the finalized serve "
+               "log (${rc}):\n${err}")
+endif()
+if(NOT summary MATCHES "windowed hit rate" OR
+   NOT summary MATCHES "per-task tuning progress")
+    admin_fail("serve-log summary missing admin sections:\n"
+               "${summary}")
+endif()
+
+# Daemon b only existed for the byte compare; take it down too.
+execute_process(COMMAND sh -c "kill -TERM ${pid2}")
+foreach(attempt RANGE 50)
+    execute_process(
+        COMMAND sh -c "kill -0 ${pid2} 2>/dev/null"
+        RESULT_VARIABLE alive)
+    if(NOT alive EQUAL 0)
+        break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+
+message(STATUS
+    "admin smoke OK: live quantiles, --jobs bit-stability, flight "
+    "dump, graceful SIGTERM, summary rendering")

@@ -1,0 +1,129 @@
+# felix-bench-diff self-test (ctest, default-on): validate the
+# regression gate's verdict logic on synthetic inputs and its format
+# compatibility with the committed BENCH_*.json baselines — without
+# running any benchmark (the real gate is the opt-in bench-gate
+# label, docs/serving.md).
+#
+#   1. A baseline compared against itself exits 0.
+#   2. An injected 10x real_time_ns regression exits 1 (REGRESSED).
+#   3. A throughput (higher-is-better) collapse exits 1.
+#   4. A benchmark missing from the current run exits 1 (MISSING).
+#   5. A speed-up, however large, exits 0 (the gate is one-sided).
+#   6. Malformed input exits 2.
+#   7. The committed BENCH_tape.json / BENCH_serve.json self-compare
+#      clean, so a fresh --json-out run diffs against them.
+#
+# Invoked as
+#   cmake -DBENCH_DIFF=... -DWORK_DIR=... -DSOURCE_DIR=...
+#         -P bench_diff_check.cmake
+
+foreach(var BENCH_DIFF WORK_DIR SOURCE_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "bench_diff_check: missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_diff expect_rc label baseline current)
+    execute_process(
+        COMMAND "${BENCH_DIFF}"
+            --baseline "${baseline}" --current "${current}"
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL ${expect_rc})
+        message(FATAL_ERROR
+            "felix-bench-diff ${label}: expected exit ${expect_rc}, "
+            "got ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+    endif()
+    set(diff_out "${out}" PARENT_SCOPE)
+endfunction()
+
+set(base "${WORK_DIR}/base.json")
+file(WRITE "${base}"
+"{\"bench\":\"synthetic\",\"results\":[
+{\"name\":\"tape_forward\",\"real_time_ns\":100.0,\"points_per_sec\":5000.0},
+{\"name\":\"serve_replay\",\"real_time_ns\":2500.0,\"requests_per_s\":400.0}
+]}
+")
+
+# 1. Self-compare is clean.
+run_diff(0 "self-compare" "${base}" "${base}")
+if(NOT diff_out MATCHES "0 regressions")
+    message(FATAL_ERROR
+        "self-compare reported regressions:\n${diff_out}")
+endif()
+
+# 2. Injected 10x wall-time regression trips the gate.
+file(WRITE "${WORK_DIR}/slow.json"
+"{\"bench\":\"synthetic\",\"results\":[
+{\"name\":\"tape_forward\",\"real_time_ns\":1000.0,\"points_per_sec\":5000.0},
+{\"name\":\"serve_replay\",\"real_time_ns\":2500.0,\"requests_per_s\":400.0}
+]}
+")
+run_diff(1 "injected regression" "${base}" "${WORK_DIR}/slow.json")
+if(NOT diff_out MATCHES "REGRESSED +tape_forward real_time_ns")
+    message(FATAL_ERROR
+        "injected slowdown not flagged:\n${diff_out}")
+endif()
+
+# 3. A throughput collapse (rate key, higher is better) trips it too.
+file(WRITE "${WORK_DIR}/slow_rate.json"
+"{\"bench\":\"synthetic\",\"results\":[
+{\"name\":\"tape_forward\",\"real_time_ns\":100.0,\"points_per_sec\":1000.0},
+{\"name\":\"serve_replay\",\"real_time_ns\":2500.0,\"requests_per_s\":400.0}
+]}
+")
+run_diff(1 "rate regression" "${base}" "${WORK_DIR}/slow_rate.json")
+if(NOT diff_out MATCHES "REGRESSED +tape_forward points_per_sec")
+    message(FATAL_ERROR
+        "throughput collapse not flagged:\n${diff_out}")
+endif()
+
+# 4. A benchmark that vanished from the current run is a regression.
+file(WRITE "${WORK_DIR}/missing.json"
+"{\"bench\":\"synthetic\",\"results\":[
+{\"name\":\"tape_forward\",\"real_time_ns\":100.0,\"points_per_sec\":5000.0}
+]}
+")
+run_diff(1 "missing benchmark" "${base}" "${WORK_DIR}/missing.json")
+if(NOT diff_out MATCHES "MISSING +serve_replay")
+    message(FATAL_ERROR
+        "vanished benchmark not flagged:\n${diff_out}")
+endif()
+
+# 5. Speed-ups never fail: the gate is one-sided by design, so a
+# faster machine only ever tightens future baselines by a re-run.
+file(WRITE "${WORK_DIR}/fast.json"
+"{\"bench\":\"synthetic\",\"results\":[
+{\"name\":\"tape_forward\",\"real_time_ns\":10.0,\"points_per_sec\":50000.0},
+{\"name\":\"serve_replay\",\"real_time_ns\":250.0,\"requests_per_s\":4000.0}
+]}
+")
+run_diff(0 "speed-up" "${base}" "${WORK_DIR}/fast.json")
+
+# 6. Malformed input is an invocation error, not a pass.
+file(WRITE "${WORK_DIR}/broken.json" "{\"results\": [nope]}")
+run_diff(2 "malformed input" "${base}" "${WORK_DIR}/broken.json")
+
+# 7. The committed baselines parse and self-compare clean, proving a
+# fresh bench --json-out run can be diffed against them.
+foreach(committed BENCH_tape.json BENCH_serve.json)
+    set(path "${SOURCE_DIR}/${committed}")
+    if(NOT EXISTS "${path}")
+        message(FATAL_ERROR "committed baseline missing: ${path}")
+    endif()
+    run_diff(0 "committed ${committed}" "${path}" "${path}")
+    if(NOT diff_out MATCHES " metrics compared" OR
+       diff_out MATCHES "^0 metrics compared")
+        message(FATAL_ERROR
+            "committed ${committed} yielded no comparable metrics:"
+            "\n${diff_out}")
+    endif()
+endforeach()
+
+message(STATUS
+    "bench-diff check OK: verdict logic and committed-baseline "
+    "format both validated")

@@ -1,0 +1,61 @@
+# Bench-regression gate (ctest, opt-in via -DFELIX_BENCH_GATE=ON,
+# label "bench-gate"): run the real bench_tape / bench_serve suites
+# with --json-out and diff them against the committed BENCH_*.json
+# baselines with felix-bench-diff (docs/serving.md "Bench gate").
+#
+# The threshold defaults to 0.5 (fail only when >50% worse than the
+# committed numbers) because microbenchmark noise on shared CI boxes
+# routinely reaches tens of percent; the gate exists to catch
+# order-of-magnitude regressions (a scalar fallback silently
+# replacing a SIMD path, an accidental O(n^2) loop), not 5% drift.
+# Baselines are refreshed by committing a fresh --json-out run from
+# the same machine class (EXPERIMENTS.md records the provenance).
+#
+# Invoked as
+#   cmake -DBENCH_BIN=... -DBENCH_NAME=tape -DBENCH_DIFF=...
+#         -DBASELINE=... -DWORK_DIR=... [-DTHRESHOLD=0.5]
+#         -P bench_gate.cmake
+
+foreach(var BENCH_BIN BENCH_NAME BENCH_DIFF BASELINE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "bench_gate: missing -D${var}")
+    endif()
+endforeach()
+if(NOT DEFINED THRESHOLD)
+    set(THRESHOLD 0.5)
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(current "${WORK_DIR}/bench_${BENCH_NAME}.json")
+
+execute_process(
+    COMMAND "${BENCH_BIN}" "--json-out=${current}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_${BENCH_NAME} failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${current}")
+    message(FATAL_ERROR
+        "bench_${BENCH_NAME} wrote no ${current}")
+endif()
+
+execute_process(
+    COMMAND "${BENCH_DIFF}"
+        --baseline "${BASELINE}" --current "${current}"
+        --threshold "${THRESHOLD}"
+    OUTPUT_VARIABLE diff_out
+    ERROR_VARIABLE diff_err
+    RESULT_VARIABLE diff_rc)
+message(STATUS "felix-bench-diff:\n${diff_out}")
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench gate failed for ${BENCH_NAME} (exit ${diff_rc}): "
+        "fresh run regressed past ${THRESHOLD} vs ${BASELINE}\n"
+        "${diff_err}")
+endif()
+
+message(STATUS "bench gate OK: ${BENCH_NAME} within threshold "
+    "${THRESHOLD} of ${BASELINE}")

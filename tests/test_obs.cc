@@ -8,13 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/round_log.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace felix {
 namespace obs {
@@ -55,6 +61,302 @@ TEST(Metrics, HistogramBucketsAndMean)
     EXPECT_EQ(histogram.count(), 4u);
     EXPECT_DOUBLE_EQ(histogram.sum(), 1006.5);
     EXPECT_DOUBLE_EQ(histogram.mean(), 1006.5 / 4.0);
+}
+
+TEST(Metrics, LogBoundsCoverRangeWithFixedRatio)
+{
+    auto bounds = Histogram::logBounds(0.1, 1e5, 9);
+    ASSERT_GE(bounds.size(), 2u);
+    EXPECT_DOUBLE_EQ(bounds.front(), 0.1);
+    EXPECT_GE(bounds.back(), 1e5);
+    const double ratio = std::pow(10.0, 1.0 / 9.0);
+    for (size_t i = 1; i < bounds.size(); ++i) {
+        EXPECT_GT(bounds[i], bounds[i - 1]);
+        EXPECT_NEAR(bounds[i] / bounds[i - 1], ratio, 1e-9);
+    }
+}
+
+/**
+ * est must be within the documented bucket-ratio error bound of the
+ * true empirical quantile.
+ */
+void
+expectQuantileWithinBound(const Histogram &histogram,
+                          std::vector<double> values, double q,
+                          double ratio)
+{
+    std::sort(values.begin(), values.end());
+    // Same rank convention as bucketQuantile: the estimate lands in
+    // the bucket holding the ceil(q*n)-th observation.
+    const double target = q * static_cast<double>(values.size());
+    size_t index =
+        target <= 0.0
+            ? 0
+            : static_cast<size_t>(std::ceil(target)) - 1;
+    index = std::min(index, values.size() - 1);
+    const double truth = values[index];
+    const double est = histogram.quantile(q);
+    EXPECT_LE(est, truth * ratio * 1.0001)
+        << "q=" << q << " truth=" << truth;
+    EXPECT_GE(est, truth / ratio / 1.0001)
+        << "q=" << q << " truth=" << truth;
+}
+
+TEST(Metrics, QuantileErrorBoundOnAdversarialStreams)
+{
+    const double ratio = std::pow(10.0, 1.0 / 9.0);
+    auto bounds = Histogram::logBounds(1.0, 1e6, 9);
+
+    // Point mass: every observation identical, landing mid-bucket.
+    {
+        Histogram histogram(bounds);
+        std::vector<double> values(1000, 137.0);
+        for (double v : values)
+            histogram.observe(v);
+        for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+            expectQuantileWithinBound(histogram, values, q, ratio);
+    }
+    // Bimodal with four decades between the modes: the p50/p95
+    // split straddles the gap.
+    {
+        Histogram histogram(bounds);
+        std::vector<double> values;
+        for (int i = 0; i < 900; ++i)
+            values.push_back(42.0);
+        for (int i = 0; i < 100; ++i)
+            values.push_back(3.7e5);
+        for (double v : values)
+            histogram.observe(v);
+        for (double q : {0.5, 0.89, 0.91, 0.99})
+            expectQuantileWithinBound(histogram, values, q, ratio);
+    }
+    // Geometric sweep hitting every bucket, worst case for the
+    // interpolation.
+    {
+        Histogram histogram(bounds);
+        std::vector<double> values;
+        for (double v = 1.05; v < 9e5; v *= 1.17)
+            values.push_back(v);
+        for (double v : values)
+            histogram.observe(v);
+        for (double q : {0.05, 0.25, 0.5, 0.75, 0.95})
+            expectQuantileWithinBound(histogram, values, q, ratio);
+    }
+}
+
+TEST(Metrics, QuantileEdgeConventions)
+{
+    Histogram histogram(Histogram::logBounds(1.0, 100.0, 9));
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);   // empty
+    histogram.observe(1e9);                           // overflow
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.99),
+                     histogram.bounds().back());      // clamps
+}
+
+/** Copy a histogram's state into the mergeable snapshot form. */
+MetricsSnapshot::HistogramData
+dataOf(const Histogram &histogram)
+{
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram.bounds();
+    data.counts = histogram.counts();
+    data.count = histogram.count();
+    data.sum = histogram.sum();
+    return data;
+}
+
+TEST(Metrics, HistogramMergeIsAssociative)
+{
+    auto bounds = Histogram::logBounds(1.0, 1e4, 9);
+    Histogram a(bounds), b(bounds), c(bounds);
+    for (double v = 1.5; v < 9e3; v *= 2.0)
+        a.observe(v);
+    for (double v = 3.0; v < 5e3; v *= 1.7)
+        b.observe(v);
+    c.observe(2.0);
+    c.observe(8e3);
+
+    // (a + b) + c
+    auto left = dataOf(a);
+    ASSERT_TRUE(left.merge(dataOf(b)));
+    ASSERT_TRUE(left.merge(dataOf(c)));
+    // a + (b + c)
+    auto right = dataOf(b);
+    ASSERT_TRUE(right.merge(dataOf(c)));
+    auto rightTotal = dataOf(a);
+    ASSERT_TRUE(rightTotal.merge(right));
+
+    EXPECT_EQ(left.counts, rightTotal.counts);
+    EXPECT_EQ(left.count, rightTotal.count);
+    EXPECT_DOUBLE_EQ(left.sum, rightTotal.sum);
+    for (double q : {0.25, 0.5, 0.95})
+        EXPECT_DOUBLE_EQ(left.quantile(q), rightTotal.quantile(q));
+
+    // The live-histogram merge agrees with the snapshot merge.
+    Histogram folded(bounds);
+    ASSERT_TRUE(folded.mergeFrom(a));
+    ASSERT_TRUE(folded.mergeFrom(b));
+    ASSERT_TRUE(folded.mergeFrom(c));
+    EXPECT_EQ(dataOf(folded).counts, left.counts);
+}
+
+TEST(Metrics, MergeRejectsMismatchedBounds)
+{
+    Histogram a(Histogram::logBounds(1.0, 100.0, 9));
+    Histogram b(Histogram::logBounds(1.0, 100.0, 3));
+    a.observe(5.0);
+    b.observe(5.0);
+    EXPECT_FALSE(a.mergeFrom(b));
+    EXPECT_EQ(a.count(), 1u);   // untouched on failure
+
+    auto dataA = dataOf(a);
+    EXPECT_FALSE(dataA.merge(dataOf(b)));
+    EXPECT_EQ(dataA.count, 1u);
+}
+
+TEST(Metrics, SnapshotJsonCarriesQuantiles)
+{
+    auto &registry = MetricsRegistry::instance();
+    Histogram &histogram = registry.histogram(
+        "test_obs.quantile_histo",
+        Histogram::logBounds(1.0, 1e4, 9));
+    histogram.reset();
+    for (int i = 1; i <= 100; ++i)
+        histogram.observe(static_cast<double>(i));
+
+    auto parsed = parseJson(registry.snapshot().toJson());
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue *histos = parsed->find("histograms");
+    ASSERT_NE(histos, nullptr);
+    const JsonValue *histo =
+        histos->find("test_obs.quantile_histo");
+    ASSERT_NE(histo, nullptr);
+    EXPECT_DOUBLE_EQ(histo->numberOr("count", 0.0), 100.0);
+    const double p50 = histo->numberOr("p50", 0.0);
+    const double p95 = histo->numberOr("p95", 0.0);
+    const double p99 = histo->numberOr("p99", 0.0);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_NEAR(histo->numberOr("mean", 0.0), 50.5, 1e-9);
+}
+
+TEST(Window, SlidingRateEvictsOldestOnWrap)
+{
+    SlidingWindowRate window(4);
+    EXPECT_DOUBLE_EQ(window.rate(), 0.0);
+    window.observe(true);
+    window.observe(true);
+    EXPECT_EQ(window.occupied(), 2u);
+    EXPECT_DOUBLE_EQ(window.rate(), 1.0);
+    window.observe(false);
+    window.observe(false);
+    EXPECT_DOUBLE_EQ(window.rate(), 0.5);
+    // Wrap: the two early hits fall out one by one.
+    window.observe(false);
+    EXPECT_DOUBLE_EQ(window.rate(), 0.25);
+    window.observe(false);
+    EXPECT_DOUBLE_EQ(window.rate(), 0.0);
+    EXPECT_EQ(window.occupied(), 4u);
+    window.observe(true);
+    EXPECT_EQ(window.successes(), 1u);
+    window.reset();
+    EXPECT_EQ(window.occupied(), 0u);
+    EXPECT_DOUBLE_EQ(window.rate(), 0.0);
+}
+
+TEST(Window, EventRateAgesOutWithFakeClock)
+{
+    EventRateWindow window(1000000, 10);   // 1s in 100ms buckets
+    for (int i = 0; i < 5; ++i)
+        window.record(i * 100000);
+    EXPECT_DOUBLE_EQ(window.ratePerSec(400000), 5.0);
+    // A silent second later every bucket is stale.
+    EXPECT_DOUBLE_EQ(window.ratePerSec(2000000), 0.0);
+    window.record(2000000);
+    EXPECT_DOUBLE_EQ(window.ratePerSec(2000000), 1.0);
+}
+
+TEST(Flight, RingWrapsKeepingMostRecent)
+{
+    FlightRecorder recorder(8);
+    for (int i = 0; i < 20; ++i) {
+        recorder.record(FlightKind::CacheHit,
+                        static_cast<uint64_t>(i),
+                        static_cast<uint64_t>(100 + i), i);
+    }
+    EXPECT_EQ(recorder.totalRecorded(), 20u);
+    EXPECT_EQ(recorder.dropped(), 12u);
+    auto events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, 12u + i);   // oldest first
+        EXPECT_EQ(events[i].requestId, 12u + i);
+        EXPECT_EQ(events[i].key, 112u + i);
+    }
+    recorder.reset(4);
+    EXPECT_EQ(recorder.totalRecorded(), 0u);
+    EXPECT_EQ(recorder.capacity(), 4u);
+}
+
+TEST(Flight, DumpToWritesOneLinePerEvent)
+{
+    FlightRecorder recorder(4);
+    recorder.record(FlightKind::Request, 7, 2);
+    recorder.record(FlightKind::Shutdown, 0, 0, -3);
+
+    FILE *sink = std::tmpfile();
+    ASSERT_NE(sink, nullptr);
+    EXPECT_EQ(recorder.dumpTo(fileno(sink)), 2u);
+    std::fflush(sink);
+    std::rewind(sink);
+    char buffer[1024] = {};
+    size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, sink);
+    std::fclose(sink);
+    std::string text(buffer, n);
+    EXPECT_NE(text.find("flight seq=0"), std::string::npos);
+    EXPECT_NE(text.find("kind=request"), std::string::npos);
+    EXPECT_NE(text.find("req=7"), std::string::npos);
+    EXPECT_NE(text.find("kind=shutdown"), std::string::npos);
+    EXPECT_NE(text.find("value=-3"), std::string::npos);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(Trace, SpansCarryRequestCorrelationIds)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.start("");
+    EXPECT_EQ(currentRequestId(), 0u);
+    {
+        ScopedRequestId requestId(42);
+        EXPECT_EQ(currentRequestId(), 42u);
+        FELIX_SPAN("test_obs.with_req", "test");
+    }
+    EXPECT_EQ(currentRequestId(), 0u);
+    {
+        FELIX_SPAN("test_obs.without_req", "test");
+    }
+    auto parsed = parseJson(tracer.toJson());
+    tracer.stop();
+    tracer.clear();
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue *events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool sawTagged = false, sawUntagged = false;
+    for (const JsonValue &event : events->asArray()) {
+        const std::string name = event.stringOr("name", "");
+        const JsonValue *args = event.find("args");
+        if (name == "test_obs.with_req") {
+            ASSERT_NE(args, nullptr);
+            EXPECT_EQ(args->stringOr("req", ""), "42");
+            sawTagged = true;
+        } else if (name == "test_obs.without_req") {
+            EXPECT_EQ(args, nullptr);   // id 0 is omitted
+            sawUntagged = true;
+        }
+    }
+    EXPECT_TRUE(sawTagged);
+    EXPECT_TRUE(sawUntagged);
 }
 
 TEST(Metrics, RegistryReturnsStableHandles)

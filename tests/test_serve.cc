@@ -16,6 +16,8 @@
 
 #include "costmodel/dataset.h"
 #include "graph/graph.h"
+#include "obs/flight.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
@@ -322,9 +324,113 @@ TEST(Protocol, ParsesEveryOp)
     EXPECT_EQ(rounds->rounds, 4);
 
     EXPECT_EQ(parseRequest(R"({"op":"stats"})")->op, Op::Stats);
+    EXPECT_EQ(parseRequest(R"({"op":"tasks"})")->op, Op::Tasks);
     EXPECT_EQ(parseRequest(R"({"op":"flush"})")->op, Op::Flush);
     EXPECT_EQ(parseRequest(R"({"op":"shutdown"})")->op,
               Op::Shutdown);
+    EXPECT_EQ(parseRequest(R"({"op":"metrics"})")->op, Op::Metrics);
+    EXPECT_EQ(parseRequest(R"({"op":"dump"})")->op, Op::Dump);
+}
+
+TEST(Protocol, StatsResponseRoundTripsWindowAndQuantiles)
+{
+    StatsResponse stats;
+    stats.requests = 12;
+    stats.cacheHits = 9;
+    stats.cacheMisses = 3;
+    stats.window = {256, 12, 9, 0.75};
+    stats.answerLatency = {12, 870.5, 820.0, 1450.0, 2210.0};
+    stats.heavyHitters.push_back(
+        {0xffffffffffffffffull, 9, 0.75});
+
+    auto parsed = obs::parseJson(stats.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->stringOr("type", ""), "stats");
+    const obs::JsonValue *window = parsed->find("window");
+    ASSERT_NE(window, nullptr);
+    EXPECT_DOUBLE_EQ(window->numberOr("size", 0), 256.0);
+    EXPECT_DOUBLE_EQ(window->numberOr("filled", 0), 12.0);
+    EXPECT_DOUBLE_EQ(window->numberOr("hits", 0), 9.0);
+    EXPECT_DOUBLE_EQ(window->numberOr("hit_rate", 0), 0.75);
+    const obs::JsonValue *latency =
+        parsed->find("answer_latency_us");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_DOUBLE_EQ(latency->numberOr("count", 0), 12.0);
+    EXPECT_DOUBLE_EQ(latency->numberOr("mean", 0), 870.5);
+    EXPECT_DOUBLE_EQ(latency->numberOr("p50", 0), 820.0);
+    EXPECT_DOUBLE_EQ(latency->numberOr("p95", 0), 1450.0);
+    EXPECT_DOUBLE_EQ(latency->numberOr("p99", 0), 2210.0);
+    // 64-bit hashes survive as decimal strings.
+    const obs::JsonValue *hitters = parsed->find("heavy_hitters");
+    ASSERT_NE(hitters, nullptr);
+    ASSERT_EQ(hitters->asArray().size(), 1u);
+    EXPECT_EQ(hitters->asArray()[0].stringOr("hash", ""),
+              "18446744073709551615");
+}
+
+TEST(Protocol, TasksResponseRoundTrips)
+{
+    TasksResponse response;
+    TaskProgress progress;
+    progress.label = "dense \"fc1\"";
+    progress.hash = 0x8000000000000001ull;
+    progress.bestLatencySec = 4.5e-4;
+    progress.rounds = 7;
+    progress.stagnantRounds = 2;
+    progress.trafficCount = 90;
+    progress.trafficShare = 0.9;
+    progress.cacheHits = 41;
+    response.tasks.push_back(progress);
+
+    auto parsed = obs::parseJson(response.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->stringOr("type", ""), "tasks");
+    EXPECT_DOUBLE_EQ(parsed->numberOr("count", 0), 1.0);
+    const obs::JsonValue *tasks = parsed->find("tasks");
+    ASSERT_NE(tasks, nullptr);
+    ASSERT_EQ(tasks->asArray().size(), 1u);
+    const obs::JsonValue &task = tasks->asArray()[0];
+    EXPECT_EQ(task.stringOr("label", ""), "dense \"fc1\"");
+    EXPECT_EQ(task.stringOr("hash", ""), "9223372036854775809");
+    EXPECT_DOUBLE_EQ(task.numberOr("best_latency_sec", 0), 4.5e-4);
+    EXPECT_DOUBLE_EQ(task.numberOr("rounds", 0), 7.0);
+    EXPECT_DOUBLE_EQ(task.numberOr("stagnant", 0), 2.0);
+    EXPECT_DOUBLE_EQ(task.numberOr("traffic_count", 0), 90.0);
+    EXPECT_DOUBLE_EQ(task.numberOr("traffic_share", 0), 0.9);
+    EXPECT_DOUBLE_EQ(task.numberOr("cache_hits", 0), 41.0);
+}
+
+TEST(Protocol, DumpResponseRoundTrips)
+{
+    DumpResponse response;
+    response.total = 20;
+    response.droppedCount = 12;
+    response.capacity = 8;
+    obs::FlightEvent event;
+    event.seq = 19;
+    event.wallUs = 123456;
+    event.kind = obs::FlightKind::CacheMiss;
+    event.requestId = 4;
+    event.key = 0xdeadbeefull;
+    event.value = -1;
+    response.events.push_back(event);
+
+    auto parsed = obs::parseJson(response.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->stringOr("type", ""), "dump");
+    EXPECT_DOUBLE_EQ(parsed->numberOr("total", 0), 20.0);
+    EXPECT_DOUBLE_EQ(parsed->numberOr("dropped", 0), 12.0);
+    EXPECT_DOUBLE_EQ(parsed->numberOr("capacity", 0), 8.0);
+    const obs::JsonValue *events = parsed->find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->asArray().size(), 1u);
+    const obs::JsonValue &first = events->asArray()[0];
+    EXPECT_DOUBLE_EQ(first.numberOr("seq", 0), 19.0);
+    EXPECT_DOUBLE_EQ(first.numberOr("t_us", 0), 123456.0);
+    EXPECT_EQ(first.stringOr("kind", ""), "cache_miss");
+    EXPECT_EQ(first.stringOr("req", ""), "4");
+    EXPECT_EQ(first.stringOr("key", ""), "3735928559");
+    EXPECT_DOUBLE_EQ(first.numberOr("value", 0), -1.0);
 }
 
 TEST(Protocol, RejectsMalformedRequests)
@@ -497,6 +603,129 @@ TEST(ServeSession, HandleRejectsBadRequestsGracefully)
             .find("\"type\":\"error\""),
         std::string::npos);
     EXPECT_FALSE(session.shutdownRequested());
+}
+
+TEST(ServeSession, WindowedHitRateIsDeterministicUnderReplay)
+{
+    auto run = [] {
+        ServeOptions options = fastOptions();
+        options.hitWindow = 4;
+        ServeSession session(options, testModel());
+        auto tasks = denseTasks("fc", 256);
+        session.tune("tiny", tasks);   // miss
+        for (int i = 0; i < 5; ++i)
+            session.tune("tiny", tasks);   // hits
+        return session.stats();
+    };
+    StatsResponse first = run();
+    EXPECT_EQ(first.window.size, 4u);
+    EXPECT_EQ(first.window.filled, 4u);
+    // Six lookups through a window of 4: the initial miss fell out.
+    EXPECT_EQ(first.window.hits, 4u);
+    EXPECT_DOUBLE_EQ(first.window.hitRate, 1.0);
+    // Overall rate still remembers the miss.
+    EXPECT_EQ(first.cacheHits, 5u);
+    EXPECT_EQ(first.cacheMisses, 1u);
+    // Virtual answer latencies populate the quantile summary and
+    // replay to the same values.
+    EXPECT_EQ(first.answerLatency.count, 6u);
+    EXPECT_GT(first.answerLatency.p50Us, 0.0);
+    EXPECT_LE(first.answerLatency.p50Us, first.answerLatency.p99Us);
+    StatsResponse second = run();
+    EXPECT_EQ(second.toJson(), first.toJson());
+}
+
+TEST(ServeSession, TasksReportsTuningProgress)
+{
+    ServeSession session(fastOptions(), testModel());
+    auto cold = denseTasks("cold_fc", 256);
+    auto hot = denseTasks("hot_fc", 224);
+    session.tune("cold", cold);
+    for (int i = 0; i < 9; ++i)
+        session.tune("hot", hot);
+    session.runRounds(3);
+
+    TasksResponse response = session.tasks();
+    ASSERT_EQ(response.tasks.size(), 2u);
+    const TaskProgress &coldTask = response.tasks[0];
+    const TaskProgress &hotTask = response.tasks[1];
+    EXPECT_EQ(coldTask.label, "cold_fc");
+    EXPECT_EQ(hotTask.label, "hot_fc");
+    EXPECT_EQ(hotTask.hash, hot[0].subgraph.structuralHash());
+    EXPECT_GT(hotTask.trafficShare, coldTask.trafficShare);
+    EXPECT_NEAR(hotTask.trafficShare + coldTask.trafficShare, 1.0,
+                1e-9);
+    EXPECT_EQ(coldTask.rounds + hotTask.rounds, 3);
+    EXPECT_EQ(hotTask.cacheHits, 8u);   // 9 tunes, first missed
+    EXPECT_GT(hotTask.bestLatencySec, 0.0);
+}
+
+TEST(ServeSession, DumpCarriesCorrelatedFlightEvents)
+{
+    obs::FlightRecorder::instance().reset(64);
+    ServeSession session(fastOptions(), testModel());
+    session.handle(
+        R"({"op":"tune","network":"dcgan","batch":1})");
+    session.handle(
+        R"({"op":"tune","network":"dcgan","batch":1})");
+    session.handle(R"({"op":"rounds","n":1})");
+
+    DumpResponse dump = session.dump();
+    EXPECT_EQ(dump.capacity, 64u);
+    EXPECT_EQ(dump.droppedCount, 0u);
+    ASSERT_FALSE(dump.events.empty());
+    int requests = 0, misses = 0, hits = 0, picks = 0;
+    for (const obs::FlightEvent &event : dump.events) {
+        switch (event.kind) {
+          case obs::FlightKind::Request: ++requests; break;
+          case obs::FlightKind::CacheMiss:
+              ++misses;
+              EXPECT_EQ(event.requestId, 1u);   // first tune
+              EXPECT_NE(event.key, 0u);
+              break;
+          case obs::FlightKind::CacheHit:
+              ++hits;
+              EXPECT_EQ(event.requestId, 2u);   // second tune
+              break;
+          case obs::FlightKind::RoundPick:
+              ++picks;
+              EXPECT_EQ(event.requestId, 3u);
+              break;
+          default: break;
+        }
+    }
+    EXPECT_EQ(requests, 3);
+    EXPECT_GT(misses, 0);
+    EXPECT_EQ(hits, misses);   // same network served twice
+    EXPECT_EQ(picks, 1);
+    // Sequence numbers are strictly increasing, oldest first.
+    for (size_t i = 1; i < dump.events.size(); ++i)
+        EXPECT_EQ(dump.events[i].seq, dump.events[i - 1].seq + 1);
+    // The response serializes and parses.
+    EXPECT_TRUE(obs::parseJson(dump.toJson()).has_value());
+    obs::FlightRecorder::instance().reset(
+        obs::FlightRecorder::kDefaultCapacity);
+}
+
+TEST(ServeSession, MetricsAndDumpOpsAnswerOverTheWire)
+{
+    obs::FlightRecorder::instance().reset(64);
+    ServeSession session(fastOptions(), testModel());
+    std::string metrics = session.handle(R"({"op":"metrics"})");
+    auto parsedMetrics = obs::parseJson(metrics);
+    ASSERT_TRUE(parsedMetrics.has_value());
+    EXPECT_EQ(parsedMetrics->stringOr("type", ""), "metrics");
+    const obs::JsonValue *registry =
+        parsedMetrics->find("registry");
+    ASSERT_NE(registry, nullptr);
+    EXPECT_NE(registry->find("counters"), nullptr);
+
+    std::string dump = session.handle(R"({"op":"dump"})");
+    auto parsedDump = obs::parseJson(dump);
+    ASSERT_TRUE(parsedDump.has_value());
+    EXPECT_EQ(parsedDump->stringOr("type", ""), "dump");
+    obs::FlightRecorder::instance().reset(
+        obs::FlightRecorder::kDefaultCapacity);
 }
 
 TEST(ServeSession, WarmStartAnswersWithoutMeasurements)

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * felix-bench-diff: compare a fresh `bench_tape` / `bench_serve`
+ * --json-out run against a committed BENCH_*.json baseline and fail
+ * on regressions beyond a noise threshold (docs/serving.md "Bench
+ * gate").
+ *
+ *   felix-bench-diff --baseline BENCH_tape.json --current new.json \
+ *                    [--threshold 0.5]
+ *
+ * Compared metrics, matched per benchmark name:
+ *   real_time_ns            lower is better
+ *   *_per_s / *_per_sec     higher is better
+ * Everything else (simd widths, instruction counts, backend names)
+ * is configuration, not performance, and is ignored. A benchmark
+ * present in the baseline but missing from the current run counts
+ * as a regression. Exit codes: 0 within threshold, 1 regression,
+ * 2 bad invocation or malformed input.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+using namespace felix;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: felix-bench-diff --baseline FILE --current FILE "
+        "[--threshold F]\n"
+        "  --baseline FILE  committed BENCH_*.json to compare "
+        "against\n"
+        "  --current FILE   fresh bench --json-out run\n"
+        "  --threshold F    allowed fractional slowdown "
+        "(default 0.5,\n"
+        "                   i.e. fail when >50%% worse than "
+        "baseline)\n");
+}
+
+/** True for throughput counters (higher is better). */
+bool
+isRateKey(const std::string &key)
+{
+    auto endsWith = [&](const char *suffix) {
+        const size_t n = std::strlen(suffix);
+        return key.size() >= n &&
+               key.compare(key.size() - n, n, suffix) == 0;
+    };
+    return endsWith("_per_s") || endsWith("_per_sec");
+}
+
+std::optional<obs::JsonValue>
+loadJson(const std::string &path, std::string *why)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        *why = "cannot read " + path;
+        return std::nullopt;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    auto doc = obs::parseJson(buffer.str(), &error);
+    if (!doc) {
+        *why = path + ": " + error;
+        return std::nullopt;
+    }
+    return doc;
+}
+
+/** results[] keyed by benchmark name. */
+const obs::JsonValue *
+findResult(const obs::JsonValue &doc, const std::string &name)
+{
+    const obs::JsonValue *results = doc.find("results");
+    if (!results || !results->isArray())
+        return nullptr;
+    for (const obs::JsonValue &result : results->asArray()) {
+        if (result.stringOr("name", "") == name)
+            return &result;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baselinePath, currentPath;
+    double threshold = 0.5;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--baseline") baselinePath = next();
+        else if (arg == "--current") currentPath = next();
+        else if (arg == "--threshold")
+            threshold = std::atof(next());
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (baselinePath.empty() || currentPath.empty() ||
+        threshold <= 0.0) {
+        usage();
+        return 2;
+    }
+
+    std::string why;
+    auto baseline = loadJson(baselinePath, &why);
+    if (!baseline) {
+        std::fprintf(stderr, "felix-bench-diff: %s\n", why.c_str());
+        return 2;
+    }
+    auto current = loadJson(currentPath, &why);
+    if (!current) {
+        std::fprintf(stderr, "felix-bench-diff: %s\n", why.c_str());
+        return 2;
+    }
+
+    const obs::JsonValue *baseResults = baseline->find("results");
+    if (!baseResults || !baseResults->isArray()) {
+        std::fprintf(stderr,
+                     "felix-bench-diff: %s has no results[]\n",
+                     baselinePath.c_str());
+        return 2;
+    }
+
+    int compared = 0, regressions = 0;
+    for (const obs::JsonValue &base : baseResults->asArray()) {
+        const std::string name = base.stringOr("name", "");
+        if (name.empty() || !base.isObject())
+            continue;
+        const obs::JsonValue *cur = findResult(*current, name);
+        if (!cur) {
+            std::printf("MISSING   %s (in baseline, not in "
+                        "current run)\n",
+                        name.c_str());
+            ++regressions;
+            continue;
+        }
+        for (const auto &[key, value] : base.asObject()) {
+            if (!value.isNumber())
+                continue;
+            const bool rate = isRateKey(key);
+            if (!rate && key != "real_time_ns")
+                continue;
+            const obs::JsonValue *curValue = cur->find(key);
+            if (!curValue || !curValue->isNumber())
+                continue;
+            const double baseNum = value.asNumber();
+            const double curNum = curValue->asNumber();
+            if (baseNum <= 0.0)
+                continue;
+            ++compared;
+            // ratio > 1 means "worse" for both orientations.
+            const double ratio =
+                rate ? baseNum / curNum : curNum / baseNum;
+            const bool regressed = ratio > 1.0 + threshold;
+            std::printf("%-9s %s %s base=%.6g cur=%.6g "
+                        "worse_by=%+.1f%%\n",
+                        regressed ? "REGRESSED" : "ok",
+                        name.c_str(), key.c_str(), baseNum, curNum,
+                        100.0 * (ratio - 1.0));
+            if (regressed)
+                ++regressions;
+        }
+    }
+
+    std::printf("felix-bench-diff: %d metrics compared, "
+                "%d regression%s (threshold %.0f%%)\n",
+                compared, regressions, regressions == 1 ? "" : "s",
+                100.0 * threshold);
+    return regressions > 0 ? 1 : 0;
+}

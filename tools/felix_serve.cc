@@ -21,6 +21,7 @@
  */
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,11 +30,13 @@
 #include <vector>
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "core/felix.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/round_log.h"
 #include "serve/server.h"
@@ -43,6 +46,53 @@
 using namespace felix;
 
 namespace {
+
+/** Set by the SIGINT/SIGTERM handler; checked by both loops. */
+volatile sig_atomic_t g_stopSignal = 0;
+
+void
+onStopSignal(int signo)
+{
+    g_stopSignal = signo;
+}
+
+/**
+ * Fatal-signal handler: dump the flight-recorder tail to stderr so
+ * a crashing daemon explains its last moments, then re-raise with
+ * the default disposition for a normal core/exit. Only
+ * async-signal-safe calls: write(2) and the lock-free dumpTo().
+ */
+void
+onFatalSignal(int signo)
+{
+    static const char header[] =
+        "felix-serve: fatal signal, flight recorder tail:\n";
+    ::write(2, header, sizeof(header) - 1);
+    obs::FlightRecorder::instance().dumpTo(2);
+    ::signal(signo, SIG_DFL);
+    ::raise(signo);
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction stop{};
+    stop.sa_handler = onStopSignal;
+    sigemptyset(&stop.sa_mask);
+    // No SA_RESTART: blocking reads (stdin getline, socket poll)
+    // must fail with EINTR so the loops notice the flag and run
+    // the graceful-shutdown path (persist + log finalization).
+    stop.sa_flags = 0;
+    ::sigaction(SIGINT, &stop, nullptr);
+    ::sigaction(SIGTERM, &stop, nullptr);
+
+    struct sigaction crash{};
+    crash.sa_handler = onFatalSignal;
+    sigemptyset(&crash.sa_mask);
+    crash.sa_flags = 0;
+    for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE})
+        ::sigaction(signo, &crash, nullptr);
+}
 
 void
 usage()
@@ -66,6 +116,10 @@ usage()
         "                  rounds per idle period (default 1)\n"
         "  --idle-ms N     socket poll timeout in ms (default 50)\n"
         "  --heavy-k N     heavy-hitter slots      (default 8)\n"
+        "  --hit-window N  sliding window (lookups) for the admin\n"
+        "                  windowed hit rate       (default 256)\n"
+        "  --flight N      flight-recorder ring capacity\n"
+        "                  (default 1024)\n"
         "  --log-level L   debug | info | warn | error\n"
         "  --cache-dir DIR pretrained cost-model cache directory\n"
         "                  (default: pretrained)\n");
@@ -117,7 +171,7 @@ runSocket(serve::ServeSession &session, const std::string &path,
     inform("felix-serve: listening on ", path);
 
     std::vector<Client> clients;
-    while (!session.shutdownRequested()) {
+    while (!session.shutdownRequested() && g_stopSignal == 0) {
         std::vector<pollfd> fds;
         fds.push_back({listenFd, POLLIN, 0});
         for (const Client &client : clients)
@@ -184,6 +238,7 @@ runSocket(serve::ServeSession &session, const std::string &path,
     ::close(listenFd);
     ::unlink(path.c_str());
     session.persist();
+    session.finalizeLogs();
     return 0;
 }
 
@@ -230,6 +285,13 @@ main(int argc, char **argv)
         else if (arg == "--heavy-k")
             options.heavyHitterK = static_cast<size_t>(
                 std::max(1, std::atoi(next().c_str())));
+        else if (arg == "--hit-window")
+            options.hitWindow = static_cast<size_t>(
+                std::max(1, std::atoi(next().c_str())));
+        else if (arg == "--flight")
+            obs::FlightRecorder::instance().reset(
+                static_cast<size_t>(
+                    std::max(1, std::atoi(next().c_str()))));
         else if (arg == "--cache-dir") cacheDir = next();
         else if (arg == "--log-level") {
             std::string name = next();
@@ -261,9 +323,19 @@ main(int argc, char **argv)
     serve::ServeSession session(
         std::move(options), pretrainedCostModel(device, cacheDir));
 
+    installSignalHandlers();
     int rc = stdio ? session.runStdio(std::cin, std::cout)
                    : runSocket(session, socketPath, roundsPerIdle,
                                idleMs);
+    if (g_stopSignal != 0) {
+        // The loops already ran the persist + log-finalization path
+        // on their way out; just note the signal for the record.
+        obs::FlightRecorder::instance().record(
+            obs::FlightKind::Signal, 0, 0, g_stopSignal);
+        inform("felix-serve: caught signal ",
+               static_cast<int>(g_stopSignal),
+               ", shut down gracefully");
+    }
 
     // Close the serve log with a metrics snapshot so
     // felix-trace-summary sees the full registry (serve.* included).

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * felix-top: live introspection client for a felix-serve daemon
+ * (docs/observability.md "felix-top").
+ *
+ *   felix-top --socket PATH                 # poll and render
+ *   felix-top --socket PATH --once          # one machine-readable line
+ *   felix-top --socket PATH --once --no-wall
+ *   felix-top --socket PATH --send FILE     # NDJSON client mode
+ *
+ * Speaks the admin side of the NDJSON protocol (docs/serving.md):
+ * `stats` and `tasks` for the deterministic tuning-progress view,
+ * plus `metrics` (registry snapshot) and `dump` (flight recorder)
+ * when wall-clock data is wanted. With --once --no-wall the output
+ * is a pure function of the daemon's request history, so CI can
+ * byte-compare it across daemon --jobs values.
+ */
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/json.h"
+#include "support/logging.h"
+
+using namespace felix;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: felix-top --socket PATH [mode] [options]\n"
+        "  --socket PATH   felix-serve Unix domain socket\n"
+        "modes (default: poll and render a dashboard):\n"
+        "  --once          print one combined JSON object and exit\n"
+        "  --send FILE     send each NDJSON line of FILE (- for\n"
+        "                  stdin), print each response; a plain\n"
+        "                  protocol client for scripts and tests\n"
+        "options:\n"
+        "  --no-wall       skip the wall-clock ops (metrics, dump);\n"
+        "                  with --once the output is byte-stable\n"
+        "                  across daemon restarts and --jobs\n"
+        "  --interval-ms N poll period           (default 1000)\n"
+        "  --count N       stop after N polls    (default 0 = run\n"
+        "                  until the daemon goes away)\n");
+}
+
+/** Connected NDJSON client: line-buffered reads over a socket. */
+class Client
+{
+  public:
+    ~Client()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool
+    connect(const std::string &path)
+    {
+        if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+            warn("socket path too long: ", path);
+            return false;
+        }
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return false;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    sendLine(const std::string &line)
+    {
+        std::string out = line + "\n";
+        size_t written = 0;
+        while (written < out.size()) {
+            ssize_t n = ::write(fd_, out.data() + written,
+                                out.size() - written);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            written += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    bool
+    readLine(std::string *line)
+    {
+        size_t nl;
+        while ((nl = buffer_.find('\n')) == std::string::npos) {
+            char chunk[4096];
+            ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+    }
+
+    /** One round trip: request line out, response line in. */
+    bool
+    request(const std::string &line, std::string *response)
+    {
+        return sendLine(line) && readLine(response);
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/** --send FILE: forward request lines, print response lines. */
+int
+runSend(Client &client, const std::string &path)
+{
+    std::ifstream file;
+    std::istream *in = &std::cin;
+    if (path != "-") {
+        file.open(path);
+        if (!file.good())
+            fatal("cannot read " + path);
+        in = &file;
+    }
+    std::string line, response;
+    while (std::getline(*in, line)) {
+        if (line.empty())
+            continue;
+        if (!client.request(line, &response))
+            fatal("daemon went away mid-conversation");
+        std::cout << response << "\n";
+    }
+    std::cout.flush();
+    return 0;
+}
+
+/**
+ * --once: one combined JSON object on stdout. Deterministic ops
+ * first; the wall-clock ops are appended unless --no-wall.
+ */
+int
+runOnce(Client &client, bool no_wall)
+{
+    std::string stats, tasks;
+    if (!client.request("{\"op\":\"stats\"}", &stats) ||
+        !client.request("{\"op\":\"tasks\"}", &tasks))
+        fatal("daemon did not answer stats/tasks");
+    std::string out =
+        "{\"stats\":" + stats + ",\"tasks\":" + tasks;
+    if (!no_wall) {
+        std::string metrics, dump;
+        if (!client.request("{\"op\":\"metrics\"}", &metrics) ||
+            !client.request("{\"op\":\"dump\"}", &dump))
+            fatal("daemon did not answer metrics/dump");
+        out += ",\"metrics\":" + metrics + ",\"dump\":" + dump;
+    }
+    out += "}";
+    std::cout << out << "\n";
+    std::cout.flush();
+    return 0;
+}
+
+/** Render one poll of stats + tasks as a human dashboard block. */
+bool
+renderPoll(Client &client, const std::string &socket_path,
+           bool no_wall)
+{
+    std::string statsLine, tasksLine;
+    if (!client.request("{\"op\":\"stats\"}", &statsLine) ||
+        !client.request("{\"op\":\"tasks\"}", &tasksLine))
+        return false;
+    auto stats = obs::parseJson(statsLine);
+    auto tasks = obs::parseJson(tasksLine);
+    if (!stats || !tasks)
+        return false;
+
+    const double hits = stats->numberOr("cache_hits", 0);
+    const double misses = stats->numberOr("cache_misses", 0);
+    const double lookups = hits + misses;
+    std::printf("felix-serve @ %s\n", socket_path.c_str());
+    std::printf(
+        "  requests %.0f  rounds %.0f  cache %.0f entries  "
+        "tasks %.0f\n",
+        stats->numberOr("requests", 0),
+        stats->numberOr("rounds", 0),
+        stats->numberOr("cache_size", 0),
+        stats->numberOr("tasks", 0));
+    std::printf("  hit rate %.1f%% overall",
+                lookups > 0 ? 100.0 * hits / lookups : 0.0);
+    if (const obs::JsonValue *window = stats->find("window")) {
+        std::printf(" | %.1f%% over last %.0f lookups",
+                    100.0 * window->numberOr("hit_rate", 0),
+                    window->numberOr("filled", 0));
+    }
+    std::printf("\n");
+    if (const obs::JsonValue *lat =
+            stats->find("answer_latency_us")) {
+        std::printf(
+            "  answer latency us: p50 %.1f  p95 %.1f  p99 %.1f  "
+            "mean %.1f  (n=%.0f)\n",
+            lat->numberOr("p50", 0), lat->numberOr("p95", 0),
+            lat->numberOr("p99", 0), lat->numberOr("mean", 0),
+            lat->numberOr("count", 0));
+    }
+    if (!no_wall) {
+        std::string metricsLine;
+        if (client.request("{\"op\":\"metrics\"}", &metricsLine)) {
+            auto metrics = obs::parseJson(metricsLine);
+            const obs::JsonValue *gauges =
+                metrics ? metrics->find("registry") : nullptr;
+            gauges = gauges ? gauges->find("gauges") : nullptr;
+            if (gauges) {
+                std::printf(
+                    "  request rate %.1f/s\n",
+                    gauges->numberOr("serve.request_rate_per_sec",
+                                     0));
+            }
+        }
+    }
+
+    const obs::JsonValue *list = tasks->find("tasks");
+    if (list && list->isArray() && !list->asArray().empty()) {
+        std::printf("  %-28s %6s %8s %12s %8s %6s\n", "TASK",
+                    "ROUNDS", "STAGNANT", "BEST_US", "TRAFFIC",
+                    "HITS");
+        for (const obs::JsonValue &task : list->asArray()) {
+            std::printf(
+                "  %-28.28s %6.0f %8.0f %12.1f %7.1f%% %6.0f\n",
+                task.stringOr("label", "?").c_str(),
+                task.numberOr("rounds", 0),
+                task.numberOr("stagnant", 0),
+                task.numberOr("best_latency_sec", 0) * 1e6,
+                100.0 * task.numberOr("traffic_share", 0),
+                task.numberOr("cache_hits", 0));
+        }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath, sendPath;
+    bool once = false, noWall = false;
+    int intervalMs = 1000, count = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                fatal("missing value for " + arg);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") socketPath = next();
+        else if (arg == "--once") once = true;
+        else if (arg == "--send") sendPath = next();
+        else if (arg == "--no-wall") noWall = true;
+        else if (arg == "--interval-ms")
+            intervalMs = std::max(1, std::atoi(next().c_str()));
+        else if (arg == "--count")
+            count = std::atoi(next().c_str());
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument: " + arg);
+        }
+    }
+    if (socketPath.empty()) {
+        usage();
+        fatal("--socket PATH is required");
+    }
+
+    Client client;
+    if (!client.connect(socketPath))
+        fatal("cannot connect to " + socketPath + ": " +
+              std::strerror(errno));
+
+    if (!sendPath.empty())
+        return runSend(client, sendPath);
+    if (once)
+        return runOnce(client, noWall);
+
+    int polls = 0;
+    while (renderPoll(client, socketPath, noWall)) {
+        if (count > 0 && ++polls >= count)
+            return 0;
+        ::usleep(static_cast<useconds_t>(intervalMs) * 1000);
+    }
+    warn("felix-top: daemon went away");
+    return 1;
+}

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -56,7 +57,8 @@ readFile(const std::string &path, std::string &out)
 }
 
 int
-summarizeTrace(const std::string &path)
+summarizeTrace(const std::string &path,
+               const std::string &req_filter)
 {
     std::string text;
     if (!readFile(path, text)) {
@@ -84,6 +86,16 @@ summarizeTrace(const std::string &path)
             continue;
         if (event.stringOr("ph", "") != "X")
             continue;
+        if (!req_filter.empty()) {
+            // Keep only spans recorded while the given request was
+            // live ("args":{"req":"N"}, docs/observability.md).
+            const obs::JsonValue *args = event.find("args");
+            const obs::JsonValue *req =
+                args ? args->find("req") : nullptr;
+            if (!req || !req->isString() ||
+                req->asString() != req_filter)
+                continue;
+        }
         std::string name = event.stringOr("name", "?");
         int64_t ts =
             static_cast<int64_t>(event.numberOr("ts", 0.0));
@@ -101,6 +113,9 @@ summarizeTrace(const std::string &path)
                   : static_cast<double>(maxEnd - minTs) / 1000.0;
 
     std::printf("== trace: %s ==\n", path.c_str());
+    if (!req_filter.empty())
+        std::printf("(spans of request %s only)\n",
+                    req_filter.c_str());
     std::printf("%zu span names, wall %.1f ms\n\n", byName.size(),
                 wallMs);
     std::printf("  %-28s %8s %12s %10s %7s\n", "span", "count",
@@ -155,6 +170,9 @@ summarizeRounds(const std::string &path)
     std::map<std::string, ServeAgg> byOp;
     int64_t hitsTotal = 0, missesTotal = 0, roundsTotal = 0;
     int64_t tasksTotal = 0;
+    double windowHitRate = -1.0;   ///< last window_hit_rate seen
+    obs::JsonValue taskSummary;    ///< the {"type":"tasks"} line
+    bool haveTaskSummary = false;
 
     std::map<std::string, StrategyAgg> byStrategy;
     obs::JsonValue snapshotValue;
@@ -199,6 +217,15 @@ summarizeRounds(const std::string &path)
                 record->numberOr("rounds_total", 0.0));
             tasksTotal = static_cast<int64_t>(
                 record->numberOr("tasks", 0.0));
+            windowHitRate =
+                record->numberOr("window_hit_rate", windowHitRate);
+            continue;
+        }
+        if (type == "tasks") {
+            // End-of-session per-task tuning-progress summary
+            // (ServeSession::finalizeLogs).
+            taskSummary = *record;
+            haveTaskSummary = true;
             continue;
         }
         if (type != "round")
@@ -288,10 +315,35 @@ summarizeRounds(const std::string &path)
                                    static_cast<double>(hitsTotal) /
                                    static_cast<double>(answered)
                              : 0.0);
+        if (windowHitRate >= 0.0) {
+            std::printf("  windowed hit rate   : %.1f%% (sliding "
+                        "window, last request)\n",
+                        100.0 * windowHitRate);
+        }
         std::printf("  background rounds   : %lld across %lld "
                     "registered tasks\n",
                     static_cast<long long>(roundsTotal),
                     static_cast<long long>(tasksTotal));
+    }
+
+    if (haveTaskSummary) {
+        const obs::JsonValue *list = taskSummary.find("tasks");
+        if (list && list->isArray() && !list->asArray().empty()) {
+            std::printf("\n  per-task tuning progress:\n");
+            std::printf("  %-28s %6s %8s %12s %8s %6s\n", "task",
+                        "rounds", "stagnant", "best us",
+                        "traffic", "hits");
+            for (const obs::JsonValue &task : list->asArray()) {
+                std::printf(
+                    "  %-28.28s %6.0f %8.0f %12.1f %7.1f%% %6.0f\n",
+                    task.stringOr("label", "?").c_str(),
+                    task.numberOr("rounds", 0.0),
+                    task.numberOr("stagnant", 0.0),
+                    task.numberOr("best_latency_sec", 0.0) * 1e6,
+                    100.0 * task.numberOr("traffic_share", 0.0),
+                    task.numberOr("cache_hits", 0.0));
+            }
+        }
     }
 
     if (haveSnapshot) {
@@ -334,30 +386,54 @@ summarizeRounds(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2 || argc > 3 ||
-        std::string(argv[1]) == "--help") {
+    auto usage = [](FILE *to) {
         std::fprintf(
-            stderr,
-            "usage: felix-trace-summary TRACE.json [METRICS.jsonl]\n"
+            to,
+            "usage: felix-trace-summary [--req N] TRACE.json "
+            "[METRICS.jsonl]\n"
             "       felix-trace-summary --serve SERVE.jsonl\n"
             "  TRACE.json    from felix-tune --trace-out\n"
             "  METRICS.jsonl from felix-tune --metrics-out\n"
-            "  SERVE.jsonl   from felix-serve --serve-log\n");
-        return argc < 2 ? 1 : 0;
+            "  SERVE.jsonl   from felix-serve --serve-log\n"
+            "  --req N       only spans recorded while request N\n"
+            "                was live (felix-serve correlation "
+            "ids)\n");
+    };
+    std::string servePath, reqFilter;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(stderr);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--serve") servePath = next();
+        else if (arg == "--req") reqFilter = next();
+        else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            positional.push_back(arg);
+        }
     }
-    if (std::string(argv[1]) == "--serve") {
-        if (argc != 3) {
-            std::fprintf(stderr,
-                         "usage: felix-trace-summary --serve "
-                         "SERVE.jsonl\n");
+    if (!servePath.empty()) {
+        if (!positional.empty() || !reqFilter.empty()) {
+            usage(stderr);
             return 1;
         }
-        return summarizeRounds(argv[2]);
+        return summarizeRounds(servePath);
     }
-    int rc = summarizeTrace(argv[1]);
+    if (positional.empty() || positional.size() > 2) {
+        usage(stderr);
+        return 1;
+    }
+    int rc = summarizeTrace(positional[0], reqFilter);
     if (rc != 0)
         return rc;
-    if (argc == 3)
-        return summarizeRounds(argv[2]);
+    if (positional.size() == 2)
+        return summarizeRounds(positional[1]);
     return 0;
 }
