@@ -81,6 +81,16 @@ CompiledModule::load(const std::string &path)
 }
 
 CompiledModule
+CompiledModule::fromConfigs(std::vector<TaskConfig> configs,
+                            double latency_sec)
+{
+    CompiledModule module;
+    module.latencySec_ = latency_sec;
+    module.configs_ = std::move(configs);
+    return module;
+}
+
+CompiledModule
 applyHistoryBest(const std::vector<graph::Task> &tasks,
                  const std::vector<tuner::TuneRecord> &records,
                  const Device &device,

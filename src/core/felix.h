@@ -73,6 +73,15 @@ class CompiledModule
     void save(const std::string &path) const;
     static std::optional<CompiledModule> load(const std::string &path);
 
+    /**
+     * Assemble a module from per-task configs and a precomputed
+     * end-to-end latency. Used by the cross-shard merge step, which
+     * reconstructs the module from shard manifests instead of a
+     * live tuner (src/shard/merge.h).
+     */
+    static CompiledModule fromConfigs(std::vector<TaskConfig> configs,
+                                      double latency_sec);
+
   private:
     friend class Optimizer;
     friend CompiledModule applyHistoryBest(

@@ -352,5 +352,45 @@ CostModel::tryLoad(const std::string &path)
     return model;
 }
 
+void
+CostModel::saveState(std::ostream &os) const
+{
+    os << "felix-cost-model-state v1\n";
+    mlp_.saveFull(os);
+    if (scaler_.fitted()) {
+        os << scaler_.means().size() << "\n";
+        scaler_.save(os);
+    } else {
+        os << 0 << "\n";
+    }
+    os.precision(17);
+    os << targetMean_ << "\n";
+}
+
+std::optional<CostModel>
+CostModel::loadState(std::istream &is)
+{
+    std::string word1, word2;
+    is >> word1 >> word2;
+    if (word1 != "felix-cost-model-state" || word2 != "v1")
+        return std::nullopt;
+    Mlp mlp = Mlp::loadFull(is);
+    size_t scalerSize = 0;
+    is >> scalerSize;
+    Scaler scaler;
+    if (scalerSize > 0)
+        scaler = Scaler::load(is, scalerSize);
+    double targetMean = 0.0;
+    is >> targetMean;
+    if (!is)
+        return std::nullopt;
+
+    CostModel model;
+    model.mlp_ = std::move(mlp);
+    model.scaler_ = std::move(scaler);
+    model.targetMean_ = targetMean;
+    return model;
+}
+
 } // namespace costmodel
 } // namespace felix

@@ -138,6 +138,16 @@ class CostModel
     void save(const std::string &path) const;
     static std::optional<CostModel> tryLoad(const std::string &path);
 
+    /**
+     * Full trainable state (network weights, Adam moments, scaler,
+     * target centering) to/from a stream, so a checkpointed tuner
+     * resumes fine-tuning bit-identically to an uninterrupted run.
+     * save()/tryLoad() stay the inference-oriented pretrained-cache
+     * format; this is the checkpoint payload format.
+     */
+    void saveState(std::ostream &os) const;
+    static std::optional<CostModel> loadState(std::istream &is);
+
   private:
     MlpConfig config_;
     Rng rng_;       ///< declared before mlp_: used to initialize it

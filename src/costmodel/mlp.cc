@@ -430,5 +430,52 @@ Mlp::load(std::istream &is)
     return mlp;
 }
 
+void
+Mlp::saveFull(std::ostream &os) const
+{
+    // precision(17) round-trips every finite double exactly through
+    // a correctly-rounded strtod — the same guarantee the tuning
+    // records and the pretrained-model cache already rely on.
+    save(os);
+    os << "adam " << adamStep_ << "\n";
+    os.precision(17);
+    for (const Layer &layer : layers_) {
+        for (double m : layer.mWeight)
+            os << m << " ";
+        os << "\n";
+        for (double v : layer.vWeight)
+            os << v << " ";
+        os << "\n";
+        for (double m : layer.mBias)
+            os << m << " ";
+        os << "\n";
+        for (double v : layer.vBias)
+            os << v << " ";
+        os << "\n";
+    }
+}
+
+Mlp
+Mlp::loadFull(std::istream &is)
+{
+    Mlp mlp = load(is);
+    std::string tag;
+    is >> tag >> mlp.adamStep_;
+    FELIX_CHECK(tag == "adam" && static_cast<bool>(is),
+                "bad MLP checkpoint: missing adam state");
+    for (Layer &layer : mlp.layers_) {
+        for (double &m : layer.mWeight)
+            is >> m;
+        for (double &v : layer.vWeight)
+            is >> v;
+        for (double &m : layer.mBias)
+            is >> m;
+        for (double &v : layer.vBias)
+            is >> v;
+    }
+    FELIX_CHECK(static_cast<bool>(is), "truncated MLP checkpoint");
+    return mlp;
+}
+
 } // namespace costmodel
 } // namespace felix

@@ -133,6 +133,16 @@ class Mlp
     void save(std::ostream &os) const;
     static Mlp load(std::istream &is);
 
+    /**
+     * Full-state serialization: weights and biases plus the Adam
+     * moments and step counter, so a loaded network continues
+     * training bit-identically to one that never stopped. save()
+     * (inference-only) stays the pretrained-cache format; this is
+     * the checkpoint format (docs/distributed.md).
+     */
+    void saveFull(std::ostream &os) const;
+    static Mlp loadFull(std::istream &is);
+
   private:
     explicit Mlp(MlpConfig config);
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
 #include <unordered_map>
 
 #include "features/features.h"
@@ -443,6 +446,44 @@ EvolutionarySearch::round(const costmodel::CostModel &model, Rng &rng)
     registry.counter("search.predictions")
         .add(result.trace.numPredictions);
     return result;
+}
+
+void
+EvolutionarySearch::saveState(std::ostream &os) const
+{
+    os.precision(17);
+    os << "evo-search v1 " << elites_.size() << "\n";
+    for (const Individual &elite : elites_) {
+        os << elite.sketchIndex << " " << elite.score << " "
+           << elite.x.size();
+        for (double v : elite.x)
+            os << " " << v;
+        os << "\n";
+    }
+}
+
+bool
+EvolutionarySearch::loadState(std::istream &is)
+{
+    std::string tag, version;
+    size_t numElites = 0;
+    if (!(is >> tag >> version >> numElites) ||
+        tag != "evo-search" || version != "v1" || numElites > 65536)
+        return false;
+    std::vector<Individual> elites(numElites);
+    for (Individual &elite : elites) {
+        size_t numVars = 0;
+        if (!(is >> elite.sketchIndex >> elite.score >> numVars) ||
+            numVars > 4096)
+            return false;
+        elite.x.resize(numVars);
+        for (double &v : elite.x) {
+            if (!(is >> v))
+                return false;
+        }
+    }
+    elites_ = std::move(elites);
+    return true;
 }
 
 } // namespace evolutionary

@@ -44,6 +44,10 @@ class EvolutionarySearch : public optim::SearchStrategy
     optim::RoundResult round(const costmodel::CostModel &model,
                              Rng &rng) override;
 
+    /** Cross-round state: the carried elite population. */
+    void saveState(std::ostream &os) const override;
+    bool loadState(std::istream &is) override;
+
     const std::vector<sketch::SymbolicSchedule> &
     sketches() const override
     {

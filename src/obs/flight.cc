@@ -131,6 +131,20 @@ FlightRecorder::dumpTo(int fd) const
     // where taking mutex_ could deadlock. Reads of next_ and the
     // ring slots may tear against an in-flight record(); a crash
     // dump tolerates one garbled line.
+    const int shard = shardId();
+    if (shard >= 0) {
+        // One header line so fleet-aggregated crash dumps stay
+        // attributable to their shard (async-signal-safe, like the
+        // event lines below).
+        char line[64];
+        size_t at = append(line, 0, "flight shard=");
+        at += formatI64(shard, line + at);
+        at = append(line, at, " of=");
+        at += formatI64(shardCount(), line + at);
+        line[at++] = '\n';
+        if (::write(fd, line, at) != static_cast<ssize_t>(at))
+            return 0;
+    }
     const uint64_t total = next_;
     const uint64_t retained =
         std::min<uint64_t>(total, ring_.size());

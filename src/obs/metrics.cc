@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
 #include "obs/json.h"
 #include "obs/trace.h"
@@ -98,6 +101,19 @@ double
 Histogram::quantile(double q) const
 {
     return bucketQuantile(bounds_, counts(), q);
+}
+
+bool
+Histogram::setContents(const std::vector<uint64_t> &counts,
+                       uint64_t count, double sum)
+{
+    if (counts.size() != bounds_.size() + 1)
+        return false;
+    for (size_t i = 0; i < counts.size(); ++i)
+        buckets_[i].store(counts[i], std::memory_order_relaxed);
+    count_.store(count, std::memory_order_relaxed);
+    sum_.store(sum, std::memory_order_relaxed);
+    return true;
 }
 
 bool
@@ -219,6 +235,22 @@ MetricsRegistry::resetAll()
         histogram->reset();
 }
 
+void
+MetricsRegistry::restore(const MetricsSnapshot &snapshot)
+{
+    resetAll();
+    for (const auto &[name, value] : snapshot.counters)
+        counter(name).add(value);
+    for (const auto &[name, value] : snapshot.gauges)
+        gauge(name).set(value);
+    for (const auto &[name, data] : snapshot.histograms) {
+        Histogram &h = histogram(name, data.bounds);
+        if (!h.setContents(data.counts, data.count, data.sum))
+            warn("metrics restore: bucket layout of ", name,
+                 " changed; histogram dropped");
+    }
+}
+
 double
 MetricsSnapshot::HistogramData::quantile(double q) const
 {
@@ -240,6 +272,132 @@ MetricsSnapshot::HistogramData::merge(const HistogramData &other)
         counts[i] += other.counts[i];
     count += other.count;
     sum += other.sum;
+    return true;
+}
+
+bool
+isWallClockMetricName(const std::string &name)
+{
+    auto endsWith = [&](const char *suffix) {
+        const size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    // Wall-clock timers and rates, plus host-configuration gauges
+    // that legitimately differ between the processes of one sharded
+    // run (pool size, SIMD width) without affecting any result byte.
+    return endsWith("_ms") || endsWith("_us") ||
+           name.find("per_sec") != std::string::npos ||
+           name == "threads.pool_size" ||
+           name.compare(0, 5, "simd.") == 0;
+}
+
+MetricsSnapshot
+MetricsSnapshot::deterministic() const
+{
+    MetricsSnapshot out;
+    for (const auto &[name, value] : counters) {
+        if (!isWallClockMetricName(name))
+            out.counters[name] = value;
+    }
+    for (const auto &[name, value] : gauges) {
+        if (!isWallClockMetricName(name))
+            out.gauges[name] = value;
+    }
+    for (const auto &[name, data] : histograms) {
+        if (!isWallClockMetricName(name))
+            out.histograms[name] = data;
+    }
+    return out;
+}
+
+void
+MetricsSnapshot::mergeFrom(const MetricsSnapshot &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.gauges)
+        gauges[name] = value;
+    for (const auto &[name, data] : other.histograms) {
+        auto it = histograms.find(name);
+        if (it == histograms.end())
+            histograms[name] = data;
+        else
+            it->second.merge(data);
+    }
+}
+
+void
+MetricsSnapshot::writeText(std::ostream &os) const
+{
+    os.precision(17);
+    os << "metrics v1\n";
+    os << "counters " << counters.size() << "\n";
+    for (const auto &[name, value] : counters)
+        os << name << " " << value << "\n";
+    os << "gauges " << gauges.size() << "\n";
+    for (const auto &[name, value] : gauges)
+        os << name << " " << value << "\n";
+    os << "histograms " << histograms.size() << "\n";
+    for (const auto &[name, data] : histograms) {
+        os << name << " " << data.bounds.size() << " "
+           << data.counts.size();
+        for (double bound : data.bounds)
+            os << " " << bound;
+        for (uint64_t c : data.counts)
+            os << " " << c;
+        os << " " << data.count << " " << data.sum << "\n";
+    }
+}
+
+bool
+MetricsSnapshot::readText(std::istream &is, MetricsSnapshot *out)
+{
+    std::string tag, version;
+    if (!(is >> tag >> version) || tag != "metrics" ||
+        version != "v1")
+        return false;
+    MetricsSnapshot snap;
+    size_t n = 0;
+    std::string name;
+    double value = 0.0;
+    if (!(is >> tag >> n) || tag != "counters" || n > 100000)
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        if (!(is >> name >> value))
+            return false;
+        snap.counters[name] = value;
+    }
+    if (!(is >> tag >> n) || tag != "gauges" || n > 100000)
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        if (!(is >> name >> value))
+            return false;
+        snap.gauges[name] = value;
+    }
+    if (!(is >> tag >> n) || tag != "histograms" || n > 100000)
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        HistogramData data;
+        size_t numBounds = 0, numCounts = 0;
+        if (!(is >> name >> numBounds >> numCounts) ||
+            numBounds > 100000 || numCounts != numBounds + 1)
+            return false;
+        data.bounds.resize(numBounds);
+        for (double &bound : data.bounds) {
+            if (!(is >> bound))
+                return false;
+        }
+        data.counts.resize(numCounts);
+        for (uint64_t &c : data.counts) {
+            if (!(is >> c))
+                return false;
+        }
+        if (!(is >> data.count >> data.sum))
+            return false;
+        snap.histograms[name] = std::move(data);
+    }
+    *out = std::move(snap);
     return true;
 }
 

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -127,6 +128,13 @@ class Histogram
     const std::vector<double> &bounds() const { return bounds_; }
     /** Per-bucket counts; size() == bounds().size() + 1. */
     std::vector<uint64_t> counts() const;
+
+    /**
+     * Overwrite the bucket contents (checkpoint restore). False
+     * when @p counts does not match the bucket layout.
+     */
+    bool setContents(const std::vector<uint64_t> &counts,
+                     uint64_t count, double sum);
     uint64_t count() const
     {
         return count_.load(std::memory_order_relaxed);
@@ -170,7 +178,36 @@ struct MetricsSnapshot
 
     /** One JSON object {"counters":{...},...}. */
     std::string toJson() const;
+
+    /**
+     * The deterministic subset: every metric whose value is a pure
+     * function of (inputs, seed) — wall-clock timers ("_ms"/"_us"
+     * suffixes), rate gauges ("per_sec"), and host-configuration
+     * gauges (thread-pool size, SIMD width) are dropped. This is
+     * the byte-comparable slice the --shards merge and the
+     * checkpoint/resume identity tests operate on
+     * (docs/distributed.md "Metrics semantics").
+     */
+    MetricsSnapshot deterministic() const;
+
+    /**
+     * Fold @p other into this snapshot: counters add, histograms
+     * merge bucket-wise (mismatched bounds are skipped), gauges are
+     * overwritten by @p other (last-writer-wins, so callers fold
+     * shards in round order).
+     */
+    void mergeFrom(const MetricsSnapshot &other);
+
+    /** Exact text round trip (precision-17; checkpoint payloads). */
+    void writeText(std::ostream &os) const;
+    static bool readText(std::istream &is, MetricsSnapshot *out);
 };
+
+/**
+ * True for metric names excluded from the deterministic subset:
+ * wall-clock timers, rates, and host-configuration values.
+ */
+bool isWallClockMetricName(const std::string &name);
 
 /** The process-wide registry. */
 class MetricsRegistry
@@ -192,6 +229,13 @@ class MetricsRegistry
 
     /** Zero every metric (tests and per-run bench deltas). */
     void resetAll();
+
+    /**
+     * Reset the registry, then re-create every metric of
+     * @p snapshot with its recorded value (checkpoint resume: the
+     * registry continues exactly as the interrupted run left it).
+     */
+    void restore(const MetricsSnapshot &snapshot);
 
     /** Default bounds: 0.1ms .. 100s, 9 log buckets per decade. */
     static std::vector<double> defaultLatencyBoundsMs();

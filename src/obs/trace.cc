@@ -64,12 +64,36 @@ namespace {
 
 thread_local uint64_t t_requestId = 0;
 
+// Process-wide shard identity; atomics because signal-time flight
+// dumps and pool workers read them concurrently with startup.
+std::atomic<int> g_shardId{-1};
+std::atomic<int> g_shardCount{0};
+
 } // namespace
 
 uint64_t
 currentRequestId()
 {
     return t_requestId;
+}
+
+void
+setShardIdentity(int shard_id, int shard_count)
+{
+    g_shardId.store(shard_id, std::memory_order_relaxed);
+    g_shardCount.store(shard_count, std::memory_order_relaxed);
+}
+
+int
+shardId()
+{
+    return g_shardId.load(std::memory_order_relaxed);
+}
+
+int
+shardCount()
+{
+    return g_shardCount.load(std::memory_order_relaxed);
 }
 
 ScopedRequestId::ScopedRequestId(uint64_t id)
@@ -126,12 +150,26 @@ Tracer::toJson() const
         out += std::to_string(event.startUs);
         out += ",\"dur\":";
         out += std::to_string(event.durUs);
-        if (event.reqId != 0) {
-            // Correlation id as a string: full 64-bit values do not
-            // survive JSON's double numbers.
-            out += ",\"args\":{\"req\":\"";
-            out += std::to_string(event.reqId);
-            out += "\"}";
+        const int shard = shardId();
+        if (event.reqId != 0 || shard >= 0) {
+            out += ",\"args\":{";
+            bool firstArg = true;
+            if (event.reqId != 0) {
+                // Correlation id as a string: full 64-bit values do
+                // not survive JSON's double numbers.
+                out += "\"req\":\"";
+                out += std::to_string(event.reqId);
+                out += "\"";
+                firstArg = false;
+            }
+            if (shard >= 0) {
+                if (!firstArg)
+                    out += ",";
+                out += "\"shard\":\"";
+                out += std::to_string(shard);
+                out += "\"";
+            }
+            out += "}";
         }
         out += "}";
     }

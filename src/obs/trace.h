@@ -49,6 +49,21 @@ struct SpanEvent
  */
 uint64_t currentRequestId();
 
+/**
+ * Process-wide shard identity for fleet telemetry. Set once at
+ * startup by `felix-tune --shard-id` / `felix-serve --shard-id`;
+ * trace spans, flight-recorder dumps, and the serve log carry it so
+ * aggregated multi-process telemetry stays attributable. The id is
+ * deliberately kept OUT of the round log and tuning records — those
+ * must merge byte-identically across shard counts
+ * (docs/distributed.md).
+ */
+void setShardIdentity(int shard_id, int shard_count);
+/** Configured shard id, or -1 when the process is unsharded. */
+int shardId();
+/** Configured shard count, or 0 when the process is unsharded. */
+int shardCount();
+
 /** RAII: set the thread's request id, restoring the old on exit. */
 class ScopedRequestId
 {

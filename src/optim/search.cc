@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
 #include <unordered_set>
 
 #include "features/features.h"
@@ -25,6 +28,45 @@ SearchStrategy::featuresOf(const Candidate &candidate)
 }
 
 void
+writeCandidate(std::ostream &os, const Candidate &candidate)
+{
+    os.precision(17);
+    os << candidate.sketchIndex << " " << candidate.x.size();
+    for (double v : candidate.x)
+        os << " " << v;
+    os << " " << candidate.rawFeatures.size();
+    for (double f : candidate.rawFeatures)
+        os << " " << f;
+    os << " " << candidate.predictedScore << "\n";
+}
+
+bool
+readCandidate(std::istream &is, Candidate &out)
+{
+    Candidate candidate;
+    size_t numVars = 0;
+    if (!(is >> candidate.sketchIndex >> numVars) || numVars > 4096)
+        return false;
+    candidate.x.resize(numVars);
+    for (double &v : candidate.x) {
+        if (!(is >> v))
+            return false;
+    }
+    size_t numFeatures = 0;
+    if (!(is >> numFeatures) || numFeatures > 65536)
+        return false;
+    candidate.rawFeatures.resize(numFeatures);
+    for (double &f : candidate.rawFeatures) {
+        if (!(is >> f))
+            return false;
+    }
+    if (!(is >> candidate.predictedScore))
+        return false;
+    out = std::move(candidate);
+    return true;
+}
+
+void
 GradientSearch::observe(const Candidate &candidate,
                         double measured_latency_sec)
 {
@@ -33,6 +75,30 @@ GradientSearch::observe(const Candidate &candidate,
         bestMeasuredLatency_ = measured_latency_sec;
         bestMeasured_ = candidate;
     }
+}
+
+void
+GradientSearch::saveState(std::ostream &os) const
+{
+    os.precision(17);
+    os << "grad-search v1 " << bestMeasuredLatency_ << "\n";
+    writeCandidate(os, bestMeasured_);
+}
+
+bool
+GradientSearch::loadState(std::istream &is)
+{
+    std::string tag, version;
+    double bestLatency = 0.0;
+    if (!(is >> tag >> version >> bestLatency) ||
+        tag != "grad-search" || version != "v1")
+        return false;
+    Candidate best;
+    if (!readCandidate(is, best))
+        return false;
+    bestMeasuredLatency_ = bestLatency;
+    bestMeasured_ = std::move(best);
+    return true;
 }
 
 namespace {

@@ -19,6 +19,7 @@
 #ifndef FELIX_OPTIM_SEARCH_H_
 #define FELIX_OPTIM_SEARCH_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -42,6 +43,14 @@ struct Candidate
     std::vector<double> rawFeatures;   ///< exact concrete features
     double predictedScore = 0.0;       ///< cost-model score (higher better)
 };
+
+/**
+ * Candidate serialization for round-state checkpoints: precision-17
+ * text, exact double round trip. readCandidate returns false on
+ * malformed input without touching @p out.
+ */
+void writeCandidate(std::ostream &os, const Candidate &candidate);
+bool readCandidate(std::istream &is, Candidate &out);
 
 /** Per-round instrumentation (drives Fig. 8 and the round log). */
 struct SearchTrace
@@ -94,6 +103,30 @@ class SearchStrategy
 
     /** Concrete features of a candidate (for measurement). */
     std::vector<double> featuresOf(const Candidate &candidate);
+
+    /**
+     * Serialize the cross-round state (warm-start seeds, carried
+     * population) for the round-state checkpoint. The search space
+     * itself (sketches, tapes, constraint checkers) is rebuilt
+     * deterministically from the subgraph at construction and is
+     * never serialized. The base strategy is stateless.
+     */
+    virtual void
+    saveState(std::ostream &os) const
+    {
+        (void)os;
+    }
+
+    /**
+     * Restore a saveState() blob into a freshly constructed
+     * strategy for the same subgraph. False on malformed input.
+     */
+    virtual bool
+    loadState(std::istream &is)
+    {
+        (void)is;
+        return true;
+    }
 };
 
 /** Gradient-descent search options (paper §5 defaults). */
@@ -137,6 +170,10 @@ class GradientSearch : public SearchStrategy
     /** Remembers the best measured schedule to warm-start a seed. */
     void observe(const Candidate &candidate,
                  double measured_latency_sec) override;
+
+    /** Cross-round state: the best measured warm-start seed. */
+    void saveState(std::ostream &os) const override;
+    bool loadState(std::istream &is) override;
 
     const std::vector<sketch::SymbolicSchedule> &
     sketches() const override

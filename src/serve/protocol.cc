@@ -176,7 +176,19 @@ StatsResponse::toJson() const
            ",\"mean\":" + obs::jsonNumber(answerLatency.meanUs) +
            ",\"p50\":" + obs::jsonNumber(answerLatency.p50Us) +
            ",\"p95\":" + obs::jsonNumber(answerLatency.p95Us) +
-           ",\"p99\":" + obs::jsonNumber(answerLatency.p99Us) + "}}";
+           ",\"p99\":" + obs::jsonNumber(answerLatency.p99Us) + "}";
+    if (shardId >= 0) {
+        out += ",\"shard\":{\"id\":" + std::to_string(shardId) +
+               ",\"count\":" + std::to_string(shardCount) + "}";
+    }
+    if (checkpointConfigured) {
+        out += ",\"checkpoint\":{\"writes\":" +
+               obs::jsonNumber(static_cast<double>(checkpointWrites)) +
+               ",\"pending_restore\":" +
+               obs::jsonNumber(static_cast<double>(pendingRestore)) +
+               "}";
+    }
+    out += "}";
     return out;
 }
 
@@ -244,8 +256,12 @@ DumpResponse::toJson() const
 std::string
 FlushResponse::toJson() const
 {
-    return "{\"type\":\"flush\",\"persisted\":" +
-           obs::jsonNumber(static_cast<double>(persisted)) + "}";
+    std::string out = "{\"type\":\"flush\",\"persisted\":" +
+                      obs::jsonNumber(static_cast<double>(persisted));
+    if (checkpointed >= 0)
+        out += std::string(",\"checkpoint\":") +
+               (checkpointed ? "true" : "false");
+    return out + "}";
 }
 
 std::string

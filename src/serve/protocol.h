@@ -144,6 +144,16 @@ struct StatsResponse
     std::vector<HeavyHitterInfo> heavyHitters;
     WindowInfo window;            ///< windowed cache-hit rate
     LatencySummary answerLatency; ///< served virtual latencies
+    /** Shard identity and checkpoint status. Emitted only when the
+     *  daemon runs with --shard-id / --checkpoint, so unsharded
+     *  responses keep their exact byte format. Checkpoint writes
+     *  happen on flush/shutdown requests (part of the request
+     *  trace), so these stay deterministic under replay. */
+    int shardId = -1;             ///< -1 when unsharded
+    int shardCount = 0;
+    bool checkpointConfigured = false;
+    uint64_t checkpointWrites = 0;
+    size_t pendingRestore = 0;    ///< restored tasks not re-seen yet
 
     std::string toJson() const;
 };
@@ -186,6 +196,9 @@ struct DumpResponse
 struct FlushResponse
 {
     size_t persisted = 0;
+    /** 1/0: checkpoint written; -1 (field omitted from the JSON)
+     *  when the daemon has no --checkpoint configured. */
+    int checkpointed = -1;
 
     std::string toJson() const;
 };

@@ -3,12 +3,14 @@
 #include <exception>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "models/models.h"
 #include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/checkpoint.h"
 #include "support/logging.h"
 
 namespace felix {
@@ -70,6 +72,24 @@ ServeSession::ServeSession(ServeOptions options,
         if (loaded > 0)
             inform("felix-serve: warm-started ", loaded,
                    " cached schedules from ", options_.recordsPath);
+    }
+    if (!options_.checkpointPath.empty()) {
+        if (auto payload =
+                shard::readCheckpoint(options_.checkpointPath)) {
+            std::istringstream is(*payload);
+            if (tuner_->loadState(is)) {
+                inform("felix-serve: restored tuner state from ",
+                       options_.checkpointPath, " (",
+                       tuner_->pendingRestoreCount(),
+                       " tasks pending re-registration)");
+            } else {
+                warn("felix-serve: malformed tuner state in ",
+                     options_.checkpointPath, "; starting fresh");
+            }
+        } else if (shard::fileSize(options_.checkpointPath) > 0) {
+            warn("felix-serve: corrupt checkpoint ",
+                 options_.checkpointPath, "; starting fresh");
+        }
     }
     if (!options_.serveLogPath.empty()) {
         serveLog_.open(options_.serveLogPath);
@@ -158,6 +178,8 @@ ServeSession::dispatch(const Request &request)
       case Op::Flush: {
           FlushResponse response;
           response.persisted = persist();
+          if (!options_.checkpointPath.empty())
+              response.checkpointed = writeCheckpoint() ? 1 : 0;
           return response.toJson();
       }
       case Op::Shutdown:
@@ -201,6 +223,16 @@ ServeSession::tune(const std::string &network_name,
             answer.vars = entry->best.scheduleVars;
             answer.latencySec = entry->best.latencySec;
             answer.cached = true;
+            if (entry->taskIndex < 0 &&
+                tuner_->hasPendingRestore(hash)) {
+                // Restarted daemon, warm cache: the answer comes
+                // from the cache, but the restored checkpoint has
+                // background-tuning state for this subgraph, so
+                // re-register it with the tuner to keep improving
+                // it where the previous process left off.
+                const int taskIndex = tuner_->addTask(task);
+                cache_.bindTask(hash, taskIndex);
+            }
         } else {
             // First sighting: register with the background tuner
             // (one initial all-ones measurement) and serve that
@@ -307,6 +339,11 @@ ServeSession::stats() const
     response.answerLatency.p50Us = answerLatencyUs_.quantile(0.50);
     response.answerLatency.p95Us = answerLatencyUs_.quantile(0.95);
     response.answerLatency.p99Us = answerLatencyUs_.quantile(0.99);
+    response.shardId = obs::shardId();
+    response.shardCount = obs::shardCount();
+    response.checkpointConfigured = !options_.checkpointPath.empty();
+    response.checkpointWrites = checkpointWrites_;
+    response.pendingRestore = tuner_->pendingRestoreCount();
     return response;
 }
 
@@ -345,6 +382,25 @@ ServeSession::dump() const
     response.capacity = recorder.capacity();
     response.events = recorder.snapshot();
     return response;
+}
+
+bool
+ServeSession::writeCheckpoint()
+{
+    if (options_.checkpointPath.empty())
+        return false;
+    std::ostringstream os;
+    tuner_->saveState(os);
+    if (!shard::writeCheckpoint(options_.checkpointPath, os.str()))
+        return false;
+    ++checkpointWrites_;
+    obs::MetricsRegistry::instance()
+        .counter("serve.checkpoint.writes")
+        .add(1.0);
+    obs::FlightRecorder::instance().record(
+        obs::FlightKind::Persist, obs::currentRequestId(), 0,
+        static_cast<int64_t>(checkpointWrites_));
+    return true;
 }
 
 size_t
@@ -393,6 +449,7 @@ ServeSession::runStdio(std::istream &in, std::ostream &out)
         out.flush();
     }
     persist();
+    writeCheckpoint();
     finalizeLogs();
     return 0;
 }
@@ -423,6 +480,8 @@ ServeSession::logRequest(const Request &request,
         serveLog_ << ",\"network\":" << obs::jsonEscape(request.network)
                   << ",\"batch\":" << request.batch;
     }
+    if (obs::shardId() >= 0)
+        serveLog_ << ",\"shard\":" << obs::shardId();
     serveLog_ << ",\"req_id\":" << requests_
               << ",\"response_bytes\":" << response.size()
               << ",\"hits_total\":" << cacheHits_

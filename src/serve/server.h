@@ -52,6 +52,11 @@ struct ServeOptions
     std::string recordsPath;
     /** JSONL serve log (one line per request; docs/serving.md). */
     std::string serveLogPath;
+    /** Tuner-state checkpoint file: restored at startup (so a
+     *  restarted daemon resumes its background tuning where it
+     *  left off, not just its cached schedules) and rewritten
+     *  crash-safely on flush and shutdown (docs/distributed.md). */
+    std::string checkpointPath;
     /** Heavy-hitter slots and count-min sketch geometry. */
     size_t heavyHitterK = 8;
     int sketchDepth = 4;
@@ -96,6 +101,13 @@ class ServeSession
     size_t persist();
 
     /**
+     * Write the tuner-state checkpoint (tmp + fsync + rename, so a
+     * crash mid-write leaves the previous checkpoint intact). False
+     * when no --checkpoint is configured or the write failed.
+     */
+    bool writeCheckpoint();
+
+    /**
      * Append the end-of-session {"type":"tasks"} summary line to
      * the serve log (felix-trace-summary --serve reads it). Called
      * once at shutdown; safe to call with no log configured.
@@ -137,6 +149,7 @@ class ServeSession
     uint64_t cacheHits_ = 0;
     uint64_t cacheMisses_ = 0;
     int roundsRun_ = 0;
+    uint64_t checkpointWrites_ = 0;
     /** Windowed hit rate over recent lookups (deterministic). */
     obs::SlidingWindowRate hitWindow_;
     /** Virtual (cost-model) latency of every served task answer,

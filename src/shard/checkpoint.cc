@@ -1,0 +1,170 @@
+#include "shard/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+
+namespace felix {
+namespace shard {
+
+uint64_t
+fnv1a(const std::string &data)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : data) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+bool
+writeCheckpoint(const std::string &path, const std::string &payload)
+{
+    std::ostringstream header;
+    header << "FELIXCKPT v1 " << payload.size() << " " << std::hex
+           << fnv1a(payload) << "\n";
+    const std::string text = header.str() + payload;
+
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        warn("checkpoint: cannot open ", tmp, ": ",
+             std::strerror(errno));
+        return false;
+    }
+    size_t written = 0;
+    while (written < text.size()) {
+        ssize_t n = ::write(fd, text.data() + written,
+                            text.size() - written);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            warn("checkpoint: short write to ", tmp);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    // fsync before rename: the rename must not become durable
+    // before the bytes it points at.
+    if (::fsync(fd) != 0) {
+        warn("checkpoint: fsync failed for ", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("checkpoint: rename to ", path, " failed: ",
+             std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+readCheckpoint(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        return std::nullopt;
+    std::string header;
+    if (!std::getline(is, header))
+        return std::nullopt;
+    std::istringstream hs(header);
+    std::string magic, version;
+    uint64_t size = 0, hash = 0;
+    if (!(hs >> magic >> version >> size >> std::hex >> hash) ||
+        magic != "FELIXCKPT" || version != "v1" ||
+        size > (uint64_t{1} << 32))
+        return std::nullopt;
+    std::string payload(size, '\0');
+    if (size > 0 &&
+        !is.read(&payload[0], static_cast<std::streamsize>(size)))
+        return std::nullopt;   // truncated: shorter than promised
+    if (fnv1a(payload) != hash)
+        return std::nullopt;   // bit flip or mid-record truncation
+    return payload;
+}
+
+std::vector<uint64_t>
+listCheckpoints(const std::string &dir, const std::string &prefix)
+{
+    std::vector<uint64_t> rounds;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return rounds;
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name.size() <= prefix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        const std::string digits = name.substr(prefix.size());
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") !=
+                std::string::npos)
+            continue;
+        rounds.push_back(
+            std::strtoull(digits.c_str(), nullptr, 10));
+    }
+    ::closedir(d);
+    std::sort(rounds.begin(), rounds.end());
+    return rounds;
+}
+
+bool
+ensureDir(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return true;
+    if (errno == ENOENT) {
+        const size_t slash = path.find_last_of('/');
+        if (slash != std::string::npos && slash > 0 &&
+            ensureDir(path.substr(0, slash)))
+            return ::mkdir(path.c_str(), 0755) == 0 ||
+                   errno == EEXIST;
+    }
+    return false;
+}
+
+uint64_t
+fileSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<uint64_t>(st.st_size);
+}
+
+bool
+truncateFile(const std::string &path, uint64_t size)
+{
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC,
+                    0644);
+    if (fd < 0)
+        return false;
+    const bool ok =
+        ::ftruncate(fd, static_cast<off_t>(size)) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace shard
+} // namespace felix

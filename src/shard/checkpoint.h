@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Crash-safe checkpoint files for the sharded tuner.
+ *
+ * A checkpoint is a single file: one ASCII header line
+ *
+ *   FELIXCKPT v1 <payload-bytes> <fnv1a-64-hex>\n
+ *
+ * followed by exactly <payload-bytes> of opaque payload. The header
+ * makes every failure mode the torture tests exercise detectable:
+ * a truncated file fails the length check, a flipped byte fails the
+ * checksum, a flipped version byte fails the tag parse. Writes go
+ * through a temp file + fsync + rename, so a crash mid-write leaves
+ * either the old checkpoint or the new one, never a torn file
+ * (docs/distributed.md "Checkpoint format").
+ */
+#ifndef FELIX_SHARD_CHECKPOINT_H_
+#define FELIX_SHARD_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace shard {
+
+/** FNV-1a 64-bit hash of @p data. */
+uint64_t fnv1a(const std::string &data);
+
+/**
+ * Atomically write header + @p payload to @p path (temp file in the
+ * same directory, fsync, rename). False on any I/O failure.
+ */
+bool writeCheckpoint(const std::string &path,
+                     const std::string &payload);
+
+/**
+ * Read and validate a checkpoint. nullopt when the file is missing,
+ * the header is malformed, the payload is shorter than the header
+ * promises, or the checksum does not match.
+ */
+std::optional<std::string> readCheckpoint(const std::string &path);
+
+/**
+ * The round numbers of every "<prefix><n>" file in @p dir, sorted
+ * ascending. Validation is the caller's job (newest first, falling
+ * back on corruption).
+ */
+std::vector<uint64_t> listCheckpoints(const std::string &dir,
+                                      const std::string &prefix);
+
+/** Best-effort mkdir -p (two levels are enough for shard dirs). */
+bool ensureDir(const std::string &path);
+
+/** Size of @p path in bytes; 0 when missing. */
+uint64_t fileSize(const std::string &path);
+
+/** Truncate @p path to @p size bytes, creating it when missing. */
+bool truncateFile(const std::string &path, uint64_t size);
+
+} // namespace shard
+} // namespace felix
+
+#endif // FELIX_SHARD_CHECKPOINT_H_

@@ -1,0 +1,225 @@
+#include "shard/manifest.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "support/logging.h"
+
+namespace felix {
+namespace shard {
+
+namespace {
+
+std::string
+u64String(uint64_t value)
+{
+    return "\"" + std::to_string(value) + "\"";
+}
+
+uint64_t
+parseU64(const obs::JsonValue &object, const std::string &key)
+{
+    const obs::JsonValue *value = object.find(key);
+    if (value == nullptr || !value->isString())
+        return 0;
+    return std::strtoull(value->asString().c_str(), nullptr, 10);
+}
+
+} // namespace
+
+std::string
+manifestHeaderJson(const ShardManifest &manifest)
+{
+    std::string out = "{\"type\":\"header\",\"version\":1";
+    out += ",\"seed\":" + u64String(manifest.seed);
+    out += ",\"shards\":" + std::to_string(manifest.shards);
+    out += ",\"shard_id\":" + std::to_string(manifest.shardId);
+    out += ",\"rounds_per_task\":" +
+           std::to_string(manifest.roundsPerTask);
+    out += ",\"strategy\":" + obs::jsonEscape(manifest.strategy);
+    out += ",\"device\":" + obs::jsonEscape(manifest.device);
+    out += ",\"graph_exec_overhead_sec\":" +
+           obs::jsonNumber(manifest.graphExecOverheadSec);
+    out += ",\"tasks\":[";
+    bool first = true;
+    for (const ManifestTask &task : manifest.tasks) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"index\":" + std::to_string(task.index);
+        out += ",\"hash\":" + u64String(task.hash);
+        out += ",\"label\":" + obs::jsonEscape(task.label);
+        out += ",\"weight\":" + std::to_string(task.weight) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+manifestRoundJson(const ManifestRound &round)
+{
+    std::string out = "{\"type\":\"round\",\"g\":";
+    out += std::to_string(round.g);
+    out += ",\"task\":" + std::to_string(round.task);
+    out += ",\"records_lines\":" + std::to_string(round.recordsLines);
+    out += ",\"rounds_lines\":" + std::to_string(round.roundsLines);
+    out += "}";
+    return out;
+}
+
+std::string
+manifestDoneJson(long last_g, const std::vector<ManifestBest> &bests)
+{
+    std::string out = "{\"type\":\"done\",\"last_g\":";
+    out += std::to_string(last_g);
+    out += ",\"bests\":[";
+    bool first = true;
+    for (const ManifestBest &best : bests) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"index\":" + std::to_string(best.index);
+        out += ",\"sketch\":" + std::to_string(best.sketchIndex);
+        out += ",\"latency_sec\":" + obs::jsonNumber(best.latencySec);
+        out += ",\"clock_sec\":" + obs::jsonNumber(best.clockSec);
+        out += ",\"vars\":[";
+        bool firstVar = true;
+        for (double v : best.vars) {
+            if (!firstVar)
+                out += ",";
+            firstVar = false;
+            out += obs::jsonNumber(v);
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::optional<ShardManifest>
+loadManifest(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is.good())
+        return std::nullopt;
+    ShardManifest manifest;
+    bool sawHeader = false;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        auto parsed = obs::parseJson(line);
+        if (!parsed || !parsed->isObject()) {
+            warn("manifest ", path, ": malformed line");
+            return std::nullopt;
+        }
+        const std::string type = parsed->stringOr("type", "");
+        if (type == "header") {
+            manifest.version = static_cast<int>(
+                parsed->numberOr("version", 0));
+            if (manifest.version != 1) {
+                warn("manifest ", path, ": unsupported version ",
+                     manifest.version);
+                return std::nullopt;
+            }
+            manifest.seed = parseU64(*parsed, "seed");
+            manifest.shards =
+                static_cast<int>(parsed->numberOr("shards", 1));
+            manifest.shardId =
+                static_cast<int>(parsed->numberOr("shard_id", 0));
+            manifest.roundsPerTask = static_cast<int>(
+                parsed->numberOr("rounds_per_task", 0));
+            manifest.strategy = parsed->stringOr("strategy", "");
+            manifest.device = parsed->stringOr("device", "");
+            manifest.graphExecOverheadSec =
+                parsed->numberOr("graph_exec_overhead_sec", 0.0);
+            if (const obs::JsonValue *tasks =
+                    parsed->find("tasks")) {
+                if (!tasks->isArray())
+                    return std::nullopt;
+                for (const obs::JsonValue &entry :
+                     tasks->asArray()) {
+                    ManifestTask task;
+                    task.index = static_cast<int>(
+                        entry.numberOr("index", 0));
+                    task.hash = parseU64(entry, "hash");
+                    task.label = entry.stringOr("label", "");
+                    task.weight = static_cast<int>(
+                        entry.numberOr("weight", 1));
+                    manifest.tasks.push_back(std::move(task));
+                }
+            }
+            sawHeader = true;
+        } else if (type == "round") {
+            ManifestRound round;
+            round.g = static_cast<int>(parsed->numberOr("g", 0));
+            round.task =
+                static_cast<int>(parsed->numberOr("task", 0));
+            round.recordsLines = static_cast<int>(
+                parsed->numberOr("records_lines", 0));
+            round.roundsLines = static_cast<int>(
+                parsed->numberOr("rounds_lines", 0));
+            manifest.rounds.push_back(round);
+        } else if (type == "done") {
+            manifest.done = true;
+            manifest.lastG =
+                static_cast<long>(parsed->numberOr("last_g", -1));
+            if (const obs::JsonValue *bests =
+                    parsed->find("bests")) {
+                if (!bests->isArray())
+                    return std::nullopt;
+                for (const obs::JsonValue &entry :
+                     bests->asArray()) {
+                    ManifestBest best;
+                    best.index = static_cast<int>(
+                        entry.numberOr("index", 0));
+                    best.sketchIndex = static_cast<int>(
+                        entry.numberOr("sketch", 0));
+                    best.latencySec =
+                        entry.numberOr("latency_sec", 0.0);
+                    best.clockSec =
+                        entry.numberOr("clock_sec", 0.0);
+                    if (const obs::JsonValue *vars =
+                            entry.find("vars")) {
+                        if (!vars->isArray())
+                            return std::nullopt;
+                        for (const obs::JsonValue &v :
+                             vars->asArray())
+                            best.vars.push_back(v.asNumber());
+                    }
+                    manifest.bests.push_back(std::move(best));
+                }
+            }
+        } else {
+            warn("manifest ", path, ": unknown line type '", type,
+                 "'");
+            return std::nullopt;
+        }
+    }
+    if (!sawHeader)
+        return std::nullopt;
+    return manifest;
+}
+
+bool
+manifestsCompatible(const ShardManifest &a, const ShardManifest &b)
+{
+    if (a.seed != b.seed || a.shards != b.shards ||
+        a.roundsPerTask != b.roundsPerTask ||
+        a.strategy != b.strategy ||
+        a.graphExecOverheadSec != b.graphExecOverheadSec ||
+        a.tasks.size() != b.tasks.size())
+        return false;
+    for (size_t i = 0; i < a.tasks.size(); ++i) {
+        if (a.tasks[i].hash != b.tasks[i].hash ||
+            a.tasks[i].weight != b.tasks[i].weight ||
+            a.tasks[i].label != b.tasks[i].label)
+            return false;
+    }
+    return true;
+}
+
+} // namespace shard
+} // namespace felix

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Self-describing per-shard result manifests (JSONL).
+ *
+ * Each shard of a `felix-tune --shards K` run appends to
+ * `shard-<i>.manifest.jsonl`:
+ *
+ *   {"type":"header", ...}   run configuration + the task table
+ *   {"type":"round",  ...}   one line per executed global round,
+ *                            with the artifact line counts the
+ *                            merge step uses to re-interleave the
+ *                            records and round-log files
+ *   {"type":"done",   ...}   final best schedule per owned task
+ *
+ * 64-bit hashes are serialized as decimal strings — they do not
+ * survive JSON's double numbers. The merge step (merge.h) refuses
+ * manifests whose configurations disagree, so a stale shard
+ * directory cannot silently corrupt a merged run.
+ */
+#ifndef FELIX_SHARD_MANIFEST_H_
+#define FELIX_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace felix {
+namespace shard {
+
+/** One task as the manifest header describes it. */
+struct ManifestTask
+{
+    int index = 0;
+    uint64_t hash = 0;
+    std::string label;
+    int weight = 1;
+};
+
+/** One executed global round. */
+struct ManifestRound
+{
+    int g = 0;             ///< global round index
+    int task = 0;          ///< task index (g % T)
+    int recordsLines = 0;  ///< lines this round appended to .records
+    int roundsLines = 0;   ///< lines appended to .rounds.jsonl
+};
+
+/** Final best schedule of one owned task. */
+struct ManifestBest
+{
+    int index = 0;         ///< task index
+    int sketchIndex = 0;
+    double latencySec = 0.0;
+    double clockSec = 0.0; ///< the task's final virtual clock
+    std::vector<double> vars;
+};
+
+/** A fully parsed shard manifest. */
+struct ShardManifest
+{
+    int version = 1;
+    uint64_t seed = 0;
+    int shards = 1;
+    int shardId = 0;
+    int roundsPerTask = 0;
+    std::string strategy;
+    std::string device;
+    double graphExecOverheadSec = 0.0;
+    std::vector<ManifestTask> tasks;
+    std::vector<ManifestRound> rounds;
+    bool done = false;
+    long lastG = -1;       ///< largest executed g; -1 when none
+    std::vector<ManifestBest> bests;
+};
+
+/** The header line (no trailing newline). */
+std::string manifestHeaderJson(const ShardManifest &manifest);
+
+/** One round line (no trailing newline). */
+std::string manifestRoundJson(const ManifestRound &round);
+
+/** The done line (no trailing newline). */
+std::string manifestDoneJson(long last_g,
+                             const std::vector<ManifestBest> &bests);
+
+/**
+ * Parse a manifest file. nullopt when the file is missing, the
+ * header is absent/malformed, or any line fails to parse. A missing
+ * done line is NOT an error (`done` stays false): the merge step
+ * reports it as an incomplete shard.
+ */
+std::optional<ShardManifest> loadManifest(const std::string &path);
+
+/**
+ * True when two manifests describe compatible runs: same seed,
+ * shard count, rounds per task, strategy, and task table.
+ */
+bool manifestsCompatible(const ShardManifest &a,
+                         const ShardManifest &b);
+
+} // namespace shard
+} // namespace felix
+
+#endif // FELIX_SHARD_MANIFEST_H_

@@ -1,0 +1,278 @@
+#include "shard/merge.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/felix.h"
+#include "obs/metrics.h"
+#include "obs/round_log.h"
+#include "shard/manifest.h"
+#include "shard/shard.h"
+#include "support/logging.h"
+#include "tuner/records.h"
+
+namespace felix {
+namespace shard {
+
+namespace {
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::vector<std::string> lines;
+    std::ifstream is(path);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(std::move(line));
+    return lines;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os.good())
+        return false;
+    os << text;
+    return os.good();
+}
+
+} // namespace
+
+std::string
+mergedRecordsPath(const std::string &dir)
+{
+    return dir + "/merged.records";
+}
+
+std::string
+mergedRoundsPath(const std::string &dir)
+{
+    return dir + "/merged.rounds.jsonl";
+}
+
+std::string
+mergedBestPath(const std::string &dir)
+{
+    return dir + "/merged.best";
+}
+
+std::string
+mergedModulePath(const std::string &dir)
+{
+    return dir + "/merged.cfg";
+}
+
+std::string
+mergedMetricsPath(const std::string &dir)
+{
+    return dir + "/merged.metrics";
+}
+
+std::optional<MergeResult>
+mergeShards(const std::string &dir)
+{
+    // Load shard 0's manifest first: it names the shard count.
+    auto first = loadManifest(shardManifestPath(dir, 0));
+    if (!first) {
+        warn("merge: cannot load ", shardManifestPath(dir, 0));
+        return std::nullopt;
+    }
+    const int numShards = first->shards;
+    std::vector<ShardManifest> manifests;
+    manifests.push_back(std::move(*first));
+    for (int i = 1; i < numShards; ++i) {
+        auto manifest = loadManifest(shardManifestPath(dir, i));
+        if (!manifest) {
+            warn("merge: cannot load ",
+                 shardManifestPath(dir, i));
+            return std::nullopt;
+        }
+        if (manifest->shardId != i ||
+            !manifestsCompatible(manifests.front(), *manifest)) {
+            warn("merge: shard ", i,
+                 " manifest does not match shard 0 (different "
+                 "seed, schedule, or task table?)");
+            return std::nullopt;
+        }
+        manifests.push_back(std::move(*manifest));
+    }
+
+    const ShardManifest &header = manifests.front();
+    const long totalRounds =
+        static_cast<long>(header.roundsPerTask) *
+        static_cast<long>(header.tasks.size());
+
+    struct RoundArtifacts
+    {
+        std::string records;   ///< raw record lines, "\n"-terminated
+        std::string roundLine; ///< one round-log JSONL line
+    };
+    std::map<long, RoundArtifacts> byRound;
+    std::map<int, ManifestBest> bestByTask;
+
+    for (const ShardManifest &manifest : manifests) {
+        if (!manifest.done) {
+            warn("merge: shard ", manifest.shardId,
+                 " is incomplete (no done line) — resume it first");
+            return std::nullopt;
+        }
+        auto recordLines =
+            readLines(shardRecordsPath(dir, manifest.shardId));
+        auto roundLines =
+            readLines(shardRoundsPath(dir, manifest.shardId));
+        size_t recordAt = 0, roundAt = 0;
+        long previousG = -1;
+        for (const ManifestRound &round : manifest.rounds) {
+            if (round.g <= previousG || round.g >= totalRounds ||
+                round.roundsLines != 1 || round.recordsLines < 0) {
+                warn("merge: shard ", manifest.shardId,
+                     " manifest rounds are out of order");
+                return std::nullopt;
+            }
+            previousG = round.g;
+            if (recordAt + round.recordsLines >
+                    recordLines.size() ||
+                roundAt + 1 > roundLines.size()) {
+                warn("merge: shard ", manifest.shardId,
+                     " artifacts are shorter than its manifest "
+                     "accounts for");
+                return std::nullopt;
+            }
+            RoundArtifacts artifacts;
+            for (int i = 0; i < round.recordsLines; ++i)
+                artifacts.records +=
+                    recordLines[recordAt++] + "\n";
+            artifacts.roundLine = roundLines[roundAt++];
+            if (!byRound.emplace(round.g, std::move(artifacts))
+                     .second) {
+                warn("merge: round ", round.g,
+                     " appears in two shards — directories from "
+                     "different runs?");
+                return std::nullopt;
+            }
+        }
+        if (recordAt != recordLines.size() ||
+            roundAt != roundLines.size()) {
+            warn("merge: shard ", manifest.shardId,
+                 " artifacts have trailing lines beyond the "
+                 "manifest accounting");
+            return std::nullopt;
+        }
+        for (const ManifestBest &best : manifest.bests) {
+            if (!bestByTask.emplace(best.index, best).second) {
+                warn("merge: task ", best.index,
+                     " claimed by two shards");
+                return std::nullopt;
+            }
+        }
+    }
+
+    if (static_cast<long>(byRound.size()) != totalRounds) {
+        warn("merge: covered ", byRound.size(), " of ",
+             totalRounds, " rounds — a shard is missing rounds");
+        return std::nullopt;
+    }
+    if (bestByTask.size() != header.tasks.size()) {
+        warn("merge: covered ", bestByTask.size(), " of ",
+             header.tasks.size(), " tasks");
+        return std::nullopt;
+    }
+
+    // Fold metrics in ascending last-executed-round order so the
+    // last-writer-wins gauges end on the same shard that executed
+    // the run's final round (ties broken by shard id, which only
+    // shards with no rounds at all can hit).
+    std::vector<const ShardManifest *> byLastG;
+    for (const ShardManifest &manifest : manifests)
+        byLastG.push_back(&manifest);
+    std::sort(byLastG.begin(), byLastG.end(),
+              [](const ShardManifest *a, const ShardManifest *b) {
+                  if (a->lastG != b->lastG)
+                      return a->lastG < b->lastG;
+                  return a->shardId < b->shardId;
+              });
+    obs::MetricsSnapshot merged;
+    for (const ShardManifest *manifest : byLastG) {
+        std::ifstream is(
+            shardMetricsPath(dir, manifest->shardId));
+        obs::MetricsSnapshot snapshot;
+        if (!is.good() ||
+            !obs::MetricsSnapshot::readText(is, &snapshot)) {
+            warn("merge: cannot read ",
+                 shardMetricsPath(dir, manifest->shardId));
+            return std::nullopt;
+        }
+        merged.mergeFrom(snapshot);
+    }
+
+    // merged.records + merged.rounds.jsonl: global round order.
+    std::string recordsText, roundsText;
+    for (const auto &[g, artifacts] : byRound) {
+        recordsText += artifacts.records;
+        roundsText += artifacts.roundLine + "\n";
+    }
+    if (!writeFile(mergedRecordsPath(dir), recordsText) ||
+        !writeFile(mergedRoundsPath(dir), roundsText)) {
+        warn("merge: cannot write merged artifacts in ", dir);
+        return std::nullopt;
+    }
+    if (!obs::appendMetricsSnapshot(mergedRoundsPath(dir), merged)) {
+        warn("merge: cannot append the metrics line to ",
+             mergedRoundsPath(dir));
+        return std::nullopt;
+    }
+    {
+        std::ofstream os(mergedMetricsPath(dir),
+                         std::ios::binary | std::ios::trunc);
+        if (!os.good()) {
+            warn("merge: cannot write ", mergedMetricsPath(dir));
+            return std::nullopt;
+        }
+        merged.writeText(os);
+    }
+
+    // merged.best + merged.cfg: per-task bests in task order.
+    std::vector<tuner::TuneRecord> bestRecords;
+    std::vector<TaskConfig> configs;
+    double networkLatencySec = header.graphExecOverheadSec;
+    for (const ManifestTask &task : header.tasks) {
+        const ManifestBest &best = bestByTask.at(task.index);
+        tuner::TuneRecord record;
+        record.taskHash = task.hash;
+        record.taskLabel = task.label;
+        record.sketchIndex = best.sketchIndex;
+        record.scheduleVars = best.vars;
+        record.latencySec = best.latencySec;
+        record.clockSec = best.clockSec;
+        bestRecords.push_back(std::move(record));
+
+        TaskConfig config;
+        config.taskLabel = task.label;
+        config.weight = task.weight;
+        config.sketchIndex = best.sketchIndex;
+        config.scheduleVars = best.vars;
+        config.latencySec = best.latencySec;
+        configs.push_back(std::move(config));
+        networkLatencySec += task.weight * best.latencySec;
+    }
+    if (!writeFile(mergedBestPath(dir), ""))
+        return std::nullopt;
+    tuner::appendRecords(mergedBestPath(dir), bestRecords);
+    CompiledModule::fromConfigs(std::move(configs),
+                                networkLatencySec)
+        .save(mergedModulePath(dir));
+
+    MergeResult result;
+    result.shards = numShards;
+    result.rounds = totalRounds;
+    result.tasks = header.tasks.size();
+    result.networkLatencySec = networkLatencySec;
+    return result;
+}
+
+} // namespace shard
+} // namespace felix

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cross-shard merge: reassemble one run from K shard directories.
+ *
+ * Inputs are the per-shard artifacts a `felix-tune --shards K` run
+ * leaves in one directory (shard-<i>.{records,rounds.jsonl,
+ * manifest.jsonl,metrics}); outputs are
+ *
+ *   merged.records       all tuning records, global round order
+ *   merged.rounds.jsonl  all round-log lines in global round order
+ *                        plus one final {"type":"metrics"} line
+ *   merged.best          history-best record per task, task order
+ *   merged.cfg           the compiled module (best schedules +
+ *                        end-to-end latency)
+ *   merged.metrics       the folded deterministic metrics snapshot
+ *                        (exact text round-trip format)
+ *
+ * Because every round's bytes are shard-count-invariant (shard.h),
+ * the merged output is byte-identical whatever K produced it:
+ * records and round lines interleave by ascending global round,
+ * counters add (all deterministic counters are integer-valued, so
+ * the sums are exact), histograms merge bucket-wise, and gauges
+ * fold last-writer-wins in ascending last-executed-round order.
+ */
+#ifndef FELIX_SHARD_MERGE_H_
+#define FELIX_SHARD_MERGE_H_
+
+#include <optional>
+#include <string>
+
+namespace felix {
+namespace shard {
+
+/** What a successful merge covered. */
+struct MergeResult
+{
+    int shards = 0;            ///< shard count of the run
+    long rounds = 0;           ///< global rounds merged
+    size_t tasks = 0;
+    double networkLatencySec = 0.0;  ///< merged end-to-end latency
+};
+
+/** Merged artifact paths inside @p dir. */
+std::string mergedRecordsPath(const std::string &dir);
+std::string mergedRoundsPath(const std::string &dir);
+std::string mergedBestPath(const std::string &dir);
+std::string mergedModulePath(const std::string &dir);
+std::string mergedMetricsPath(const std::string &dir);
+
+/**
+ * Merge every shard in @p dir. nullopt (with a warning naming the
+ * problem) when a shard is missing, incomplete (no done line),
+ * incompatible with the others, or its artifacts disagree with its
+ * manifest's line accounting.
+ */
+std::optional<MergeResult> mergeShards(const std::string &dir);
+
+} // namespace shard
+} // namespace felix
+
+#endif // FELIX_SHARD_MERGE_H_

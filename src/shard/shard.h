@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic sharded tuning (docs/distributed.md).
+ *
+ * A sharded run partitions the R×T global round schedule (R rounds
+ * per task, tasks round-robin: round g tunes task g % T) across K
+ * processes by stable task hash: shard i executes exactly the
+ * rounds whose task it owns. Every random stream is preassigned
+ * from (root seed, task, round) via Rng::streamAt and each owned
+ * task tunes against its own cost-model copy, replay history, and
+ * virtual clock, so the bytes a round produces depend only on the
+ * root seed and the task — not on K, not on which process runs it,
+ * and not on whether the process was killed and resumed. The merge
+ * step (merge.h) therefore reassembles output byte-identical to a
+ * `--shards 1` run.
+ *
+ * After every owned round the runner appends the round's artifacts
+ * (records, round log, manifest line — each one atomic O_APPEND
+ * write) and then writes a crash-safe checkpoint (checkpoint.h).
+ * `--resume` replays from the newest valid checkpoint, truncating
+ * the artifacts back to that checkpoint's recorded offsets, so a
+ * SIGKILL at any instant loses at most the round in flight.
+ */
+#ifndef FELIX_SHARD_SHARD_H_
+#define FELIX_SHARD_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/felix.h"
+#include "graph/graph.h"
+#include "tuner/tuner.h"
+
+namespace felix {
+namespace shard {
+
+/** Options of one shard process. */
+struct ShardOptions
+{
+    uint64_t seed = 1;
+    int shards = 1;
+    int shardId = 0;
+    int roundsPerTask = 4;
+    tuner::StrategyKind strategy =
+        tuner::StrategyKind::FelixGradient;
+    optim::GradSearchOptions grad;
+    evolutionary::EvoSearchOptions evo;
+    tuner::ClockConfig clock;
+    int finetuneSteps = 16;
+    double graphExecOverheadSec = 15e-6;
+    /** Shard artifact directory (created when missing). */
+    std::string dir;
+    /** Write a checkpoint after every owned round. */
+    bool checkpoint = true;
+    /** Resume from the newest valid checkpoint instead of starting
+     *  over (falls back to older checkpoints on corruption, and to
+     *  a fresh run when none validates). */
+    bool resume = false;
+    /** Test hook: raise(SIGKILL) after this many rounds executed by
+     *  THIS process — after the round's artifacts are appended but
+     *  before its checkpoint is written, the worst-possible crash
+     *  point. 0 disables. */
+    int killAfterRounds = 0;
+};
+
+/** Owning shard of a task: stable mix of the structural hash. */
+int shardOf(uint64_t task_hash, int shards);
+
+/** Shard artifact paths inside @p dir. */
+std::string shardRecordsPath(const std::string &dir, int shard_id);
+std::string shardRoundsPath(const std::string &dir, int shard_id);
+std::string shardManifestPath(const std::string &dir, int shard_id);
+std::string shardMetricsPath(const std::string &dir, int shard_id);
+std::string shardCheckpointDir(const std::string &dir);
+
+/** Runs the rounds one shard owns. */
+class ShardRunner
+{
+  public:
+    ShardRunner(std::vector<graph::Task> tasks,
+                costmodel::CostModel base_model, Device device,
+                ShardOptions options);
+    ~ShardRunner();
+
+    /** Execute (or resume) this shard's schedule. 0 on success. */
+    int run();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace shard
+} // namespace felix
+
+#endif // FELIX_SHARD_SHARD_H_

@@ -1,6 +1,9 @@
 #include "support/rng.h"
 
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
 #include "support/logging.h"
 
@@ -147,6 +150,44 @@ Rng::forkStreams(size_t n)
     for (size_t i = 0; i < n; ++i)
         children.emplace_back(hashCombine(base, i));
     return children;
+}
+
+Rng
+Rng::streamAt(uint64_t root_seed, uint64_t key, uint64_t step)
+{
+    // Chained splitmix-style mixing: every input permutes the whole
+    // 64-bit state, so (seed, key, step) triples that differ in any
+    // component give decorrelated streams.
+    return Rng(hashCombine(hashCombine(root_seed, key), step));
+}
+
+void
+Rng::saveState(std::ostream &os) const
+{
+    // Doubles travel as bit patterns: the spare normal must restore
+    // exactly, not to within a formatting round trip.
+    uint64_t spareBits = 0;
+    static_assert(sizeof(spareBits) == sizeof(spareNormal_));
+    std::memcpy(&spareBits, &spareNormal_, sizeof(spareBits));
+    os << state_[0] << " " << state_[1] << " " << state_[2] << " "
+       << state_[3] << " " << (hasSpareNormal_ ? 1 : 0) << " "
+       << spareBits << "\n";
+}
+
+bool
+Rng::loadState(std::istream &is)
+{
+    uint64_t words[4];
+    int hasSpare = 0;
+    uint64_t spareBits = 0;
+    if (!(is >> words[0] >> words[1] >> words[2] >> words[3] >>
+          hasSpare >> spareBits))
+        return false;
+    for (int i = 0; i < 4; ++i)
+        state_[i] = words[i];
+    hasSpareNormal_ = hasSpare != 0;
+    std::memcpy(&spareNormal_, &spareBits, sizeof(spareNormal_));
+    return true;
 }
 
 uint64_t

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,27 @@ class Rng
      * sequentially before dispatch, then hand child i to item i.
      */
     std::vector<Rng> forkStreams(size_t n);
+
+    /**
+     * A stream preassigned from (root seed, stream key, step): the
+     * basis of the --shards determinism contract. Unlike fork(),
+     * the result does not depend on any parent stream position, so
+     * any process — shard 0 of 1 or shard i of K, fresh or resumed
+     * from a checkpoint — derives bit-identical randomness for the
+     * same (seed, key, step) triple (docs/distributed.md).
+     */
+    static Rng streamAt(uint64_t root_seed, uint64_t key,
+                        uint64_t step);
+
+    /**
+     * Serialize the exact generator state (xoshiro words plus the
+     * buffered Box-Muller spare) as one text line; loadState()
+     * restores it bit-for-bit. Used by the serve-layer checkpoint,
+     * where a stream's *position* is part of the resumable state.
+     */
+    void saveState(std::ostream &os) const;
+    /** Restore a saveState() line. False on malformed input. */
+    bool loadState(std::istream &is);
 
   private:
     uint64_t state_[4];

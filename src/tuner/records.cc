@@ -62,6 +62,13 @@ appendText(const std::string &path, const std::string &text)
 } // namespace
 
 void
+appendRawText(const std::string &path, const std::string &text)
+{
+    if (!text.empty())
+        appendText(path, text);
+}
+
+void
 appendRecord(const std::string &path, const TuneRecord &record)
 {
     std::ostringstream os;
@@ -90,6 +97,12 @@ loadRecords(const std::string &path)
     std::ifstream is(path);
     std::string line;
     int corrupt = 0;
+    // Register the counter up front so the metrics snapshot (and
+    // felix-top --once) always carries a records.corrupt_lines
+    // entry — 0 is an affirmative "no corruption seen", which is
+    // different from the metric being absent.
+    auto &corruptCounter = obs::MetricsRegistry::instance().counter(
+        "records.corrupt_lines");
     while (std::getline(is, line)) {
         std::istringstream ls(line);
         TuneRecord record;
@@ -115,9 +128,12 @@ loadRecords(const std::string &path)
         records.push_back(std::move(record));
     }
     if (corrupt > 0) {
+        corruptCounter.add(static_cast<double>(corrupt));
+        // Per-file gauge keyed by path, so the snapshot JSON names
+        // WHICH log is corrupt, not just that one is.
         obs::MetricsRegistry::instance()
-            .counter("records.corrupt_lines")
-            .add(static_cast<double>(corrupt));
+            .gauge("records.corrupt_lines." + path)
+            .set(static_cast<double>(corrupt));
         warn("skipped ", corrupt, " corrupt tuning-record line",
              corrupt == 1 ? "" : "s", " in ", path);
     }

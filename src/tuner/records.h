@@ -46,6 +46,13 @@ void appendRecords(const std::string &path,
                    const std::vector<TuneRecord> &records);
 
 /**
+ * Append pre-formatted text (complete lines) with the same
+ * single-write O_APPEND crash-safety contract as appendRecord().
+ * Used by the sharded runner for its per-round JSONL artifacts.
+ */
+void appendRawText(const std::string &path, const std::string &text);
+
+/**
  * Load every well-formed record. Corrupt lines are skipped, counted
  * into the `records.corrupt_lines` metric, and reported with one
  * warning per file.

@@ -22,8 +22,11 @@
 #ifndef FELIX_TUNER_TUNER_H_
 #define FELIX_TUNER_TUNER_H_
 
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "costmodel/cost_model.h"
@@ -32,6 +35,7 @@
 #include "obs/round_log.h"
 #include "optim/search.h"
 #include "sim/device.h"
+#include "tuner/records.h"
 
 namespace felix {
 namespace tuner {
@@ -96,6 +100,89 @@ struct TaskRecord
     int stagnantRounds = 0;
 };
 
+/**
+ * Build the search strategy for one task. Shared by GraphTuner and
+ * the sharded runner (src/shard/) so both construct byte-identical
+ * strategies from the same options.
+ */
+std::unique_ptr<optim::SearchStrategy> makeStrategy(
+    StrategyKind kind, const graph::Task &task,
+    const optim::GradSearchOptions &grad,
+    const evolutionary::EvoSearchOptions &evo);
+
+/**
+ * Start @p record at the trivial all-ones schedule of the primary
+ * sketch (always legal, single-threaded), measured with
+ * @p measure_seed. This is the "untuned" latency the curves start
+ * at. Requires record.strategy to be set.
+ */
+void seedTrivialSchedule(TaskRecord &record,
+                         const sim::DeviceConfig &device,
+                         uint64_t measure_seed);
+
+/**
+ * Everything one tuning-round transition needs beyond the task
+ * itself. The legacy in-process tuner and the sharded runner both
+ * drive rounds through this environment, so a round computes the
+ * same bytes no matter which process executes it; only the
+ * callbacks (clock sinks, seed streams, record routing) differ.
+ */
+struct RoundEnv
+{
+    costmodel::CostModel *model = nullptr;              ///< required
+    std::vector<costmodel::Sample> *history = nullptr;  ///< required
+    Rng *rng = nullptr;                                 ///< required
+    /** Virtual clock before the round; the advanced clock is
+     *  returned in RoundOutcome::clockSec. */
+    double clockSec = 0.0;
+    ClockConfig clock;
+    const sim::DeviceConfig *device = nullptr;          ///< required
+    StrategyKind strategy = StrategyKind::FelixGradient;
+    int finetuneSteps = 16;
+    /** Stamped into RoundRecord::round. */
+    int roundIndex = 0;
+    /** Measurement seed for candidate i. Required. The legacy tuner
+     *  passes a preassigned window of its global seed stream; the
+     *  sharded runner passes position-independent hashed seeds so
+     *  the value does not depend on which rounds this shard ran. */
+    std::function<uint64_t(size_t)> measureSeed;
+    /** Per-measurement hook with the clock after that measurement
+     *  (the legacy tuner pushes timeline points here). Optional. */
+    std::function<void(double)> onMeasured;
+    /** End-to-end network latency for the round record. When null,
+     *  the task-local weight * best is used (shard mode: a shard
+     *  does not know the other shards' bests; the merge step never
+     *  reads this field across shard counts). */
+    std::function<double()> networkLatency;
+    /** When non-empty, append every measurement here (legacy
+     *  Ansor-style tuning log). */
+    std::string recordLogPath;
+    /** Collect the round's measurements into RoundOutcome::records
+     *  (shard mode appends them as one atomic batch per round). */
+    bool collectRecords = false;
+    /** Emit the nondeterministic wall-clock into the round record.
+     *  Shard mode turns this off so round logs merge byte-identically. */
+    bool emitWall = true;
+};
+
+/** What one round produced. */
+struct RoundOutcome
+{
+    int measured = 0;        ///< candidates measured this round
+    double clockSec = 0.0;   ///< virtual clock after the round
+    obs::RoundRecord record; ///< fully-populated telemetry record
+    std::vector<TuneRecord> records; ///< when env.collectRecords
+};
+
+/**
+ * The tuner's single round transition (one step of Algorithm 2's
+ * inner loop): run one search round on @p record, measure the
+ * proposed candidates, update the best schedule, fine-tune the cost
+ * model, advance the virtual clock and stagnation bookkeeping.
+ * Deterministic given (task state, model, history, rng, env seeds).
+ */
+RoundOutcome runTaskRound(TaskRecord &record, const RoundEnv &env);
+
 /** Round-based full-graph tuner (Algorithm 2). */
 class GraphTuner
 {
@@ -156,7 +243,53 @@ class GraphTuner
     /** The per-round telemetry sink (disabled when no path set). */
     obs::RoundLogger &roundLogger() { return roundLogger_; }
 
+    /**
+     * Serialize the full tuning state — rng, virtual clock,
+     * measurement-seed stream position, replay history, fine-tuned
+     * cost model, and per-task state (best schedule, stagnation,
+     * strategy internals) — as versioned text. Together with
+     * loadState() this makes a restarted process resume the exact
+     * deterministic trajectory (docs/distributed.md).
+     */
+    void saveState(std::ostream &os) const;
+
+    /**
+     * Restore state written by saveState(). Global state (rng,
+     * clock, history, model) applies immediately; per-task state is
+     * stashed by task hash and overlaid when a task with that hash
+     * is registered via addTask()/the constructor — the overlay
+     * path skips the initial trivial-schedule measurement, since
+     * the restored stream position already accounts for it. False
+     * on malformed input (state is then unspecified; discard the
+     * tuner).
+     */
+    bool loadState(std::istream &is);
+
+    /** True when a restored per-task state awaits a task with this
+     *  structural hash (serving: forces re-registration so
+     *  background tuning resumes despite a warm schedule cache). */
+    bool hasPendingRestore(uint64_t task_hash) const
+    {
+        return pendingRestore_.count(task_hash) != 0;
+    }
+
+    /** Restored per-task states not yet claimed by addTask(). */
+    size_t pendingRestoreCount() const
+    {
+        return pendingRestore_.size();
+    }
+
   private:
+    /** Per-task state parked between loadState() and addTask(). */
+    struct PendingTaskState
+    {
+        int rounds = 0;
+        int stagnantRounds = 0;
+        double bestLatencySec = 0.0;
+        optim::Candidate bestCandidate;
+        std::string strategyBlob;
+    };
+
     int selectNextTask();
     void tuneOneRound();
     void initTask(graph::Task task);
@@ -174,6 +307,7 @@ class GraphTuner
     int roundIndex_ = 0;
     std::vector<TimelinePoint> timeline_;
     obs::RoundLogger roundLogger_;
+    std::unordered_map<uint64_t, PendingTaskState> pendingRestore_;
 };
 
 } // namespace tuner

@@ -29,7 +29,7 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 function(run_diff expect_rc label baseline current)
     execute_process(
         COMMAND "${BENCH_DIFF}"
-            --baseline "${baseline}" --current "${current}"
+            --baseline "${baseline}" --current "${current}" ${ARGN}
         OUTPUT_VARIABLE out
         ERROR_VARIABLE err
         RESULT_VARIABLE rc)
@@ -103,6 +103,27 @@ file(WRITE "${WORK_DIR}/fast.json"
 ]}
 ")
 run_diff(0 "speed-up" "${base}" "${WORK_DIR}/fast.json")
+
+# 5b. A benchmark only the current run has is informational by
+# default (NEW, exit 0) and a failure under --strict-new.
+file(WRITE "${WORK_DIR}/extra.json"
+"{\"bench\":\"synthetic\",\"results\":[
+{\"name\":\"tape_forward\",\"real_time_ns\":100.0,\"points_per_sec\":5000.0},
+{\"name\":\"serve_replay\",\"real_time_ns\":2500.0,\"requests_per_s\":400.0},
+{\"name\":\"brand_new\",\"real_time_ns\":42.0}
+]}
+")
+run_diff(0 "new benchmark" "${base}" "${WORK_DIR}/extra.json")
+if(NOT diff_out MATCHES "NEW +brand_new")
+    message(FATAL_ERROR
+        "baseline-absent benchmark not reported as NEW:\n${diff_out}")
+endif()
+run_diff(1 "new benchmark, strict" "${base}" "${WORK_DIR}/extra.json"
+         --strict-new)
+if(NOT diff_out MATCHES "NEW +brand_new")
+    message(FATAL_ERROR
+        "--strict-new did not report the NEW line:\n${diff_out}")
+endif()
 
 # 6. Malformed input is an invocation error, not a pass.
 file(WRITE "${WORK_DIR}/broken.json" "{\"results\": [nope]}")

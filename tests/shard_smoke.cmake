@@ -1,0 +1,103 @@
+# Sharded-tuning smoke test (ctest label "shard"): the end-to-end
+# determinism contract of docs/distributed.md, exercised through real
+# felix-tune processes.
+#
+#   1. Reference: a --shards 1 run of dcgan (5 tasks, 2 rounds each),
+#      merged.
+#   2. --shards 2 as two separate processes; shard 1 is SIGKILLed by
+#      the --kill-at-round hook at the worst possible instant (round
+#      artifacts appended, checkpoint not yet written), then resumed
+#      with --resume. Merged output must be byte-identical to the
+#      reference across all five merged.* artifacts.
+#   3. --shards 4 as four processes, merged: byte-identical again.
+#
+# Invoked as
+#   cmake -DFELIX_TUNE=... -DWORK_DIR=... -DCACHE_DIR=...
+#         -P shard_smoke.cmake
+
+foreach(var FELIX_TUNE WORK_DIR CACHE_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "shard_smoke: missing -D${var}")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(network dcgan)
+set(rounds 2)
+
+function(run_shard label dir shards shard_id expect_ok)
+    execute_process(
+        COMMAND "${FELIX_TUNE}" --network ${network}
+            --cache-dir "${CACHE_DIR}"
+            --shards ${shards} --shard-id ${shard_id}
+            --shard-dir "${dir}" --rounds-per-task ${rounds} ${ARGN}
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(expect_ok AND NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "shard_smoke ${label}: exit ${rc}\n${out}\n${err}")
+    endif()
+    if(NOT expect_ok AND rc EQUAL 0)
+        message(FATAL_ERROR
+            "shard_smoke ${label}: expected the kill hook to "
+            "terminate the process, but it exited 0\n${out}")
+    endif()
+endfunction()
+
+function(run_merge label dir)
+    execute_process(
+        COMMAND "${FELIX_TUNE}" --merge --shard-dir "${dir}"
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "shard_smoke merge ${label}: exit ${rc}\n${out}\n${err}")
+    endif()
+endfunction()
+
+function(compare_merged label a b)
+    foreach(artifact merged.records merged.rounds.jsonl merged.best
+            merged.cfg merged.metrics)
+        execute_process(
+            COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${a}/${artifact}" "${b}/${artifact}"
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "shard_smoke ${label}: ${artifact} differs between "
+                "${a} and ${b}")
+        endif()
+    endforeach()
+endfunction()
+
+# 1. Reference run: one shard owns everything.
+set(ref "${WORK_DIR}/shards1")
+run_shard("reference" "${ref}" 1 0 TRUE)
+run_merge("reference" "${ref}")
+
+# 2. Two shards; shard 1 is SIGKILLed mid-run at the worst crash
+# point, then resumed. The resumed + merged output must be
+# byte-identical to the reference.
+set(two "${WORK_DIR}/shards2")
+run_shard("2-way shard 0" "${two}" 2 0 TRUE)
+run_shard("2-way shard 1 (killed)" "${two}" 2 1 FALSE
+          --kill-at-round 1)
+run_shard("2-way shard 1 (resumed)" "${two}" 2 1 TRUE --resume)
+run_merge("2-way" "${two}")
+compare_merged("kill+resume vs reference" "${ref}" "${two}")
+
+# 3. Four shards, uninterrupted: shard-count invariance.
+set(four "${WORK_DIR}/shards4")
+foreach(i RANGE 3)
+    run_shard("4-way shard ${i}" "${four}" 4 ${i} TRUE)
+endforeach()
+run_merge("4-way" "${four}")
+compare_merged("--shards 4 vs --shards 1" "${ref}" "${four}")
+
+message(STATUS
+    "shard smoke OK: kill+resume and --shards {2,4} all "
+    "byte-identical to --shards 1")

@@ -14,8 +14,11 @@
  * Everything else (simd widths, instruction counts, backend names)
  * is configuration, not performance, and is ignored. A benchmark
  * present in the baseline but missing from the current run counts
- * as a regression. Exit codes: 0 within threshold, 1 regression,
- * 2 bad invocation or malformed input.
+ * as a regression; one present only in the current run is reported
+ * as NEW — informational by default (a freshly added benchmark has
+ * no baseline yet), a failure under --strict-new (for gates whose
+ * baseline must enumerate every benchmark). Exit codes: 0 within
+ * threshold, 1 regression, 2 bad invocation or malformed input.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +46,10 @@ usage()
         "  --threshold F    allowed fractional slowdown "
         "(default 0.5,\n"
         "                   i.e. fail when >50%% worse than "
-        "baseline)\n");
+        "baseline)\n"
+        "  --strict-new     fail when the current run has a\n"
+        "                   benchmark the baseline lacks (default:\n"
+        "                   report it as NEW and continue)\n");
 }
 
 /** True for throughput counters (higher is better). */
@@ -98,6 +104,7 @@ main(int argc, char **argv)
 {
     std::string baselinePath, currentPath;
     double threshold = 0.5;
+    bool strictNew = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -114,6 +121,8 @@ main(int argc, char **argv)
         else if (arg == "--current") currentPath = next();
         else if (arg == "--threshold")
             threshold = std::atof(next());
+        else if (arg == "--strict-new")
+            strictNew = true;
         else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -191,9 +200,30 @@ main(int argc, char **argv)
         }
     }
 
+    // Benchmarks only the current run has: a fresh benchmark has no
+    // baseline yet, so this is informational unless --strict-new.
+    int fresh = 0;
+    const obs::JsonValue *curResults = current->find("results");
+    if (curResults && curResults->isArray()) {
+        for (const obs::JsonValue &cur : curResults->asArray()) {
+            const std::string name = cur.stringOr("name", "");
+            if (name.empty() || !cur.isObject())
+                continue;
+            if (findResult(*baseline, name))
+                continue;
+            ++fresh;
+            std::printf("NEW       %s (in current run, not in "
+                        "baseline%s)\n",
+                        name.c_str(),
+                        strictNew ? "; --strict-new" : "");
+            if (strictNew)
+                ++regressions;
+        }
+    }
+
     std::printf("felix-bench-diff: %d metrics compared, "
-                "%d regression%s (threshold %.0f%%)\n",
-                compared, regressions, regressions == 1 ? "" : "s",
-                100.0 * threshold);
+                "%d new, %d regression%s (threshold %.0f%%)\n",
+                compared, fresh, regressions,
+                regressions == 1 ? "" : "s", 100.0 * threshold);
     return regressions > 0 ? 1 : 0;
 }

@@ -39,6 +39,7 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/round_log.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "support/logging.h"
 #include "support/parallel.h"
@@ -112,6 +113,13 @@ usage()
         "  --serve-log F   JSONL serve log (one line per request,\n"
         "                  plus a final metrics snapshot; aggregate\n"
         "                  with felix-trace-summary)\n"
+        "  --checkpoint F  tuner-state checkpoint file: restored at\n"
+        "                  startup so a restarted daemon resumes its\n"
+        "                  background tuning, rewritten crash-safely\n"
+        "                  on flush/shutdown/SIGTERM\n"
+        "  --shard-id N    shard identity for fleet telemetry\n"
+        "                  (trace spans, flight dumps, serve log)\n"
+        "  --shards K      shard count reported beside --shard-id\n"
         "  --rounds-per-idle N  socket mode: background tuning\n"
         "                  rounds per idle period (default 1)\n"
         "  --idle-ms N     socket poll timeout in ms (default 50)\n"
@@ -238,6 +246,7 @@ runSocket(serve::ServeSession &session, const std::string &path,
     ::close(listenFd);
     ::unlink(path.c_str());
     session.persist();
+    session.writeCheckpoint();
     session.finalizeLogs();
     return 0;
 }
@@ -254,6 +263,7 @@ main(int argc, char **argv)
     int jobs = 0;
     int roundsPerIdle = 1;
     int idleMs = 50;
+    int shardId = -1, shardCount = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -278,6 +288,12 @@ main(int argc, char **argv)
         }
         else if (arg == "--records") options.recordsPath = next();
         else if (arg == "--serve-log") options.serveLogPath = next();
+        else if (arg == "--checkpoint")
+            options.checkpointPath = next();
+        else if (arg == "--shard-id")
+            shardId = std::atoi(next().c_str());
+        else if (arg == "--shards")
+            shardCount = std::atoi(next().c_str());
         else if (arg == "--rounds-per-idle")
             roundsPerIdle = std::atoi(next().c_str());
         else if (arg == "--idle-ms")
@@ -318,6 +334,8 @@ main(int argc, char **argv)
     options.tuner.numThreads = jobs;
     if (jobs > 0)
         setGlobalJobs(jobs);
+    if (shardId >= 0)
+        obs::setShardIdentity(shardId, shardCount);
 
     auto device = Device::cuda(options.device);
     serve::ServeSession session(

@@ -219,6 +219,26 @@ renderPoll(Client &client, const std::string &socket_path,
                     window->numberOr("filled", 0));
     }
     std::printf("\n");
+    // Shard identity and checkpoint status: present only when the
+    // daemon runs with --shard-id / --checkpoint.
+    const obs::JsonValue *shard = stats->find("shard");
+    const obs::JsonValue *ckpt = stats->find("checkpoint");
+    if (shard || ckpt) {
+        std::printf(" ");
+        if (shard) {
+            std::printf(" shard %.0f/%.0f",
+                        shard->numberOr("id", 0),
+                        shard->numberOr("count", 0));
+        }
+        if (ckpt) {
+            std::printf("%s checkpoint writes %.0f, pending "
+                        "restore %.0f",
+                        shard ? " |" : "",
+                        ckpt->numberOr("writes", 0),
+                        ckpt->numberOr("pending_restore", 0));
+        }
+        std::printf("\n");
+    }
     if (const obs::JsonValue *lat =
             stats->find("answer_latency_us")) {
         std::printf(

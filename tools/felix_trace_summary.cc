@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "shard/manifest.h"
+#include "shard/shard.h"
 #include "support/logging.h"
 
 using namespace felix;
@@ -381,6 +383,81 @@ summarizeRounds(const std::string &path)
     return 0;
 }
 
+/**
+ * --shards DIR: per-shard progress from the manifests a sharded
+ * felix-tune run leaves behind (docs/distributed.md). Exits
+ * non-zero when a shard's manifest is missing or malformed, so it
+ * doubles as the shard-directory validator in scripts.
+ */
+int
+summarizeShards(const std::string &dir)
+{
+    auto first = shard::loadManifest(shard::shardManifestPath(dir, 0));
+    if (!first) {
+        std::fprintf(stderr, "cannot load %s\n",
+                     shard::shardManifestPath(dir, 0).c_str());
+        return 1;
+    }
+    const int shards = first->shards;
+    std::printf("== shards: %s ==\n", dir.c_str());
+    std::printf("seed %llu, %d shards, %d rounds/task, %zu tasks, "
+                "strategy %s, device %s\n\n",
+                static_cast<unsigned long long>(first->seed), shards,
+                first->roundsPerTask, first->tasks.size(),
+                first->strategy.c_str(), first->device.c_str());
+
+    std::printf("  %-6s %6s %8s %8s %6s %8s\n", "SHARD", "TASKS",
+                "ROUNDS", "RECORDS", "DONE", "LAST_G");
+    int rc = 0;
+    std::vector<shard::ShardManifest> manifests;
+    for (int i = 0; i < shards; ++i) {
+        auto manifest =
+            i == 0 ? std::move(first)
+                   : shard::loadManifest(
+                         shard::shardManifestPath(dir, i));
+        if (!manifest) {
+            std::printf("  %-6d (manifest missing or malformed)\n",
+                        i);
+            rc = 1;
+            continue;
+        }
+        int owned = 0;
+        for (const shard::ManifestTask &task : manifest->tasks) {
+            if (shard::shardOf(task.hash, shards) == i)
+                ++owned;
+        }
+        long records = 0;
+        for (const shard::ManifestRound &round : manifest->rounds)
+            records += round.recordsLines;
+        std::printf("  %-6d %6d %8zu %8ld %6s %8ld\n", i, owned,
+                    manifest->rounds.size(), records,
+                    manifest->done ? "yes" : "NO",
+                    manifest->lastG);
+        manifests.push_back(std::move(*manifest));
+    }
+
+    std::printf("\n  %-28s %6s %12s\n", "TASK", "SHARD", "BEST_US");
+    for (const shard::ManifestTask &task : manifests.front().tasks) {
+        const int owner = shard::shardOf(task.hash, shards);
+        double bestUs = -1.0;
+        for (const shard::ShardManifest &manifest : manifests) {
+            if (manifest.shardId != owner)
+                continue;
+            for (const shard::ManifestBest &best : manifest.bests) {
+                if (best.index == task.index)
+                    bestUs = best.latencySec * 1e6;
+            }
+        }
+        if (bestUs >= 0.0)
+            std::printf("  %-28.28s %6d %12.1f\n",
+                        task.label.c_str(), owner, bestUs);
+        else
+            std::printf("  %-28.28s %6d %12s\n", task.label.c_str(),
+                        owner, "(pending)");
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -392,14 +469,17 @@ main(int argc, char **argv)
             "usage: felix-trace-summary [--req N] TRACE.json "
             "[METRICS.jsonl]\n"
             "       felix-trace-summary --serve SERVE.jsonl\n"
+            "       felix-trace-summary --shards DIR\n"
             "  TRACE.json    from felix-tune --trace-out\n"
             "  METRICS.jsonl from felix-tune --metrics-out\n"
             "  SERVE.jsonl   from felix-serve --serve-log\n"
+            "  DIR           shard directory from felix-tune "
+            "--shards\n"
             "  --req N       only spans recorded while request N\n"
             "                was live (felix-serve correlation "
             "ids)\n");
     };
-    std::string servePath, reqFilter;
+    std::string servePath, shardsDir, reqFilter;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -411,6 +491,7 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--serve") servePath = next();
+        else if (arg == "--shards") shardsDir = next();
         else if (arg == "--req") reqFilter = next();
         else if (arg == "--help" || arg == "-h") {
             usage(stdout);
@@ -418,6 +499,14 @@ main(int argc, char **argv)
         } else {
             positional.push_back(arg);
         }
+    }
+    if (!shardsDir.empty()) {
+        if (!positional.empty() || !reqFilter.empty() ||
+            !servePath.empty()) {
+            usage(stderr);
+            return 1;
+        }
+        return summarizeShards(shardsDir);
     }
     if (!servePath.empty()) {
         if (!positional.empty() || !reqFilter.empty()) {

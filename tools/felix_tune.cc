@@ -21,6 +21,8 @@
 #include "obs/metrics.h"
 #include "obs/round_log.h"
 #include "obs/trace.h"
+#include "shard/merge.h"
+#include "shard/shard.h"
 #include "simd/kernels.h"
 #include "sketch/sketch.h"
 #include "support/logging.h"
@@ -70,7 +72,24 @@ usage()
         "  --log-level L       debug | info | warn | error\n"
         "                      (also via FELIX_LOG_LEVEL)\n"
         "  --cache-dir DIR     pretrained cost-model cache directory\n"
-        "                      (default: pretrained)\n");
+        "                      (default: pretrained)\n"
+        "sharded tuning (docs/distributed.md):\n"
+        "  --shards K          partition the tasks across K shard\n"
+        "                      processes; run this process as one of\n"
+        "                      them (merged output is byte-identical\n"
+        "                      to --shards 1)\n"
+        "  --shard-id I        which shard this process is (0..K-1)\n"
+        "  --shard-dir DIR     shard artifact directory (required\n"
+        "                      with --shards and --merge)\n"
+        "  --rounds-per-task R tuning rounds per task (default 4)\n"
+        "  --resume            resume from the newest valid\n"
+        "                      checkpoint in the shard directory\n"
+        "  --no-checkpoint     skip the per-round checkpoints\n"
+        "  --kill-at-round N   test hook: SIGKILL this process after\n"
+        "                      it executes N rounds (worst-case\n"
+        "                      crash point, before the checkpoint)\n"
+        "  --merge             merge the finished shards found in\n"
+        "                      --shard-dir into merged.* artifacts\n");
 }
 
 graph::Graph
@@ -108,6 +127,10 @@ main(int argc, char **argv)
     std::string logPath, traceOut, metricsOut;
     std::string saveRecords, replayRecords;
     std::string cacheDir = "pretrained";
+    int shards = 0, shardId = 0, roundsPerTask = 4;
+    int killAtRound = 0;
+    std::string shardDir;
+    bool resume = false, checkpoint = true, merge = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -147,6 +170,28 @@ main(int argc, char **argv)
             metricsOut = next();
         else if (arg == "--cache-dir")
             cacheDir = next();
+        else if (arg == "--shards") {
+            shards = std::atoi(next().c_str());
+            if (shards < 1)
+                fatal("--shards needs a positive shard count");
+        }
+        else if (arg == "--shard-id")
+            shardId = std::atoi(next().c_str());
+        else if (arg == "--shard-dir")
+            shardDir = next();
+        else if (arg == "--rounds-per-task") {
+            roundsPerTask = std::atoi(next().c_str());
+            if (roundsPerTask < 1)
+                fatal("--rounds-per-task needs a positive count");
+        }
+        else if (arg == "--resume")
+            resume = true;
+        else if (arg == "--no-checkpoint")
+            checkpoint = false;
+        else if (arg == "--kill-at-round")
+            killAtRound = std::atoi(next().c_str());
+        else if (arg == "--merge")
+            merge = true;
         else if (arg == "--no-batch")
             useBatch = false;
         else if (arg == "--simd") {
@@ -176,6 +221,22 @@ main(int argc, char **argv)
             fatal("unknown argument: " + arg);
         }
     }
+    if (merge) {
+        // Merge needs no network: everything it consumes is in the
+        // shard directory's manifests.
+        if (shardDir.empty())
+            fatal("--merge needs --shard-dir");
+        auto result = shard::mergeShards(shardDir);
+        if (!result)
+            return 1;
+        std::printf("merged %d shards (%ld rounds, %zu tasks): "
+                    "%9.3f ms\n",
+                    result->shards, result->rounds, result->tasks,
+                    result->networkLatencySec * 1e3);
+        std::printf("wrote %s\n",
+                    shard::mergedModulePath(shardDir).c_str());
+        return 0;
+    }
     if (network.empty()) {
         usage();
         return 1;
@@ -195,6 +256,37 @@ main(int argc, char **argv)
     std::printf("%s (batch %d) on %s: %zu tuning tasks\n",
                 network.c_str(), batch, device.config().name.c_str(),
                 tasks.size());
+
+    if (shards > 0) {
+        if (shardDir.empty())
+            fatal("--shards needs --shard-dir");
+        if (shardId < 0 || shardId >= shards)
+            fatal("--shard-id must be in [0, --shards)");
+        obs::setShardIdentity(shardId, shards);
+        shard::ShardOptions shardOptions;
+        shardOptions.seed = seed;
+        shardOptions.shards = shards;
+        shardOptions.shardId = shardId;
+        shardOptions.roundsPerTask = roundsPerTask;
+        shardOptions.strategy =
+            (strategy == "ansor") ? tuner::StrategyKind::AnsorTenSet
+                                  : tuner::StrategyKind::FelixGradient;
+        shardOptions.grad.useBatch = useBatch;
+        shardOptions.dir = shardDir;
+        shardOptions.checkpoint = checkpoint;
+        shardOptions.resume = resume;
+        shardOptions.killAfterRounds = killAtRound;
+        shard::ShardRunner runner(tasks,
+                                  pretrainedCostModel(device, cacheDir),
+                                  device, shardOptions);
+        int rc = runner.run();
+        if (rc == 0)
+            std::printf("shard %d/%d done: artifacts in %s\n",
+                        shardId, shards, shardDir.c_str());
+        if (!traceOut.empty() && !obs::Tracer::instance().stop())
+            return 1;
+        return rc;
+    }
 
     if (compareFrameworks) {
         for (auto framework : frameworks::allFrameworks()) {
