@@ -4,7 +4,9 @@
  * production feature tape (a dense-matmul sketch's 82 feature
  * formulas), scalar vs. batched SoA, forward-only and
  * forward+backward, plus the batched MLP kernels the points feed and
- * the Adam parameter update. Every batched benchmark runs once per
+ * the Adam parameter update, and the end-to-end surrogate descent
+ * step (grad_search_step: scalar reference, unfused batch, fused,
+ * fused + tape JIT). Every batched benchmark runs once per
  * available SIMD backend (scalar fallback, SSE2, AVX2, AVX-512 —
  * whatever this build and CPU support), so one run shows the whole
  * width sweep. Instruction counts before/after the tape optimizer
@@ -25,9 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "costmodel/cost_model.h"
+#include "costmodel/fused.h"
 #include "costmodel/mlp.h"
 #include "expr/compiled.h"
 #include "features/features.h"
+#include "jit/jit.h"
 #include "obs/json.h"
 #include "optim/adam.h"
 #include "rewrite/smoothing.h"
@@ -273,6 +278,165 @@ BM_MlpInputGradBatch(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 
+/**
+ * A quickly fitted cost model for the end-to-end step benchmarks.
+ * The weights' values don't matter for throughput; what matters is
+ * that the scaler is fitted for 82 features so the production
+ * predict paths (and FusedGradStep) accept it.
+ */
+const costmodel::CostModel &
+benchModel()
+{
+    static const costmodel::CostModel model = [] {
+        Rng rng(13);
+        std::vector<costmodel::Sample> samples(64);
+        for (auto &sample : samples) {
+            sample.rawFeatures.resize(82);
+            for (double &v : sample.rawFeatures)
+                v = rng.uniform(0.0, 1e6);
+            sample.latencySec = rng.uniform(1e-5, 1e-2);
+        }
+        costmodel::CostModel m(costmodel::MlpConfig{}, 5);
+        m.fit(samples, /*epochs=*/2, /*batch_size=*/32, 1e-3);
+        return m;
+    }();
+    return model;
+}
+
+/**
+ * End-to-end surrogate descent step (Algorithm 1 lines 15-18): tape
+ * forward -> MLP score + input gradient -> tape backward -> per-seed
+ * Adam update. This is the loop body GradientSearch::round runs
+ * nSteps times per seed; rounding-to-valid is excluded (it runs on
+ * visited points, not inside the descent step). Counter steps_per_sec
+ * is per-seed steps (batched variants advance kBatchLanes seeds per
+ * iteration). Iterates drift under repeated stepping, so lanes reset
+ * to the sampled points every 128 steps to keep the workload in the
+ * numeric range the real search sees.
+ */
+void
+BM_GradSearchStepScalar(benchmark::State &state)
+{
+    const auto &tape = objectiveTape();
+    const auto &model = benchModel();
+    constexpr size_t L = kBatchLanes;
+    const size_t numVars = tape.numVars();
+    const size_t numFeatures = tape.numOutputs();
+    const auto init = samplePoints(tape, true);
+    expr::EvalState evalState;
+    std::vector<double> y(numVars);
+    optim::Adam adam(numVars);
+    std::vector<double> outputs, outputGrads, inputGrads, modelGrad;
+    std::vector<double> modelInputs(numFeatures);
+    size_t iter = 0;
+    for (auto _ : state) {
+        if ((iter++ & 127) == 0)
+            for (size_t v = 0; v < numVars; ++v)
+                y[v] = init[v * L];
+        tape.forward(y, outputs, evalState);
+        for (size_t k = 0; k < numFeatures; ++k)
+            modelInputs[k] = outputs[k];
+        const double score = model.predictTransformedWithGrad(
+            modelInputs, modelGrad);
+        benchmark::DoNotOptimize(score);
+        outputGrads.assign(outputs.size(), 0.0);
+        for (size_t k = 0; k < numFeatures; ++k)
+            outputGrads[k] = -modelGrad[k];
+        tape.backward(outputGrads, inputGrads, evalState);
+        adam.step(y, inputGrads);
+    }
+    state.counters["steps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+void
+gradSearchStepBatchImpl(benchmark::State &state, bool fused,
+                        bool useJit)
+{
+    const auto &tape = objectiveTape();
+    const auto &model = benchModel();
+    constexpr size_t L = kBatchLanes;
+    const size_t numVars = tape.numVars();
+    const size_t numFeatures = tape.numOutputs();
+    const auto init = samplePoints(tape, true);
+    const bool jitDefault = jit::enabled();
+    jit::setEnabled(useJit);
+    expr::BatchEvalState evalState;
+    costmodel::PredictScratch predict;
+    costmodel::FusedGradStep step(tape, model, numFeatures,
+                                  /*numPenalties=*/0,
+                                  /*lambda=*/10.0);
+    std::vector<double> inputs = init;
+    std::vector<double> outputs(numFeatures * L);
+    std::vector<double> outputGrads(numFeatures * L);
+    std::vector<double> modelGrads(numFeatures * L);
+    std::vector<double> inputGrads(numVars * L);
+    std::vector<double> laneGrad(numVars), yLane(numVars);
+    double scores[kBatchLanes];
+    std::vector<optim::Adam> adams;
+    adams.reserve(L);
+    for (size_t l = 0; l < L; ++l)
+        adams.emplace_back(numVars);
+    size_t iter = 0;
+    for (auto _ : state) {
+        if ((iter++ & 127) == 0)
+            inputs = init;
+        if (fused) {
+            step.run(inputs.data(), L, scores, inputGrads.data(),
+                     evalState, predict);
+        } else {
+            tape.forwardBatch(inputs.data(), L, outputs.data(),
+                              evalState);
+            model.predictTransformedWithGradBatch(
+                outputs.data(), scores, modelGrads.data(), predict);
+            std::fill(outputGrads.begin(), outputGrads.end(), 0.0);
+            for (size_t k = 0; k < numFeatures; ++k) {
+                const size_t row = k * L;
+                for (size_t l = 0; l < L; ++l)
+                    outputGrads[row + l] = -modelGrads[row + l];
+            }
+            tape.backwardBatch(outputGrads.data(), inputGrads.data(),
+                               evalState);
+        }
+        for (size_t l = 0; l < L; ++l) {
+            for (size_t v = 0; v < numVars; ++v) {
+                yLane[v] = inputs[v * L + l];
+                laneGrad[v] = inputGrads[v * L + l];
+            }
+            adams[l].step(yLane, laneGrad);
+            for (size_t v = 0; v < numVars; ++v)
+                inputs[v * L + l] = yLane[v];
+        }
+        benchmark::DoNotOptimize(&scores[0]);
+    }
+    jit::setEnabled(jitDefault);
+    state.counters["steps_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(L),
+        benchmark::Counter::kIsRate);
+    state.counters["jit_active"] =
+        useJit && jit::supported() ? 1.0 : 0.0;
+}
+
+void
+BM_GradSearchStepBatch(benchmark::State &state)
+{
+    gradSearchStepBatchImpl(state, /*fused=*/false, /*useJit=*/false);
+}
+
+void
+BM_GradSearchStepFused(benchmark::State &state)
+{
+    gradSearchStepBatchImpl(state, /*fused=*/true, /*useJit=*/false);
+}
+
+void
+BM_GradSearchStepFusedJit(benchmark::State &state)
+{
+    gradSearchStepBatchImpl(state, /*fused=*/true, /*useJit=*/true);
+}
+
 void
 BM_AdamStep(benchmark::State &state)
 {
@@ -443,6 +607,14 @@ main(int argc, char **argv)
     registerWidthVariants("mlp_input_grad/batch",
                           BM_MlpInputGradBatch);
     registerWidthVariants("adam_step", BM_AdamStep);
+    registerScalarEngine("grad_search_step/scalar",
+                         BM_GradSearchStepScalar);
+    registerWidthVariants("grad_search_step/batch",
+                          BM_GradSearchStepBatch);
+    registerWidthVariants("grad_search_step/fused",
+                          BM_GradSearchStepFused);
+    registerWidthVariants("grad_search_step/fused_jit",
+                          BM_GradSearchStepFusedJit);
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

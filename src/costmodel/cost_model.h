@@ -133,6 +133,14 @@ class CostModel
                                          double *grads,
                                          PredictScratch &scratch) const;
 
+    // ----- Fused-step accessors (costmodel/fused.h) --------------
+    // FusedGradStep runs the model's pieces (standardization, MLP,
+    // target centering) inline between the two tape sweeps; these
+    // expose exactly what predictTransformedWithGradBatch combines.
+    const Mlp &mlp() const { return mlp_; }
+    const Scaler &scaler() const { return scaler_; }
+    double targetMean() const { return targetMean_; }
+
     ModelMetrics validate(const std::vector<Sample> &samples) const;
 
     void save(const std::string &path) const;

@@ -166,11 +166,41 @@ Mlp::forwardLayerBatch(const Layer &layer, bool hidden,
         hidden, cur.data(), out.data());
 }
 
+/**
+ * Scalar-lane fallback test for the batched entry points.
+ *
+ * The blocked batch kernels keep kBlock accumulator *rows* live;
+ * at lane width 1 a row is 16 scalars, so the register allocator
+ * spills the 4x16 (forward) / 8x16 (backward) accumulator tile to
+ * the stack on every iteration — BENCH_tape.json showed
+ * mlp_input_grad/batch/simd=scalar at ~12k pts/s versus ~32k for
+ * the plain scalar path. Gathering each lane and running the
+ * scalar network is faster AND bit-identical: the batch contract
+ * already guarantees every lane equals a scalar forward() of that
+ * point, which is exactly what this computes.
+ */
+static bool
+useScalarLanes()
+{
+    return simd::activeKernels().width == 1;
+}
+
 void
 Mlp::forwardBatch(const double *x, double *y,
                   MlpBatchScratch &scratch) const
 {
     constexpr size_t L = kBatchLanes;
+    if (useScalarLanes()) {
+        std::vector<double> &in = scratch.laneIn;
+        in.resize(static_cast<size_t>(inputSize()));
+        for (size_t l = 0; l < L; ++l) {
+            for (int i = 0; i < inputSize(); ++i)
+                in[static_cast<size_t>(i)] =
+                    x[static_cast<size_t>(i) * L + l];
+            y[l] = forward(in, scratch.lane);
+        }
+        return;
+    }
     AlignedRows &cur = scratch.cur;
     AlignedRows &next = scratch.next;
     cur.assign(x, x + static_cast<size_t>(inputSize()) * L);
@@ -183,14 +213,43 @@ Mlp::forwardBatch(const double *x, double *y,
         y[l] = cur[l];
 }
 
+double *
+Mlp::stageInputRows(MlpBatchScratch &scratch) const
+{
+    scratch.acts.resize(layers_.size() + 1);
+    scratch.acts[0].resize(static_cast<size_t>(inputSize()) *
+                           kBatchLanes);
+    return scratch.acts[0].data();
+}
+
 void
-Mlp::forwardInputGradBatch(const double *x, double *y, double *dx,
-                           MlpBatchScratch &scratch) const
+Mlp::forwardInputGradStaged(double *y,
+                            MlpBatchScratch &scratch) const
 {
     constexpr size_t L = kBatchLanes;
     std::vector<AlignedRows> &acts = scratch.acts;
-    acts.resize(layers_.size() + 1);
-    acts[0].assign(x, x + static_cast<size_t>(inputSize()) * L);
+
+    if (useScalarLanes()) {
+        // See the width-1 note above forwardBatch; the gradient
+        // rows land in scratch.adj exactly like the batched sweep.
+        const double *x = acts[0].data();
+        scratch.adj.assign(static_cast<size_t>(inputSize()) * L,
+                           0.0);
+        std::vector<double> &in = scratch.laneIn;
+        std::vector<double> &dxLane = scratch.laneDx;
+        in.resize(static_cast<size_t>(inputSize()));
+        for (size_t l = 0; l < L; ++l) {
+            for (int i = 0; i < inputSize(); ++i)
+                in[static_cast<size_t>(i)] =
+                    x[static_cast<size_t>(i) * L + l];
+            y[l] = forwardInputGrad(in, dxLane, scratch.lane);
+            for (int i = 0; i < inputSize(); ++i)
+                scratch.adj[static_cast<size_t>(i) * L + l] =
+                    dxLane[static_cast<size_t>(i)];
+        }
+        return;
+    }
+
     for (size_t li = 0; li < layers_.size(); ++li)
         forwardLayerBatch(layers_[li], li + 1 < layers_.size(),
                           acts[li], acts[li + 1]);
@@ -224,9 +283,20 @@ Mlp::forwardInputGradBatch(const double *x, double *y, double *dx,
             out.data(), adj.data(), madj.data(), prev.data());
         adj.swap(prev);
     }
+}
+
+void
+Mlp::forwardInputGradBatch(const double *x, double *y, double *dx,
+                           MlpBatchScratch &scratch) const
+{
+    constexpr size_t L = kBatchLanes;
     const size_t inRows = static_cast<size_t>(inputSize()) * L;
+    double *rows = stageInputRows(scratch);
+    std::copy(x, x + inRows, rows);
+    forwardInputGradStaged(y, scratch);
+    const double *g = inputGradRows(scratch);
     for (size_t i = 0; i < inRows; ++i)
-        dx[i] = adj[i];
+        dx[i] = g[i];
 }
 
 double

@@ -51,6 +51,12 @@ struct MlpBatchScratch
     std::vector<AlignedRows> acts;
     AlignedRows adj, prev;
     AlignedRows madj;  ///< ReLU-masked adjoint rows
+
+    // Scalar-lane fallback buffers (see the width-1 note on
+    // Mlp::forwardBatch): per-lane gather/scatter staging plus one
+    // scalar scratch, reused across lanes and calls.
+    MlpScratch lane;
+    std::vector<double> laneIn, laneDx;
 };
 
 /** MLP shape: sizes of every layer including input and output. */
@@ -118,6 +124,31 @@ class Mlp
     void forwardInputGradBatch(const double *x, double *y,
                                double *dx,
                                MlpBatchScratch &scratch) const;
+
+    // ----- Staged entry points (costmodel/fused.h) ---------------
+    //
+    // The fused surrogate step writes features straight into the
+    // network's input rows and reads the input gradient straight out
+    // of the adjoint rows, skipping the x/dx round-trips of
+    // forwardInputGradBatch (which is implemented on top of these,
+    // so both paths run the identical kernel sequence bit for bit).
+
+    /** The input rows (inputSize() x kBatchLanes) to fill before
+     *  forwardInputGradStaged(). Sized on first use. */
+    double *stageInputRows(MlpBatchScratch &scratch) const;
+
+    /** forwardInputGradBatch reading inputs from stageInputRows()
+     *  and leaving the input-gradient rows in @p scratch (read them
+     *  via inputGradRows()). y is one row of scores. */
+    void forwardInputGradStaged(double *y,
+                                MlpBatchScratch &scratch) const;
+
+    /** Input-gradient rows left by forwardInputGradStaged(); valid
+     *  until the next call on @p scratch. */
+    const double *inputGradRows(const MlpBatchScratch &scratch) const
+    {
+        return scratch.adj.data();
+    }
 
     /**
      * One Adam step on a mini-batch with MSE loss.

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "expr/op_kernels.h"
+#include "jit/jit.h"
 #include "obs/metrics.h"
 #include "simd/kernels.h"
 #include "support/logging.h"
@@ -51,6 +52,34 @@ CompiledExprs::CompiledExprs(std::vector<Expr> roots,
         .add(static_cast<double>(optStats_.identityForwarded));
     reg.counter("tape.dead_removed")
         .add(static_cast<double>(optStats_.deadRemoved));
+}
+
+CompiledExprs::~CompiledExprs() = default;
+
+const jit::JitTape *
+CompiledExprs::jitTape() const
+{
+    if (!jit::enabled() || !jit::supported())
+        return nullptr;
+    const jit::JitTape *tape =
+        jitCache_.load(std::memory_order_acquire);
+    if (tape != nullptr)
+        return tape;
+    if (jitFailed_.load(std::memory_order_relaxed))
+        return nullptr;
+    std::lock_guard<std::mutex> lock(jitMutex_);
+    tape = jitCache_.load(std::memory_order_relaxed);
+    if (tape != nullptr || jitFailed_.load(std::memory_order_relaxed))
+        return tape;
+    jitTape_ = jit::JitTape::compile(program_);
+    if (jitTape_ == nullptr) {
+        // Empty tape, no executable memory, ... — remember the
+        // failure so the interpreter fallback is branch-cheap.
+        jitFailed_.store(true, std::memory_order_relaxed);
+        return nullptr;
+    }
+    jitCache_.store(jitTape_.get(), std::memory_order_release);
+    return jitTape_.get();
 }
 
 void
@@ -157,9 +186,8 @@ CompiledExprs::bind(BatchEvalState &state) const
 }
 
 void
-CompiledExprs::forwardBatch(const double *inputs, size_t width,
-                            double *outputs,
-                            BatchEvalState &state) const
+CompiledExprs::forwardBatchKeep(const double *inputs, size_t width,
+                                BatchEvalState &state) const
 {
     FELIX_CHECK(width >= 1 && width <= kBatchLanes,
                 "forwardBatch width ", width, " out of [1, ",
@@ -178,60 +206,84 @@ CompiledExprs::forwardBatch(const double *inputs, size_t width,
             row[l] = in[l < width ? l : 0];
     }
 
-    // The instruction sweep runs in the runtime-dispatched SIMD
-    // backend (src/simd/): the same per-op kernels as the scalar
-    // walk, in lane-vector form (expr/op_kernels.h), chunked across
-    // the kBatchLanes-wide rows. Tape slots are SSA — operands
-    // always live in strictly earlier slots, so the destination row
-    // never aliases them — and every backend is bit-identical per
-    // lane (tests/test_simd.cc).
-    simd::activeKernels().tapeForward(program_, vals);
+    // The instruction sweep: either the JIT-compiled tape (the same
+    // kernel bodies as straight-line native code, bit-identical by
+    // construction — tests/test_jit.cc) or the runtime-dispatched
+    // SIMD backend (src/simd/): the same per-op kernels as the
+    // scalar walk, in lane-vector form (expr/op_kernels.h), chunked
+    // across the kBatchLanes-wide rows. Tape slots are SSA —
+    // operands always live in strictly earlier slots, so the
+    // destination row never aliases them — and every backend is
+    // bit-identical per lane (tests/test_simd.cc).
+    if (const jit::JitTape *jt = jitTape())
+        jt->forward(vals);
+    else
+        simd::activeKernels().tapeForward(program_, vals);
 
-    for (size_t k = 0; k < program_.outputSlots.size(); ++k) {
-        const double *row =
-            &vals[static_cast<size_t>(program_.outputSlots[k]) *
-                  kBatchLanes];
-        double *outRow = &outputs[k * kBatchLanes];
-        for (size_t l = 0; l < kBatchLanes; ++l)
-            outRow[l] = row[l];
-    }
     state.width = width;
     state.forwardDone = true;
 }
 
+const double *
+CompiledExprs::outputRowPtr(size_t k,
+                            const BatchEvalState &state) const
+{
+    return &state.values[static_cast<size_t>(
+                             program_.outputSlots[k]) *
+                         kBatchLanes];
+}
+
 void
-CompiledExprs::backwardBatch(const double *output_grads,
-                             double *input_grads,
-                             BatchEvalState &state) const
+CompiledExprs::forwardBatch(const double *inputs, size_t width,
+                            double *outputs,
+                            BatchEvalState &state) const
+{
+    forwardBatchKeep(inputs, width, state);
+    for (size_t k = 0; k < program_.outputSlots.size(); ++k) {
+        const double *row = outputRowPtr(k, state);
+        double *outRow = &outputs[k * kBatchLanes];
+        for (size_t l = 0; l < kBatchLanes; ++l)
+            outRow[l] = row[l];
+    }
+}
+
+void
+CompiledExprs::beginBackwardBatch(BatchEvalState &state) const
 {
     FELIX_CHECK(!program_.forwardOnly,
                 "backwardBatch() on a tape compiled forward-only");
     FELIX_CHECK(state.forwardDone && state.boundTape == tapeId_,
                 "backwardBatch() before forwardBatch()");
-    const size_t width = state.width;
-
-    const double *vals = state.values.data();
     state.adjoints.assign(program_.numSlots() * kBatchLanes, 0.0);
+}
+
+double *
+CompiledExprs::outputAdjRowPtr(size_t k, BatchEvalState &state) const
+{
+    return &state.adjoints[static_cast<size_t>(
+                               program_.outputSlots[k]) *
+                           kBatchLanes];
+}
+
+void
+CompiledExprs::finishBackwardBatch(double *input_grads,
+                                   BatchEvalState &state) const
+{
+    const double *vals = state.values.data();
     double *adjs = state.adjoints.data();
 
-    // Seed active lanes only; padding lanes keep zero adjoints, so
-    // the per-lane zero-skip below short-circuits all their work.
-    for (size_t k = 0; k < program_.outputSlots.size(); ++k) {
-        double *row =
-            &adjs[static_cast<size_t>(program_.outputSlots[k]) *
-                  kBatchLanes];
-        const double *g = &output_grads[k * kBatchLanes];
-        for (size_t l = 0; l < width; ++l)
-            row[l] += g[l];
-    }
-
-    // The reverse sweep runs in the dispatched backend: per-chunk
-    // all-zero skip (the vector form of the scalar zero-skip) and
-    // blended adjoint updates whose masked-out lanes contribute an
-    // exact +0.0 — a bitwise no-op on accumulator rows — so the
-    // data-dependent branch structure of backpropOp is reproduced
-    // bit for bit at every width (see opk::backpropOpV).
-    simd::activeKernels().tapeBackward(program_, vals, adjs);
+    // The reverse sweep runs as JIT-compiled native code or in the
+    // dispatched backend; both execute the same per-instruction
+    // bodies: per-chunk all-zero skip (the vector form of the scalar
+    // zero-skip) and blended adjoint updates whose masked-out lanes
+    // contribute an exact +0.0 — a bitwise no-op on accumulator
+    // rows — so the data-dependent branch structure of backpropOp is
+    // reproduced bit for bit at every width (see opk::backpropOpV).
+    const jit::JitTape *jt = jitTape();
+    if (jt != nullptr && jt->hasBackward())
+        jt->backward(vals, adjs);
+    else
+        simd::activeKernels().tapeBackward(program_, vals, adjs);
 
     const size_t varBase = program_.firstVarSlot();
     for (size_t v = 0; v < program_.numVars; ++v) {
@@ -240,6 +292,26 @@ CompiledExprs::backwardBatch(const double *output_grads,
         for (size_t l = 0; l < kBatchLanes; ++l)
             g[l] = row[l];
     }
+}
+
+void
+CompiledExprs::backwardBatch(const double *output_grads,
+                             double *input_grads,
+                             BatchEvalState &state) const
+{
+    beginBackwardBatch(state);
+    const size_t width = state.width;
+
+    // Seed active lanes only; padding lanes keep zero adjoints, so
+    // the per-lane zero-skip in the sweep short-circuits their work.
+    for (size_t k = 0; k < program_.outputSlots.size(); ++k) {
+        double *row = outputAdjRowPtr(k, state);
+        const double *g = &output_grads[k * kBatchLanes];
+        for (size_t l = 0; l < width; ++l)
+            row[l] += g[l];
+    }
+
+    finishBackwardBatch(input_grads, state);
 }
 
 std::vector<double>

@@ -20,7 +20,10 @@
 #ifndef FELIX_EXPR_COMPILED_H_
 #define FELIX_EXPR_COMPILED_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +34,9 @@
 #include "support/batch.h"
 
 namespace felix {
+namespace jit {
+class JitTape;
+}
 namespace expr {
 
 /**
@@ -95,6 +101,8 @@ class CompiledExprs
     explicit CompiledExprs(std::vector<Expr> roots,
                            std::vector<std::string> var_order = {},
                            bool forward_only = false);
+
+    ~CompiledExprs(); // out of line: jit::JitTape is incomplete here
 
     /** Variable slot order expected by forward(). */
     const std::vector<std::string> &varNames() const { return varNames_; }
@@ -175,6 +183,47 @@ class CompiledExprs
                        double *input_grads,
                        BatchEvalState &state) const;
 
+    // ----- Fused-step entry points (costmodel/fused.h) -----------
+    //
+    // forwardBatch/backwardBatch round-trip every output row through
+    // caller-owned buffers. The fused surrogate step instead reads
+    // tape outputs and seeds adjoints directly inside the SoA slot
+    // buffers, keeping the 82-feature rows resident in L1 between
+    // the tape and the MLP. These split entry points expose that:
+    //
+    //   forwardBatchKeep(...);             // sweep, no output copy
+    //   ... read outputRowPtr(k, state) rows in place ...
+    //   beginBackwardBatch(state);         // zero the adjoints
+    //   ... accumulate into outputAdjRowPtr(k, state) rows ...
+    //   finishBackwardBatch(grads, state); // reverse sweep + copy
+    //
+    // forwardBatch/backwardBatch are these plus the copies, so both
+    // paths execute the identical kernel sequence bit for bit.
+
+    /** forwardBatch without materializing the outputs; read them via
+     *  outputRowPtr(). */
+    void forwardBatchKeep(const double *inputs, size_t width,
+                          BatchEvalState &state) const;
+
+    /** Row of output @p k inside @p state after forwardBatchKeep().
+     *  Valid until the next forward on the state. */
+    const double *outputRowPtr(size_t k,
+                               const BatchEvalState &state) const;
+
+    /** Zero the adjoint buffer ahead of seeding. Call after a
+     *  forward on @p state, then accumulate seeds into
+     *  outputAdjRowPtr() rows (active lanes only, exactly like the
+     *  output_grads contract of backwardBatch). */
+    void beginBackwardBatch(BatchEvalState &state) const;
+
+    /** Adjoint-seed row of output @p k (after beginBackwardBatch). */
+    double *outputAdjRowPtr(size_t k, BatchEvalState &state) const;
+
+    /** Reverse sweep over the seeded adjoints; writes numVars() rows
+     *  of input gradients, exactly like backwardBatch. */
+    void finishBackwardBatch(double *input_grads,
+                             BatchEvalState &state) const;
+
     /** Convenience: forward then return a copy of the outputs. */
     std::vector<double> eval(const std::vector<double> &inputs,
                              EvalState &state) const;
@@ -190,11 +239,28 @@ class CompiledExprs
     void bind(EvalState &state) const;
     void bind(BatchEvalState &state) const;
 
+    /**
+     * The JIT-compiled tape, or nullptr when the JIT is off,
+     * unsupported, or compilation failed. Compiled lazily on first
+     * use (most tapes are short-lived throwaways; only the ones that
+     * reach a batched hot loop pay for emission), double-checked so
+     * concurrent workers race benignly. jit::enabled() is consulted
+     * on every call — not captured at compile time — so runtime
+     * toggles (felix-tune --no-jit, benches A/B-ing) take effect at
+     * the next batch even for already-compiled tapes.
+     */
+    const jit::JitTape *jitTape() const;
+
     std::vector<std::string> varNames_;
     TapeProgram program_;
     TapeOptStats optStats_;
     uint64_t tapeId_;   ///< process-unique, guards state rebinding
     EvalState state_;   ///< backs the stateless overloads only
+
+    mutable std::mutex jitMutex_;
+    mutable std::unique_ptr<jit::JitTape> jitTape_;
+    mutable std::atomic<const jit::JitTape *> jitCache_{nullptr};
+    mutable std::atomic<bool> jitFailed_{false};
 };
 
 /**

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pre-compiled stencil bodies the tape JIT copy-and-patches calls to.
+ *
+ * The JIT (jit.h) emits the optimized tape as straight-line native
+ * code. Cheap elementwise ops are emitted inline as the exact vector
+ * instruction sequences of expr/op_kernels.h; everything that needs
+ * libm (pow/log/exp/atan forward) or the data-dependent adjoint
+ * logic (most backward ops) instead becomes a call to one of these
+ * stencils — ordinary extern "C" functions compiled once from the
+ * very same opk:: kernel templates the interpreter runs, in a
+ * translation unit with the same flags as the AVX2 interpreter
+ * backend. Bit-exactness therefore holds by construction: a stencil
+ * *is* the interpreter body for one instruction.
+ *
+ * Stencils operate on one full kBatchLanes-wide SoA row per operand.
+ * Only compiled on x86-64 when the compiler supports -mavx2 (the
+ * FELIX_JIT_X86_AVX2 define); jit::supported() reports false
+ * otherwise and the emitter is never reached.
+ */
+#ifndef FELIX_JIT_STENCILS_H_
+#define FELIX_JIT_STENCILS_H_
+
+#include <cstdint>
+
+extern "C" {
+
+/**
+ * Forward stencils: out[l] = op(a[l], b[l]) over all kBatchLanes
+ * lanes. Unary ops ignore @p b (the emitter passes @p a again).
+ */
+void felix_jit_fwd_pow(const double *a, const double *b, double *out);
+void felix_jit_fwd_log(const double *a, const double *b, double *out);
+void felix_jit_fwd_exp(const double *a, const double *b, double *out);
+void felix_jit_fwd_atan(const double *a, const double *b, double *out);
+
+/**
+ * Backward stencils: one instruction's adjoint update, exactly the
+ * per-instruction body of the interpreter's reverse sweep
+ * (simd/kernels_impl.h tapeBackwardT): chunked all-zero skip, then
+ * opk::backpropOpV per live chunk. @p vals / @p adjs are the full
+ * SoA slot buffers; @p slot is the instruction's destination slot;
+ * @p a0/@p a1/@p a2 are its operand slots (-1 = absent).
+ */
+#define FELIX_JIT_DECLARE_BWD(name)                                    \
+    void felix_jit_bwd_##name(const double *vals, double *adjs,        \
+                              uint32_t slot, uint32_t a0, int32_t a1,  \
+                              int32_t a2)
+FELIX_JIT_DECLARE_BWD(mul);
+FELIX_JIT_DECLARE_BWD(div);
+FELIX_JIT_DECLARE_BWD(pow);
+FELIX_JIT_DECLARE_BWD(min);
+FELIX_JIT_DECLARE_BWD(max);
+FELIX_JIT_DECLARE_BWD(log);
+FELIX_JIT_DECLARE_BWD(exp);
+FELIX_JIT_DECLARE_BWD(sqrt);
+FELIX_JIT_DECLARE_BWD(abs);
+FELIX_JIT_DECLARE_BWD(atan);
+FELIX_JIT_DECLARE_BWD(sigmoid);
+FELIX_JIT_DECLARE_BWD(select);
+#undef FELIX_JIT_DECLARE_BWD
+
+} // extern "C"
+
+#endif // FELIX_JIT_STENCILS_H_

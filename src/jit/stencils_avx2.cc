@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AVX2 stencil bodies for the tape JIT, instantiated from the SAME
+ * opk:: kernel templates as the interpreter backends (compiled with
+ * -mavx2, like simd/kernels_avx2.cc, so FELIX_SIMD_ARCH_NS resolves
+ * to arch_avx2 and the instantiations are ODR-identical).
+ *
+ * Bit-exactness across backends needs no per-backend stencils: every
+ * tape op is elementwise per lane and every lane executes the
+ * identical scalar FP sequence at any vector width (support/simd.h
+ * contract), so one AVX2-encoded body is bit-identical to the
+ * scalar, SSE2 and AVX-512 interpreters alike. The backward chunk
+ * skip runs at AVX2 granularity (4 lanes) where other backends skip
+ * at theirs — also bit-irrelevant: a skipped chunk's adjoints are
+ * all +0.0 and processing such a chunk through backpropOpV is a
+ * bitwise no-op (accumulator rows never hold -0.0; see the kernel's
+ * comment).
+ */
+#include "jit/stencils.h"
+
+#include "expr/op_kernels.h"
+#include "support/batch.h"
+#include "support/simd.h"
+
+#ifndef FELIX_JIT_X86_AVX2
+#error "stencils_avx2.cc must be compiled with FELIX_JIT_X86_AVX2"
+#endif
+
+namespace {
+
+using Vec = felix::simd::FELIX_SIMD_ARCH_NS::Vec;
+static_assert(Vec::kWidth == 4,
+              "JIT stencils must compile against the AVX2 backend");
+
+constexpr std::size_t kL = felix::kBatchLanes;
+namespace opk = felix::expr::opk;
+
+/** The interpreter's per-instruction reverse-sweep body
+ *  (simd/kernels_impl.h tapeBackwardT, loop body for one i). */
+template <felix::expr::OpCode Op>
+inline void
+bwdStencil(const double *vals, double *adjs, uint32_t slot,
+           uint32_t a0, int32_t a1, int32_t a2)
+{
+    const Vec zero = Vec::broadcast(0.0);
+    const double *adjRow = adjs + static_cast<std::size_t>(slot) * kL;
+    const double *valRow = vals + static_cast<std::size_t>(slot) * kL;
+    const double *a0Row = vals + static_cast<std::size_t>(a0) * kL;
+    double *adj0Row = adjs + static_cast<std::size_t>(a0) * kL;
+    const double *a1Row =
+        a1 >= 0 ? vals + static_cast<std::size_t>(a1) * kL : nullptr;
+    double *adj1Row =
+        a1 >= 0 ? adjs + static_cast<std::size_t>(a1) * kL : nullptr;
+    double *adj2Row =
+        a2 >= 0 ? adjs + static_cast<std::size_t>(a2) * kL : nullptr;
+    for (std::size_t l = 0; l < kL; l += Vec::kWidth) {
+        const Vec adj = Vec::load(adjRow + l);
+        if (!anyLane(cne(adj, zero)))
+            continue;
+        opk::backpropOpV<Vec>(
+            Op, adj, Vec::load(valRow + l), Vec::load(a0Row + l),
+            a1Row ? Vec::load(a1Row + l) : zero, adj0Row + l,
+            adj1Row ? adj1Row + l : nullptr,
+            adj2Row ? adj2Row + l : nullptr);
+    }
+}
+
+} // namespace
+
+extern "C" {
+
+void
+felix_jit_fwd_pow(const double *a, const double *b, double *out)
+{
+    for (std::size_t l = 0; l < kL; l += Vec::kWidth)
+        opk::fwdPowV<Vec>(Vec::load(a + l), Vec::load(b + l))
+            .store(out + l);
+}
+
+void
+felix_jit_fwd_log(const double *a, const double *b, double *out)
+{
+    (void)b;
+    for (std::size_t l = 0; l < kL; l += Vec::kWidth)
+        opk::fwdLogV<Vec>(Vec::load(a + l)).store(out + l);
+}
+
+void
+felix_jit_fwd_exp(const double *a, const double *b, double *out)
+{
+    (void)b;
+    for (std::size_t l = 0; l < kL; l += Vec::kWidth)
+        opk::fwdExpV<Vec>(Vec::load(a + l)).store(out + l);
+}
+
+void
+felix_jit_fwd_atan(const double *a, const double *b, double *out)
+{
+    (void)b;
+    for (std::size_t l = 0; l < kL; l += Vec::kWidth)
+        opk::fwdAtanV<Vec>(Vec::load(a + l)).store(out + l);
+}
+
+#define FELIX_JIT_DEFINE_BWD(name, Op)                                 \
+    void felix_jit_bwd_##name(const double *vals, double *adjs,        \
+                              uint32_t slot, uint32_t a0, int32_t a1,  \
+                              int32_t a2)                              \
+    {                                                                  \
+        bwdStencil<felix::expr::OpCode::Op>(vals, adjs, slot, a0, a1,  \
+                                            a2);                       \
+    }
+FELIX_JIT_DEFINE_BWD(mul, Mul)
+FELIX_JIT_DEFINE_BWD(div, Div)
+FELIX_JIT_DEFINE_BWD(pow, Pow)
+FELIX_JIT_DEFINE_BWD(min, Min)
+FELIX_JIT_DEFINE_BWD(max, Max)
+FELIX_JIT_DEFINE_BWD(log, Log)
+FELIX_JIT_DEFINE_BWD(exp, Exp)
+FELIX_JIT_DEFINE_BWD(sqrt, Sqrt)
+FELIX_JIT_DEFINE_BWD(abs, Abs)
+FELIX_JIT_DEFINE_BWD(atan, Atan)
+FELIX_JIT_DEFINE_BWD(sigmoid, Sigmoid)
+FELIX_JIT_DEFINE_BWD(select, Select)
+#undef FELIX_JIT_DEFINE_BWD
+
+} // extern "C"

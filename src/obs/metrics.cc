@@ -283,13 +283,18 @@ isWallClockMetricName(const std::string &name)
         return name.size() >= n &&
                name.compare(name.size() - n, n, suffix) == 0;
     };
-    // Wall-clock timers and rates, plus host-configuration gauges
+    // Wall-clock timers and rates, plus host-configuration metrics
     // that legitimately differ between the processes of one sharded
-    // run (pool size, SIMD width) without affecting any result byte.
+    // run (pool size, SIMD width, tape-JIT availability and its
+    // per-process compile counters) without affecting any result
+    // byte — the JIT is bit-identical to the interpreter, but how
+    // many tapes each process compiles depends on restart/shard
+    // topology.
     return endsWith("_ms") || endsWith("_us") ||
            name.find("per_sec") != std::string::npos ||
            name == "threads.pool_size" ||
-           name.compare(0, 5, "simd.") == 0;
+           name.compare(0, 5, "simd.") == 0 ||
+           name.compare(0, 4, "jit.") == 0;
 }
 
 MetricsSnapshot

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "costmodel/fused.h"
 #include "features/features.h"
 #include "optim/dedup.h"
 #include "obs/metrics.h"
@@ -270,6 +271,20 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
         registry.counter("search.seed_batches")
             .add(static_cast<double>(batches.size()));
 
+        // One fused stepper per sketch, shared by all workers (it is
+        // immutable; per-worker state lives in WorkerBatchScratch).
+        // The unfused sequence below it is the bit-exactness
+        // reference (tests) and the A/B baseline (bench).
+        std::vector<costmodel::FusedGradStep> fusedSteps;
+        if (options_.useFused) {
+            fusedSteps.reserve(contexts_.size());
+            for (const SketchContext &context : contexts_)
+                fusedSteps.emplace_back(
+                    *context.objective, model,
+                    static_cast<size_t>(numFeatures),
+                    context.numPenalties, options_.lambda);
+        }
+
         parallelFor("search.seed_batch", batches.size(), [&](size_t
                                                                 bi) {
             const SeedBatch &batch = batches[bi];
@@ -315,6 +330,15 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
                 for (size_t l = 0; l < width; ++l)
                     for (size_t v = 0; v < numVars; ++v)
                         ws.inputs[v * L + l] = y[l][v];
+                if (options_.useFused) {
+                    // Fused: the same four stages with the feature
+                    // rows kept inside the engines' SoA buffers
+                    // (costmodel/fused.h; bit-identical to the
+                    // sequence below).
+                    fusedSteps[batch.sketchIdx].run(
+                        ws.inputs.data(), width, scores,
+                        ws.inputGrads.data(), ws.tape, ws.predict);
+                } else {
                 context.objective->forwardBatch(
                     ws.inputs.data(), width, ws.outputs.data(),
                     ws.tape);
@@ -324,9 +348,6 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
                 model.predictTransformedWithGradBatch(
                     ws.outputs.data(), scores, ws.modelGrads.data(),
                     ws.predict);
-                for (size_t l = 0; l < width; ++l)
-                    outcomes[batch.seeds[l]].visitedScores.push_back(
-                        scores[l]);
 
                 std::fill(ws.outputGrads.begin(),
                           ws.outputGrads.end(), 0.0);
@@ -348,6 +369,10 @@ GradientSearch::round(const costmodel::CostModel &model, Rng &rng)
                 context.objective->backwardBatch(
                     ws.outputGrads.data(), ws.inputGrads.data(),
                     ws.tape);
+                }
+                for (size_t l = 0; l < width; ++l)
+                    outcomes[batch.seeds[l]].visitedScores.push_back(
+                        scores[l]);
 
                 for (size_t l = 0; l < width; ++l) {
                     SeedOutcome &outcome = outcomes[batch.seeds[l]];

@@ -11,10 +11,15 @@
 # Baselines are refreshed by committing a fresh --json-out run from
 # the same machine class (EXPERIMENTS.md records the provenance).
 #
+# With -DSTRICT_NEW=ON the diff also fails when the fresh run has a
+# benchmark the committed baseline lacks — i.e. the baseline must be
+# re-committed whenever a benchmark series is added, so it always
+# enumerates every series (EXPERIMENTS.md "Bench gate").
+#
 # Invoked as
 #   cmake -DBENCH_BIN=... -DBENCH_NAME=tape -DBENCH_DIFF=...
 #         -DBASELINE=... -DWORK_DIR=... [-DTHRESHOLD=0.5]
-#         -P bench_gate.cmake
+#         [-DSTRICT_NEW=ON] -P bench_gate.cmake
 
 foreach(var BENCH_BIN BENCH_NAME BENCH_DIFF BASELINE WORK_DIR)
     if(NOT DEFINED ${var})
@@ -23,6 +28,10 @@ foreach(var BENCH_BIN BENCH_NAME BENCH_DIFF BASELINE WORK_DIR)
 endforeach()
 if(NOT DEFINED THRESHOLD)
     set(THRESHOLD 0.5)
+endif()
+set(strict_new_flag "")
+if(STRICT_NEW)
+    set(strict_new_flag "--strict-new")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -45,7 +54,7 @@ endif()
 execute_process(
     COMMAND "${BENCH_DIFF}"
         --baseline "${BASELINE}" --current "${current}"
-        --threshold "${THRESHOLD}"
+        --threshold "${THRESHOLD}" ${strict_new_flag}
     OUTPUT_VARIABLE diff_out
     ERROR_VARIABLE diff_err
     RESULT_VARIABLE diff_rc)

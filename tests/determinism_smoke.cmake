@@ -1,6 +1,9 @@
-# Determinism smoke test (ctest): one tuning session run twice, at
-# --jobs 1 and --jobs 4, must be bit-identical in everything except
-# wall-clock time.
+# Determinism smoke test (ctest): one tuning session run three
+# times — --jobs 1, --jobs 4, and --jobs 4 --no-jit — must be
+# bit-identical in everything except wall-clock time. The --no-jit
+# run doubles as the end-to-end fallback check for the copy-and-patch
+# tape JIT: the batched interpreter must reproduce the JIT'd descent
+# byte for byte (docs/tape_engine.md).
 #
 # Invoked as
 #   cmake -DFELIX_TUNE=... -DWORK_DIR=... -DCACHE_DIR=...
@@ -9,7 +12,7 @@
 # Steps:
 #   1. felix-tune --network dcgan --budget 10 with --jobs 1, saving
 #      the best schedules (--out) and round records (--metrics-out).
-#   2. Same command with --jobs 4.
+#   2. Same command with --jobs 4, and again with --jobs 4 --no-jit.
 #   3. The schedule files must compare byte-equal.
 #   4. The round-record JSONL must compare equal after normalizing
 #      the only wall-clock-dependent parts: every "wall_ms" value and
@@ -25,36 +28,39 @@ endforeach()
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
-function(run_tune jobs)
+function(run_tune suffix)
     execute_process(
         COMMAND "${FELIX_TUNE}"
             --network dcgan --device a5000 --budget 10 --seed 3
-            --jobs ${jobs}
+            ${ARGN}
             --cache-dir "${CACHE_DIR}"
-            --out "${WORK_DIR}/best_j${jobs}.cfg"
-            --metrics-out "${WORK_DIR}/metrics_j${jobs}.jsonl"
+            --out "${WORK_DIR}/best_${suffix}.cfg"
+            --metrics-out "${WORK_DIR}/metrics_${suffix}.jsonl"
         RESULT_VARIABLE rc
         OUTPUT_VARIABLE out
         ERROR_VARIABLE err)
     if(NOT rc EQUAL 0)
         message(FATAL_ERROR
-            "felix-tune --jobs ${jobs} failed (${rc}):\n${out}\n${err}")
+            "felix-tune ${suffix} failed (${rc}):\n${out}\n${err}")
     endif()
 endfunction()
 
-run_tune(1)
-run_tune(4)
+run_tune(j1 --jobs 1)
+run_tune(j4 --jobs 4)
+run_tune(j4nojit --jobs 4 --no-jit)
 
 # Best schedules must match byte for byte.
-execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files
-        "${WORK_DIR}/best_j1.cfg" "${WORK_DIR}/best_j4.cfg"
-    RESULT_VARIABLE cfg_diff)
-if(NOT cfg_diff EQUAL 0)
-    message(FATAL_ERROR
-        "best schedules differ between --jobs 1 and --jobs 4 "
-        "(${WORK_DIR}/best_j1.cfg vs best_j4.cfg)")
-endif()
+foreach(other j4 j4nojit)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/best_j1.cfg" "${WORK_DIR}/best_${other}.cfg"
+        RESULT_VARIABLE cfg_diff)
+    if(NOT cfg_diff EQUAL 0)
+        message(FATAL_ERROR
+            "best schedules differ between j1 and ${other} "
+            "(${WORK_DIR}/best_j1.cfg vs best_${other}.cfg)")
+    endif()
+endforeach()
 
 # Round records must match after stripping wall-clock fields.
 function(normalized_metrics path out_var)
@@ -67,14 +73,18 @@ function(normalized_metrics path out_var)
 endfunction()
 
 normalized_metrics("${WORK_DIR}/metrics_j1.jsonl" metrics1)
-normalized_metrics("${WORK_DIR}/metrics_j4.jsonl" metrics4)
-if(NOT metrics1 STREQUAL metrics4)
-    message(FATAL_ERROR
-        "round records differ between --jobs 1 and --jobs 4 "
-        "(${WORK_DIR}/metrics_j1.jsonl vs metrics_j4.jsonl)")
-endif()
+foreach(other j4 j4nojit)
+    normalized_metrics("${WORK_DIR}/metrics_${other}.jsonl" metricsB)
+    if(NOT metrics1 STREQUAL metricsB)
+        message(FATAL_ERROR
+            "round records differ between j1 and ${other} "
+            "(${WORK_DIR}/metrics_j1.jsonl vs "
+            "metrics_${other}.jsonl)")
+    endif()
+endforeach()
 if(metrics1 STREQUAL "")
     message(FATAL_ERROR "no round records emitted")
 endif()
 
-message(STATUS "determinism smoke OK: --jobs 1 == --jobs 4")
+message(STATUS
+    "determinism smoke OK: --jobs 1 == --jobs 4 == --no-jit")

@@ -1,0 +1,27 @@
+#!/bin/sh
+# One-command bench-regression gate (EXPERIMENTS.md "Bench gate"):
+#
+#   tools/bench_gate.sh [build-dir]
+#
+# Configures an opt-in gate build (-DFELIX_BENCH_GATE=ON, Release),
+# builds the bench binaries and felix-bench-diff, and runs the
+# "bench-gate" ctest label: each bench suite executes with
+# --json-out and is diffed against the committed BENCH_*.json
+# baselines with felix-bench-diff --threshold 0.5 --strict-new.
+# Strict-new means a newly added benchmark series fails the gate
+# until the baseline is re-committed from a fresh run, so the
+# committed baselines always enumerate every series.
+#
+# Exit status is ctest's: 0 when every suite is within threshold and
+# fully enumerated by its baseline.
+set -eu
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$src_dir/build-bench-gate"}
+
+cmake -B "$build_dir" -S "$src_dir" \
+    -DCMAKE_BUILD_TYPE=Release -DFELIX_BENCH_GATE=ON
+cmake --build "$build_dir" -j \
+    --target bench_tape bench_serve felix-bench-diff
+cd "$build_dir"
+exec ctest -L bench-gate --output-on-failure

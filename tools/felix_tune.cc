@@ -17,6 +17,7 @@
 
 #include "core/felix.h"
 #include "frameworks/frameworks.h"
+#include "jit/jit.h"
 #include "models/models.h"
 #include "obs/metrics.h"
 #include "obs/round_log.h"
@@ -69,6 +70,12 @@ usage()
         "              the scalar fallback (default: widest the CPU\n"
         "              supports; also via FELIX_SIMD). Results are\n"
         "              bit-identical at every width\n"
+        "  --no-jit    run the descent tapes through the batched\n"
+        "              interpreter instead of the copy-and-patch\n"
+        "              JIT (also via FELIX_JIT=off). Results are\n"
+        "              bit-identical either way\n"
+        "  --jit       force the JIT on, overriding FELIX_JIT=off\n"
+        "              (no-op where unsupported: non-x86 or no AVX2)\n"
         "  --log-level L       debug | info | warn | error\n"
         "                      (also via FELIX_LOG_LEVEL)\n"
         "  --cache-dir DIR     pretrained cost-model cache directory\n"
@@ -194,6 +201,10 @@ main(int argc, char **argv)
             merge = true;
         else if (arg == "--no-batch")
             useBatch = false;
+        else if (arg == "--no-jit")
+            jit::setEnabled(false);
+        else if (arg == "--jit")
+            jit::setEnabled(true);
         else if (arg == "--simd") {
             std::string value = next();
             int width = value == "off" ? 1 : std::atoi(value.c_str());
